@@ -1,0 +1,64 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunTable1AndFig3(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "table1,fig3", 1, 1, true, false, ""); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "terasort") {
+		t.Error("table1 missing")
+	}
+	if !strings.Contains(out, "112") || !strings.Contains(out, "64") {
+		t.Error("fig3 missing the case-study values")
+	}
+}
+
+func TestRunFig6WithCDF(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "fig6", 1, 1, true, true, ""); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "CDF of job completion times") {
+		t.Error("CDF table missing")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "bogus", 1, 1, true, false, ""); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunEmitsCSV(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if err := run(&buf, "table1,fig3", 1, 1, true, false, dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"table1.csv", "fig3.csv"} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(data) == 0 {
+			t.Errorf("%s empty", name)
+		}
+	}
+}
+
+func TestRunCSVBadDir(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "table1", 1, 1, true, false, "/nonexistent-dir-xyz"); err == nil {
+		t.Error("bad csv dir accepted")
+	}
+}

@@ -1,0 +1,100 @@
+// Command hitprofile demonstrates the offline profiling phase of §6: it
+// simulates a training workload, records every job's observed
+// input/shuffle/remote-map volumes into a profile store, reports the learned
+// per-benchmark ratios against the catalog's ground truth, and optionally
+// persists the store as JSON.
+//
+// Usage:
+//
+//	hitprofile [-jobs N] [-seed N] [-o profiles.json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cluster"
+	"repro/internal/metrics"
+	"repro/internal/profile"
+	"repro/internal/scheduler"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+func main() {
+	nJobs := flag.Int("jobs", 40, "training jobs to simulate")
+	seed := flag.Int64("seed", 1, "random seed")
+	out := flag.String("o", "", "write the profile store to this JSON file")
+	flag.Parse()
+
+	if err := run(*nJobs, *seed, *out); err != nil {
+		fmt.Fprintf(os.Stderr, "hitprofile: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(nJobs int, seed int64, out string) error {
+	topo, err := topology.NewPaperTree(topology.LinkParams{Bandwidth: 1, SwitchCapacity: 48})
+	if err != nil {
+		return err
+	}
+	wcfg := workload.DefaultConfig()
+	wcfg.MaxMaps = 8
+	gen, err := workload.NewGenerator(wcfg, seed)
+	if err != nil {
+		return err
+	}
+	jobs := gen.Workload(nJobs)
+
+	eng, err := sim.New(topo, cluster.Resources{CPU: 4, Memory: 8192}, scheduler.Capacity{}, sim.Options{Seed: seed})
+	if err != nil {
+		return err
+	}
+	res, err := eng.Run(jobs)
+	if err != nil {
+		return err
+	}
+
+	store, err := profile.NewStore(0.3)
+	if err != nil {
+		return err
+	}
+	for i, js := range res.Jobs {
+		if err := store.Record(profile.Record{
+			Benchmark:   js.Benchmark,
+			InputGB:     jobs[i].InputGB,
+			ShuffleGB:   js.ShuffleBytes,
+			RemoteMapGB: js.RemoteMapGB,
+		}); err != nil {
+			return err
+		}
+	}
+
+	tb := metrics.NewTable(fmt.Sprintf("Learned shuffle profiles (%d training jobs)", nJobs),
+		"benchmark", "learned shuffle/input", "catalog", "learned class", "samples")
+	for _, name := range store.Benchmarks() {
+		e, _ := store.Estimate(name)
+		truth, err := workload.BenchmarkByName(name)
+		if err != nil {
+			return err
+		}
+		tb.AddRowf([]string{"%s", "%.3f", "%.3f", "%s", "%d"},
+			name, e.ShuffleRatio, truth.ShuffleRatio, profile.Classify(e.ShuffleRatio).String(), e.Samples)
+	}
+	fmt.Println(tb.String())
+
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := store.Save(f); err != nil {
+			return err
+		}
+		fmt.Printf("profile store written to %s\n", out)
+	}
+	return nil
+}

@@ -1,0 +1,33 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunWritesProfile(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "profiles.json")
+	if err := run(10, 1, out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Error("empty profile file")
+	}
+}
+
+func TestRunNoOutput(t *testing.T) {
+	if err := run(5, 2, ""); err != nil {
+		t.Fatalf("run without output: %v", err)
+	}
+}
+
+func TestRunBadPath(t *testing.T) {
+	if err := run(5, 1, "/nonexistent-dir/x.json"); err == nil {
+		t.Error("bad path accepted")
+	}
+}

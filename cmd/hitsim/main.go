@@ -1,0 +1,171 @@
+// Command hitsim runs one MapReduce-cluster simulation scenario and prints
+// the per-job and aggregate metrics.
+//
+// Usage:
+//
+//	hitsim [-scheduler hit|capacity|pna|random]
+//	       [-topology tree|fattree|bcube|vl2] [-servers N]
+//	       [-jobs N] [-class heavy|medium|light|mixed]
+//	       [-bandwidth F] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/scheduler"
+	"repro/internal/sim"
+	"repro/internal/taasearch"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+func main() {
+	schedName := flag.String("scheduler", "hit", "scheduler: hit, capacity, pna, cam, anneal, random")
+	topoName := flag.String("topology", "tree", "architecture: tree, fattree, bcube, vl2")
+	servers := flag.Int("servers", 64, "minimum server count")
+	nJobs := flag.Int("jobs", 6, "number of jobs")
+	class := flag.String("class", "mixed", "job class: heavy, medium, light, mixed")
+	bandwidth := flag.Float64("bandwidth", 1.0, "link bandwidth (GB per time unit)")
+	seed := flag.Int64("seed", 1, "random seed")
+	gantt := flag.Bool("gantt", false, "print an ASCII job timeline")
+	tracePath := flag.String("trace", "", "replay a workload trace file (overrides -jobs/-class)")
+	traceOut := flag.String("trace-out", "", "save the generated workload as a trace file")
+	flag.Parse()
+
+	if err := run(*schedName, *topoName, *servers, *nJobs, *class, *bandwidth, *seed, *gantt, *tracePath, *traceOut); err != nil {
+		fmt.Fprintf(os.Stderr, "hitsim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(schedName, topoName string, servers, nJobs int, class string, bandwidth float64, seed int64, gantt bool, tracePath, traceOut string) error {
+	var sched scheduler.Scheduler
+	switch schedName {
+	case "hit":
+		sched = &core.HitScheduler{}
+	case "capacity":
+		sched = scheduler.Capacity{}
+	case "pna":
+		sched = scheduler.PNA{}
+	case "random":
+		sched = scheduler.Random{}
+	case "cam":
+		sched = scheduler.CAM{}
+	case "anneal":
+		sched = &taasearch.Annealer{}
+	default:
+		return fmt.Errorf("unknown scheduler %q", schedName)
+	}
+
+	topo, err := topology.NewArchitecture(topoName, servers, topology.LinkParams{
+		Bandwidth:      bandwidth,
+		SwitchCapacity: bandwidth * 48,
+	})
+	if err != nil {
+		return err
+	}
+
+	var jobs []*workload.Job
+	var arrivals []float64
+	if tracePath != "" {
+		f, err := os.Open(tracePath)
+		if err != nil {
+			return err
+		}
+		tr, err := workload.LoadTrace(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		jobs = tr.Jobs
+		arrivals = tr.Arrivals
+	} else {
+		cfg := workload.DefaultConfig()
+		cfg.MaxMaps = 16
+		gen, err := workload.NewGenerator(cfg, seed)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < nJobs; i++ {
+			var j *workload.Job
+			var err error
+			switch class {
+			case "heavy":
+				j, err = gen.SampleClass(workload.ShuffleHeavy)
+			case "medium":
+				j, err = gen.SampleClass(workload.ShuffleMedium)
+			case "light":
+				j, err = gen.SampleClass(workload.ShuffleLight)
+			case "mixed":
+				j = gen.Sample()
+			default:
+				return fmt.Errorf("unknown class %q", class)
+			}
+			if err != nil {
+				return err
+			}
+			jobs = append(jobs, j)
+		}
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		tr := &workload.Trace{Name: "hitsim", Jobs: jobs, Arrivals: arrivals}
+		if err := tr.Save(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("trace written to %s\n", traceOut)
+	}
+
+	eng, err := sim.New(topo, cluster.Resources{CPU: 4, Memory: 8192}, sched, sim.Options{Seed: seed})
+	if err != nil {
+		return err
+	}
+	res, err := eng.RunWithArrivals(jobs, arrivals)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("topology=%s servers=%d switches=%d scheduler=%s jobs=%d bandwidth=%.2f seed=%d\n\n",
+		topo.Name(), topo.NumServers(), topo.NumSwitches(), res.Scheduler, len(jobs), bandwidth, seed)
+
+	tb := metrics.NewTable("Per-job results",
+		"job", "benchmark", "class", "maps", "reduces", "waves", "shuffle(GB)", "cost", "JCT")
+	for i, js := range res.Jobs {
+		tb.AddRowf([]string{"%d", "%s", "%s", "%d", "%d", "%d", "%.1f", "%.1f", "%.1f"},
+			js.JobID, js.Benchmark, js.Class.String(),
+			jobs[i].NumMaps, jobs[i].NumReduces, js.MapWaves,
+			js.ShuffleBytes, js.TrafficCost, js.Completion)
+	}
+	fmt.Println(tb.String())
+
+	agg := metrics.NewTable("Aggregate", "metric", "value")
+	agg.AddRowf([]string{"%s", "%.2f"}, "mean JCT", res.JCT.Mean())
+	agg.AddRowf([]string{"%s", "%.2f"}, "p90 JCT", res.JCT.Percentile(90))
+	agg.AddRowf([]string{"%s", "%.2f"}, "mean map task time", res.MapTime.Mean())
+	agg.AddRowf([]string{"%s", "%.2f"}, "mean reduce task time", res.ReduceTime.Mean())
+	agg.AddRowf([]string{"%s", "%.2f"}, "total shuffle cost (rate x hops)", res.TotalTrafficCost)
+	agg.AddRowf([]string{"%s", "%.2f"}, "total delay cost (GB·T)", res.TotalDelayCost)
+	agg.AddRowf([]string{"%s", "%.2f"}, "avg route length (hops)", res.AvgRouteHops)
+	agg.AddRowf([]string{"%s", "%.2f"}, "avg shuffle delay (T)", res.AvgShuffleDelayT)
+	agg.AddRowf([]string{"%s", "%.2f"}, "avg flow transfer time", res.AvgFlowTransferTime)
+	agg.AddRowf([]string{"%s", "%.2f"}, "shuffle makespan", res.ShuffleMakespan)
+	agg.AddRowf([]string{"%s", "%.2f"}, "shuffle throughput (GB/t)", res.ShuffleThroughput)
+	agg.AddRowf([]string{"%s", "%d"}, "network flows", res.NumFlows)
+	fmt.Println(agg.String())
+	if gantt {
+		fmt.Println(sim.RenderGantt(res, 72))
+	}
+	return nil
+}

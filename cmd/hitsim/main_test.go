@@ -1,0 +1,53 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestRunValidScenario(t *testing.T) {
+	if err := run("hit", "tree", 8, 1, "mixed", 1.0, 1, true, "", ""); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunEachSchedulerAndClass(t *testing.T) {
+	for _, sched := range []string{"capacity", "pna", "random", "cam", "anneal"} {
+		if err := run(sched, "tree", 8, 1, "light", 1.0, 2, false, "", ""); err != nil {
+			t.Errorf("%s: %v", sched, err)
+		}
+	}
+	for _, class := range []string{"heavy", "medium"} {
+		if err := run("hit", "fattree", 8, 1, class, 1.0, 3, false, "", ""); err != nil {
+			t.Errorf("class %s: %v", class, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("bogus", "tree", 8, 1, "mixed", 1, 1, false, "", ""); err == nil {
+		t.Error("unknown scheduler accepted")
+	}
+	if err := run("hit", "bogus", 8, 1, "mixed", 1, 1, false, "", ""); err == nil {
+		t.Error("unknown topology accepted")
+	}
+	if err := run("hit", "tree", 8, 1, "bogus", 1, 1, false, "", ""); err == nil {
+		t.Error("unknown class accepted")
+	}
+}
+
+func TestRunTraceRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "w.json")
+	// Generate and save.
+	if err := run("capacity", "tree", 8, 2, "mixed", 1, 4, false, "", trace); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	// Replay under a different scheduler.
+	if err := run("hit", "tree", 8, 0, "mixed", 1, 4, false, trace, ""); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if err := run("hit", "tree", 8, 0, "mixed", 1, 4, false, filepath.Join(dir, "missing.json"), ""); err == nil {
+		t.Error("missing trace accepted")
+	}
+}

@@ -1,0 +1,91 @@
+// Command topoviz prints a hierarchical data-center topology: node
+// inventory per tier, link count, and (optionally) a DOT graph for
+// rendering with graphviz.
+//
+// Usage:
+//
+//	topoviz [-topology tree|fattree|bcube|vl2] [-servers N] [-dot]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/metrics"
+	"repro/internal/topology"
+)
+
+func main() {
+	topoName := flag.String("topology", "tree", "architecture: tree, fattree, bcube, vl2")
+	servers := flag.Int("servers", 16, "minimum server count")
+	dot := flag.Bool("dot", false, "emit a graphviz DOT graph instead of the summary")
+	flag.Parse()
+
+	topo, err := topology.NewArchitecture(*topoName, *servers, topology.LinkParams{})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "topoviz: %v\n", err)
+		os.Exit(1)
+	}
+	if *dot {
+		emitDOT(topo)
+		return
+	}
+	emitSummary(topo)
+}
+
+func emitSummary(topo *topology.Topology) {
+	fmt.Printf("architecture=%s nodes=%d servers=%d switches=%d links=%d\n\n",
+		topo.Name(), topo.NumNodes(), topo.NumServers(), topo.NumSwitches(), topo.NumLinks())
+
+	byType := map[string]int{}
+	for _, w := range topo.Switches() {
+		byType[topo.Node(w).Type]++
+	}
+	types := make([]string, 0, len(byType))
+	for t := range byType {
+		types = append(types, t)
+	}
+	sort.Strings(types)
+	tb := metrics.NewTable("Switch inventory", "type", "count", "capacity")
+	for _, t := range types {
+		cap := 0.0
+		for _, w := range topo.SwitchesOfType(t) {
+			cap = topo.Node(w).Capacity
+			break
+		}
+		tb.AddRowf([]string{"%s", "%d", "%.1f"}, t, byType[t], cap)
+	}
+	fmt.Println(tb.String())
+
+	// Path-length profile between sampled server pairs.
+	srv := topo.Servers()
+	var sample metrics.Sample
+	step := len(srv)/16 + 1
+	for i := 0; i < len(srv); i += step {
+		for j := i + 1; j < len(srv); j += step {
+			sample.Add(float64(topo.Dist(srv[i], srv[j])))
+		}
+	}
+	if sample.N() > 0 {
+		fmt.Printf("server-pair hop distance: min=%.0f median=%.0f max=%.0f (sampled %d pairs)\n",
+			sample.Min(), sample.Median(), sample.Max(), sample.N())
+	}
+}
+
+func emitDOT(topo *topology.Topology) {
+	fmt.Println("graph topology {")
+	fmt.Println("  rankdir=TB;")
+	for _, w := range topo.Switches() {
+		n := topo.Node(w)
+		fmt.Printf("  n%d [label=%q shape=box];\n", w, n.Name)
+	}
+	for _, s := range topo.Servers() {
+		fmt.Printf("  n%d [label=%q shape=ellipse];\n", s, topo.Node(s).Name)
+	}
+	for _, l := range topo.Links() {
+		fmt.Printf("  n%d -- n%d;\n", l.A, l.B)
+	}
+	fmt.Println("}")
+}

@@ -1,0 +1,24 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func TestEmitters(t *testing.T) {
+	topo, err := topology.NewArchitecture("fattree", 16, topology.LinkParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Emitters print to stdout; they must simply not panic on every fabric.
+	emitSummary(topo)
+	emitDOT(topo)
+	for _, name := range topology.ArchitectureNames() {
+		topo, err := topology.NewArchitecture(name, 8, topology.LinkParams{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		emitSummary(topo)
+	}
+}

@@ -1,0 +1,84 @@
+// Plugin: the full §6 production loop. An offline profiling pass teaches
+// the store each benchmark's shuffle ratio; online, jobs are submitted by
+// name only — the plugin predicts their shuffle demand, plans with
+// Hit-Scheduler against the cluster's current occupancy, realizes the plan
+// through YARN, installs network policies, and folds the observed volumes
+// back into the profiles on completion.
+//
+// Run with:
+//
+//	go run ./examples/plugin
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cluster"
+	"repro/internal/hitplugin"
+	"repro/internal/profile"
+	"repro/internal/topology"
+	"repro/internal/workload"
+	"repro/internal/yarn"
+)
+
+func main() {
+	topo, err := topology.NewTree(2, 4, topology.LinkParams{Bandwidth: 1, SwitchCapacity: 48})
+	if err != nil {
+		log.Fatal(err)
+	}
+	live, err := cluster.New(topo, cluster.Resources{CPU: 4, Memory: 8192})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rm, err := yarn.NewResourceManager(live)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Offline phase: profile the catalog once.
+	store, err := profile.NewStore(0.3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gen, err := workload.NewGenerator(workload.DefaultConfig(), 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		if err := store.RecordJob(gen.Sample()); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("offline phase: profiled %d benchmarks\n\n", store.Len())
+
+	// Online phase.
+	plugin, err := hitplugin.New(rm, live, store, cluster.Resources{CPU: 1, Memory: 512}, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var handles []*hitplugin.Handle
+	for _, sub := range []hitplugin.Job{
+		{Benchmark: "terasort", InputGB: 4, NumMaps: 8, NumReduces: 4},
+		{Benchmark: "join", InputGB: 3, NumMaps: 6, NumReduces: 3},
+		{Benchmark: "grep", InputGB: 6, NumMaps: 8, NumReduces: 2},
+	} {
+		h, err := plugin.Submit(sub)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-9s predicted %.2f GB shuffle, %d flows wired, %3.0f%% of grants on planned hosts\n",
+			sub.Benchmark, h.PredictedShuffleGB, len(h.Flows), h.PreferredFraction()*100)
+		handles = append(handles, h)
+	}
+	fmt.Printf("\ninstalled policies: %d\n", plugin.Controller().NumPolicies())
+
+	// Jobs complete; observations refine the profiles.
+	for i, h := range handles {
+		if err := plugin.Complete(h, h.PredictedShuffleGB*0.95, -1); err != nil {
+			log.Fatal(err)
+		}
+		_ = i
+	}
+	fmt.Printf("after completion: %d policies, cluster fully released\n", plugin.Controller().NumPolicies())
+}

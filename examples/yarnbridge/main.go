@@ -1,0 +1,98 @@
+// Yarnbridge: the complete §6 implementation pipeline. Hit-Scheduler solves
+// the TAA problem on a planning snapshot of the cluster, the solution is
+// expressed as Hit-ResourceRequests (preferred host per task), and the YARN
+// ResourceManager grants the containers through node heartbeats —
+// "getContainer(Hit-ResourceRequest, node)".
+//
+// Run with:
+//
+//	go run ./examples/yarnbridge
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/cluster"
+	"repro/internal/controller"
+	"repro/internal/core"
+	"repro/internal/scheduler"
+	"repro/internal/topology"
+	"repro/internal/workload"
+	"repro/internal/yarn"
+)
+
+func main() {
+	topo, err := topology.NewTree(2, 4, topology.LinkParams{Bandwidth: 1, SwitchCapacity: 48})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A terasort-like job.
+	gen, err := workload.NewGenerator(workload.DefaultConfig(), 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	job, err := gen.Job("terasort", 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("planning %s: %d maps, %d reduces, %.1f GB shuffle\n\n",
+		job.Benchmark, job.NumMaps, job.NumReduces, job.TotalShuffleGB())
+
+	// 1. Offline planning: Hit-Scheduler on a scratch copy of the cluster.
+	scratch, err := cluster.New(topo, cluster.Resources{CPU: 4, Memory: 8192})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctl := controller.New(topo)
+	req, _, err := scheduler.NewJobRequest(scratch, ctl, []*workload.Job{job},
+		cluster.Resources{CPU: 1, Memory: 1024}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := (&core.HitScheduler{}).Schedule(req); err != nil {
+		log.Fatal(err)
+	}
+	plan, err := yarn.PlanFromSchedule(req, cluster.Resources{CPU: 1, Memory: 1024})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Online realization: Hit-ResourceRequests against the live RM.
+	live, err := cluster.New(topo, cluster.Resources{CPU: 4, Memory: 8192})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rm, err := yarn.NewResourceManager(live)
+	if err != nil {
+		log.Fatal(err)
+	}
+	app := rm.Submit("terasort")
+	allocs, err := yarn.Realize(rm, app, plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	preferred := 0
+	for _, a := range allocs {
+		if a.Preferred {
+			preferred++
+		}
+	}
+	fmt.Printf("granted %d containers via heartbeats; %d/%d on the exact preferred host\n",
+		len(allocs), preferred, len(allocs))
+	fmt.Printf("first grants: ")
+	for i, a := range allocs {
+		if i == 6 {
+			fmt.Printf("...")
+			break
+		}
+		fmt.Printf("%s ", rm.HostName(a.Node))
+	}
+	fmt.Println()
+	fmt.Println("\nOn an idle cluster every Hit-ResourceRequest lands exactly where the")
+	fmt.Println("TAA solution wanted it; under pressure, locality relaxes after YARN's")
+	fmt.Println("scheduling-opportunity delay, so jobs always make progress.")
+}

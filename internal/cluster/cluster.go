@@ -1,0 +1,341 @@
+// Package cluster models the compute side of the data center: servers with
+// physical resource capacities (q_j in the paper), containers with resource
+// demands (r_i), and the allocation bookkeeping A(s_j) the schedulers
+// manipulate. It enforces the paper's placement constraints: a container
+// lives on at most one server, and the sum of container demands on a server
+// never exceeds its capacity (Eq. 8).
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/topology"
+)
+
+// ContainerID identifies a container within one Cluster. IDs are dense:
+// 0..NumContainers()-1.
+type ContainerID int
+
+// NoContainer is the "no container" sentinel.
+const NoContainer ContainerID = -1
+
+// Resources is a physical resource vector (r_i for demands, q_j for server
+// capacity). Units are abstract: typical experiments use vcores and MB.
+type Resources struct {
+	CPU    int
+	Memory int
+}
+
+// Add returns r + o componentwise.
+func (r Resources) Add(o Resources) Resources {
+	return Resources{CPU: r.CPU + o.CPU, Memory: r.Memory + o.Memory}
+}
+
+// Sub returns r - o componentwise.
+func (r Resources) Sub(o Resources) Resources {
+	return Resources{CPU: r.CPU - o.CPU, Memory: r.Memory - o.Memory}
+}
+
+// Fits reports whether r + extra stays within capacity c componentwise.
+func (r Resources) Fits(extra, c Resources) bool {
+	return r.CPU+extra.CPU <= c.CPU && r.Memory+extra.Memory <= c.Memory
+}
+
+// IsZero reports whether both components are zero.
+func (r Resources) IsZero() bool { return r.CPU == 0 && r.Memory == 0 }
+
+// String formats the vector as "<cpu>c/<mem>m".
+func (r Resources) String() string { return fmt.Sprintf("%dc/%dm", r.CPU, r.Memory) }
+
+// Container is a unit of compute allocation; the scheduler binds at most one
+// Map or Reduce task to each container (the paper's third constraint).
+type Container struct {
+	ID     ContainerID
+	Demand Resources
+	// server the container is placed on; topology.None while unplaced.
+	server topology.NodeID
+}
+
+// Server returns the hosting server or topology.None.
+func (c *Container) Server() topology.NodeID { return c.server }
+
+// Placed reports whether the container has been assigned a server.
+func (c *Container) Placed() bool { return c.server != topology.None }
+
+// serverState tracks the per-server allocation.
+type serverState struct {
+	capacity   Resources
+	used       Resources
+	containers map[ContainerID]struct{}
+}
+
+// Cluster couples a topology's servers with resource capacities and tracks
+// container placement.
+type Cluster struct {
+	topo       *topology.Topology
+	servers    map[topology.NodeID]*serverState
+	serverIDs  []topology.NodeID // sorted
+	containers []*Container
+}
+
+// New creates a cluster over all servers of topo, each with capacity per.
+func New(topo *topology.Topology, per Resources) (*Cluster, error) {
+	if topo == nil {
+		return nil, fmt.Errorf("cluster: nil topology")
+	}
+	if per.CPU < 0 || per.Memory < 0 {
+		return nil, fmt.Errorf("cluster: negative server capacity %v", per)
+	}
+	c := &Cluster{
+		topo:    topo,
+		servers: make(map[topology.NodeID]*serverState, topo.NumServers()),
+	}
+	for _, s := range topo.Servers() {
+		c.servers[s] = &serverState{capacity: per, containers: make(map[ContainerID]struct{})}
+		c.serverIDs = append(c.serverIDs, s)
+	}
+	sort.Slice(c.serverIDs, func(i, j int) bool { return c.serverIDs[i] < c.serverIDs[j] })
+	return c, nil
+}
+
+// Topology returns the underlying network topology.
+func (c *Cluster) Topology() *topology.Topology { return c.topo }
+
+// Servers returns the server node IDs, ascending. Do not modify.
+func (c *Cluster) Servers() []topology.NodeID { return c.serverIDs }
+
+// NumContainers returns the number of containers created so far.
+func (c *Cluster) NumContainers() int { return len(c.containers) }
+
+// SetServerCapacity overrides one server's capacity. It fails if the server
+// is unknown or already uses more than the new capacity.
+func (c *Cluster) SetServerCapacity(s topology.NodeID, cap Resources) error {
+	st, ok := c.servers[s]
+	if !ok {
+		return fmt.Errorf("cluster: unknown server %d", s)
+	}
+	if !st.used.Fits(Resources{}, cap) {
+		return fmt.Errorf("cluster: server %d already uses %v > new capacity %v", s, st.used, cap)
+	}
+	st.capacity = cap
+	return nil
+}
+
+// NewContainer creates an unplaced container with the given demand.
+func (c *Cluster) NewContainer(demand Resources) (*Container, error) {
+	if demand.CPU < 0 || demand.Memory < 0 {
+		return nil, fmt.Errorf("cluster: negative demand %v", demand)
+	}
+	ct := &Container{ID: ContainerID(len(c.containers)), Demand: demand, server: topology.None}
+	c.containers = append(c.containers, ct)
+	return ct, nil
+}
+
+// Container returns the container with the given ID, or nil.
+func (c *Cluster) Container(id ContainerID) *Container {
+	if id < 0 || int(id) >= len(c.containers) {
+		return nil
+	}
+	return c.containers[id]
+}
+
+// Capacity returns the capacity q_j of server s (zero value if unknown).
+func (c *Cluster) Capacity(s topology.NodeID) Resources {
+	if st, ok := c.servers[s]; ok {
+		return st.capacity
+	}
+	return Resources{}
+}
+
+// Used returns the resources currently consumed on server s.
+func (c *Cluster) Used(s topology.NodeID) Resources {
+	if st, ok := c.servers[s]; ok {
+		return st.used
+	}
+	return Resources{}
+}
+
+// Free returns Capacity(s) - Used(s).
+func (c *Cluster) Free(s topology.NodeID) Resources {
+	if st, ok := c.servers[s]; ok {
+		return st.capacity.Sub(st.used)
+	}
+	return Resources{}
+}
+
+// CanHost reports whether server s has room for container id (Eq. 8),
+// ignoring the container's current placement if it is already on s.
+func (c *Cluster) CanHost(s topology.NodeID, id ContainerID) bool {
+	st, ok := c.servers[s]
+	ct := c.Container(id)
+	if !ok || ct == nil {
+		return false
+	}
+	if ct.server == s {
+		return true
+	}
+	return st.used.Fits(ct.Demand, st.capacity)
+}
+
+// Place puts container id on server s, unplacing it first if needed.
+func (c *Cluster) Place(id ContainerID, s topology.NodeID) error {
+	ct := c.Container(id)
+	if ct == nil {
+		return fmt.Errorf("cluster: unknown container %d", id)
+	}
+	st, ok := c.servers[s]
+	if !ok {
+		return fmt.Errorf("cluster: unknown server %d", s)
+	}
+	if ct.server == s {
+		return nil
+	}
+	if !st.used.Fits(ct.Demand, st.capacity) {
+		return fmt.Errorf("cluster: server %d cannot host container %d: used %v + demand %v > capacity %v",
+			s, id, st.used, ct.Demand, st.capacity)
+	}
+	if ct.server != topology.None {
+		c.unplaceLocked(ct)
+	}
+	ct.server = s
+	st.used = st.used.Add(ct.Demand)
+	st.containers[id] = struct{}{}
+	return nil
+}
+
+// Unplace removes container id from its server; no-op if unplaced.
+func (c *Cluster) Unplace(id ContainerID) error {
+	ct := c.Container(id)
+	if ct == nil {
+		return fmt.Errorf("cluster: unknown container %d", id)
+	}
+	if ct.server != topology.None {
+		c.unplaceLocked(ct)
+	}
+	return nil
+}
+
+func (c *Cluster) unplaceLocked(ct *Container) {
+	st := c.servers[ct.server]
+	st.used = st.used.Sub(ct.Demand)
+	delete(st.containers, ct.ID)
+	ct.server = topology.None
+}
+
+// ContainersOn returns the containers placed on s, ascending by ID.
+func (c *Cluster) ContainersOn(s topology.NodeID) []ContainerID {
+	st, ok := c.servers[s]
+	if !ok {
+		return nil
+	}
+	out := make([]ContainerID, 0, len(st.containers))
+	for id := range st.containers {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Candidates returns every server that could host container id (Eq. 8's
+// candidate set O(c_i)), ascending, including its current server.
+func (c *Cluster) Candidates(id ContainerID) []topology.NodeID {
+	ct := c.Container(id)
+	if ct == nil {
+		return nil
+	}
+	var out []topology.NodeID
+	for _, s := range c.serverIDs {
+		if c.CanHost(s, id) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// TotalFreeSlots reports how many additional containers of the given demand
+// the cluster could host across all servers.
+func (c *Cluster) TotalFreeSlots(demand Resources) int {
+	if demand.IsZero() {
+		return 0
+	}
+	total := 0
+	for _, s := range c.serverIDs {
+		free := c.Free(s)
+		n := -1
+		if demand.CPU > 0 {
+			n = free.CPU / demand.CPU
+		}
+		if demand.Memory > 0 {
+			if m := free.Memory / demand.Memory; n < 0 || m < n {
+				n = m
+			}
+		}
+		if n > 0 {
+			total += n
+		}
+	}
+	return total
+}
+
+// Validate checks internal invariants: placements are mutual and usage sums
+// match. Intended for tests and debugging.
+func (c *Cluster) Validate() error {
+	for s, st := range c.servers {
+		var sum Resources
+		for id := range st.containers {
+			ct := c.Container(id)
+			if ct == nil || ct.server != s {
+				return fmt.Errorf("cluster: server %d lists container %d which points at %v", s, id, ct)
+			}
+			sum = sum.Add(ct.Demand)
+		}
+		if sum != st.used {
+			return fmt.Errorf("cluster: server %d used %v but containers sum to %v", s, st.used, sum)
+		}
+		if !st.used.Fits(Resources{}, st.capacity) {
+			return fmt.Errorf("cluster: server %d over capacity: %v > %v", s, st.used, st.capacity)
+		}
+	}
+	for _, ct := range c.containers {
+		if ct.server == topology.None {
+			continue
+		}
+		st, ok := c.servers[ct.server]
+		if !ok {
+			return fmt.Errorf("cluster: container %d on unknown server %d", ct.ID, ct.server)
+		}
+		if _, ok := st.containers[ct.ID]; !ok {
+			return fmt.Errorf("cluster: container %d not listed on server %d", ct.ID, ct.server)
+		}
+	}
+	return nil
+}
+
+// Snapshot captures the current placement so it can be restored after a
+// tentative optimization pass.
+func (c *Cluster) Snapshot() map[ContainerID]topology.NodeID {
+	m := make(map[ContainerID]topology.NodeID, len(c.containers))
+	for _, ct := range c.containers {
+		m[ct.ID] = ct.server
+	}
+	return m
+}
+
+// Restore reverts to a snapshot produced by Snapshot.
+func (c *Cluster) Restore(snap map[ContainerID]topology.NodeID) error {
+	for _, ct := range c.containers {
+		if ct.server != topology.None {
+			c.unplaceLocked(ct)
+		}
+	}
+	for id, s := range snap {
+		if s == topology.None {
+			continue
+		}
+		if err := c.Place(id, s); err != nil {
+			return fmt.Errorf("cluster: restore: %w", err)
+		}
+	}
+	return nil
+}

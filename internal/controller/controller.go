@@ -1,0 +1,513 @@
+// Package controller implements the centralized network-policy controller
+// of §6/§7.1: it tracks the aggregate flow rate loaded onto every switch,
+// installs and removes per-flow policies (the ordered, typed switch lists of
+// §3), computes the candidate switch sets of Eq. 4, and performs the Policy
+// Optimization Algorithm (Algorithm 1) — finding, for one flow, the
+// minimum-cost route through switches of the required types that respects
+// every switch's remaining capacity.
+package controller
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/flow"
+	"repro/internal/topology"
+)
+
+// Controller is the centralized policy manager. It is not safe for
+// concurrent use; the simulator drives it from a single goroutine.
+type Controller struct {
+	topo     *topology.Topology
+	cost     *flow.CostModel
+	policies map[flow.ID]*flow.Policy
+	rates    map[flow.ID]float64
+	load     map[topology.NodeID]float64
+}
+
+// New returns an empty controller over the topology.
+func New(topo *topology.Topology) *Controller {
+	return &Controller{
+		topo:     topo,
+		cost:     flow.NewCostModel(topo),
+		policies: make(map[flow.ID]*flow.Policy),
+		rates:    make(map[flow.ID]float64),
+		load:     make(map[topology.NodeID]float64),
+	}
+}
+
+// Topology returns the managed topology.
+func (c *Controller) Topology() *topology.Topology { return c.topo }
+
+// CostModel returns the controller's cost model.
+func (c *Controller) CostModel() *flow.CostModel { return c.cost }
+
+// Policy returns the installed policy for a flow, or nil.
+func (c *Controller) Policy(id flow.ID) *flow.Policy { return c.policies[id] }
+
+// Policies returns the installed policy map. The caller must not mutate it.
+func (c *Controller) Policies() map[flow.ID]*flow.Policy { return c.policies }
+
+// NumPolicies returns the number of installed policies.
+func (c *Controller) NumPolicies() int { return len(c.policies) }
+
+// Load returns the aggregate rate currently routed through switch w
+// (Σ_{p_k ∈ A(w)} f_k.rate).
+func (c *Controller) Load(w topology.NodeID) float64 { return c.load[w] }
+
+// Headroom returns a switch's remaining capacity.
+func (c *Controller) Headroom(w topology.NodeID) float64 {
+	return c.topo.Node(w).Capacity - c.load[w]
+}
+
+// selfLoad returns the rate flow id already contributes to switch w, so
+// feasibility checks do not double-count a flow being rerouted.
+func (c *Controller) selfLoad(id flow.ID, w topology.NodeID) float64 {
+	p, ok := c.policies[id]
+	if !ok {
+		return 0
+	}
+	var total float64
+	for _, sw := range p.List {
+		if sw == w {
+			total += c.rates[id]
+		}
+	}
+	return total
+}
+
+// fits reports whether routing `rate` through w is feasible for flow id,
+// ignoring the flow's own present contribution.
+func (c *Controller) fits(id flow.ID, w topology.NodeID, rate float64) bool {
+	cap := c.topo.Node(w).Capacity
+	if math.IsInf(cap, 1) {
+		return true
+	}
+	return c.load[w]-c.selfLoad(id, w)+rate <= cap+1e-9
+}
+
+// Install validates and installs a policy for f, replacing any previous
+// policy of the same flow and updating switch loads. Installation fails if
+// the policy is not satisfied (type/order check) or any switch lacks
+// capacity; on failure the previous policy remains installed.
+func (c *Controller) Install(f *flow.Flow, p *flow.Policy) error {
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	if p.Flow != f.ID {
+		return fmt.Errorf("controller: policy for flow %d installed as flow %d", p.Flow, f.ID)
+	}
+	if err := p.Satisfied(c.topo); err != nil {
+		return err
+	}
+	// Feasibility with the old policy's contribution removed. A switch
+	// appearing k times in the new list needs k*rate headroom.
+	need := make(map[topology.NodeID]float64, len(p.List))
+	for _, w := range p.List {
+		need[w] += f.Rate
+	}
+	for w, n := range need {
+		cap := c.topo.Node(w).Capacity
+		if math.IsInf(cap, 1) {
+			continue
+		}
+		if c.load[w]-c.selfLoad(f.ID, w)+n > cap+1e-9 {
+			return fmt.Errorf("controller: switch %d over capacity for flow %d (load %.3f, need %.3f, cap %.3f)",
+				w, f.ID, c.load[w]-c.selfLoad(f.ID, w), n, cap)
+		}
+	}
+	c.Uninstall(f.ID)
+	c.policies[f.ID] = p.Clone()
+	c.rates[f.ID] = f.Rate
+	for _, w := range p.List {
+		c.load[w] += f.Rate
+	}
+	return nil
+}
+
+// Uninstall removes a flow's policy and releases its switch load. Unknown
+// flows are ignored.
+func (c *Controller) Uninstall(id flow.ID) {
+	p, ok := c.policies[id]
+	if !ok {
+		return
+	}
+	for _, w := range p.List {
+		c.load[w] -= c.rates[id]
+		if c.load[w] < 1e-12 {
+			c.load[w] = 0
+		}
+	}
+	delete(c.policies, id)
+	delete(c.rates, id)
+}
+
+// Reset removes every policy.
+func (c *Controller) Reset() {
+	c.policies = make(map[flow.ID]*flow.Policy)
+	c.rates = make(map[flow.ID]float64)
+	c.load = make(map[topology.NodeID]float64)
+}
+
+// Candidates implements Eq. 4: the switches that could replace position i of
+// flow id's policy — same type, and enough spare capacity for the flow's
+// rate — excluding the incumbent.
+func (c *Controller) Candidates(id flow.ID, i int) ([]topology.NodeID, error) {
+	p, ok := c.policies[id]
+	if !ok {
+		return nil, fmt.Errorf("controller: no policy for flow %d", id)
+	}
+	if i < 0 || i >= p.Len() {
+		return nil, fmt.Errorf("controller: position %d out of range for flow %d", i, id)
+	}
+	rate := c.rates[id]
+	var out []topology.NodeID
+	for _, w := range c.topo.SwitchesOfType(p.Types[i]) {
+		if w == p.List[i] {
+			continue
+		}
+		if c.fits(id, w, rate) {
+			out = append(out, w)
+		}
+	}
+	return out, nil
+}
+
+// typeTemplate derives the required switch-type sequence for a flow from
+// the shortest path between its endpoint servers. It returns nil (and no
+// error) for same-server flows, which need no policy.
+func (c *Controller) typeTemplate(f *flow.Flow, loc flow.Locator) ([]string, error) {
+	src := loc.ServerOf(f.Src)
+	dst := loc.ServerOf(f.Dst)
+	if src == topology.None || dst == topology.None {
+		return nil, fmt.Errorf("controller: flow %d has unplaced endpoints", f.ID)
+	}
+	if src == dst {
+		return nil, nil
+	}
+	path := c.topo.ShortestPath(src, dst)
+	if path == nil {
+		return nil, fmt.Errorf("controller: no path between servers %d and %d", src, dst)
+	}
+	var types []string
+	for _, n := range path {
+		if c.topo.Node(n).IsSwitch() {
+			types = append(types, c.topo.Node(n).Type)
+		}
+	}
+	return types, nil
+}
+
+// RandomPolicy builds the paper's initial state: a policy whose required
+// types follow the shortest route's type sequence but whose concrete
+// switches are drawn uniformly at random among all switches of each type
+// (capacity permitting). This models the topology-unaware configuration the
+// optimizer subsequently improves.
+func (c *Controller) RandomPolicy(f *flow.Flow, loc flow.Locator, rng *rand.Rand) (*flow.Policy, error) {
+	types, err := c.typeTemplate(f, loc)
+	if err != nil {
+		return nil, err
+	}
+	p := &flow.Policy{Flow: f.ID, Types: types}
+	for _, typ := range types {
+		cands := c.topo.SwitchesOfType(typ)
+		var feasible []topology.NodeID
+		for _, w := range cands {
+			if c.fits(f.ID, w, f.Rate) {
+				feasible = append(feasible, w)
+			}
+		}
+		if len(feasible) == 0 {
+			return nil, fmt.Errorf("controller: no feasible %q switch for flow %d", typ, f.ID)
+		}
+		p.List = append(p.List, feasible[rng.Intn(len(feasible))])
+	}
+	return p, nil
+}
+
+// ShortestPolicy builds the deterministic shortest-path policy between the
+// flow's endpoint servers (no load awareness) — the baseline behavior of a
+// plain routing fabric.
+func (c *Controller) ShortestPolicy(f *flow.Flow, loc flow.Locator) (*flow.Policy, error) {
+	src := loc.ServerOf(f.Src)
+	dst := loc.ServerOf(f.Dst)
+	if src == topology.None || dst == topology.None {
+		return nil, fmt.Errorf("controller: flow %d has unplaced endpoints", f.ID)
+	}
+	if src == dst {
+		return &flow.Policy{Flow: f.ID}, nil
+	}
+	path := c.topo.ShortestPath(src, dst)
+	if path == nil {
+		return nil, fmt.Errorf("controller: no path between servers %d and %d", src, dst)
+	}
+	return flow.PolicyFromPath(c.topo, f.ID, path), nil
+}
+
+// OptimizePolicy is Algorithm 1 for one flow: construct the layered
+// candidate graph (source server → one switch of each required type →
+// destination server), keep only capacity-feasible switches, and return the
+// minimum-cost choice per stage via dynamic programming. The segment cost is
+// the cost model's rate × hop-distance (Eq. 2), so with idle switches the
+// result coincides with a shortest path, and under load it routes around
+// saturated switches exactly as Figure 2 illustrates. The optimized policy
+// is NOT installed; callers install it when adopting the result.
+func (c *Controller) OptimizePolicy(f *flow.Flow, loc flow.Locator) (*flow.Policy, error) {
+	types, err := c.typeTemplate(f, loc)
+	if err != nil {
+		return nil, err
+	}
+	if len(types) == 0 {
+		return &flow.Policy{Flow: f.ID}, nil
+	}
+	src := loc.ServerOf(f.Src)
+	dst := loc.ServerOf(f.Dst)
+
+	// Layered DP over stage candidates.
+	stages := make([][]topology.NodeID, len(types))
+	for i, typ := range types {
+		for _, w := range c.topo.SwitchesOfType(typ) {
+			if c.fits(f.ID, w, f.Rate) {
+				stages[i] = append(stages[i], w)
+			}
+		}
+		if len(stages[i]) == 0 {
+			return nil, fmt.Errorf("controller: no feasible %q switch for flow %d", typ, f.ID)
+		}
+	}
+
+	const inf = math.MaxFloat64
+	costTo := make([]float64, len(stages[0]))
+	prev := make([][]int, len(types))
+	for i, w := range stages[0] {
+		costTo[i] = c.cost.SegmentCost(f.Rate, src, w)
+	}
+	for s := 1; s < len(types); s++ {
+		next := make([]float64, len(stages[s]))
+		prev[s] = make([]int, len(stages[s]))
+		for j, w := range stages[s] {
+			best, bestK := inf, -1
+			for k, v := range stages[s-1] {
+				if costTo[k] == inf {
+					continue
+				}
+				cst := costTo[k] + c.cost.SegmentCost(f.Rate, v, w)
+				if cst < best {
+					best, bestK = cst, k
+				}
+			}
+			next[j] = best
+			prev[s][j] = bestK
+		}
+		costTo = next
+	}
+	best, bestJ := inf, -1
+	for j, w := range stages[len(types)-1] {
+		if costTo[j] == inf {
+			continue
+		}
+		cst := costTo[j] + c.cost.SegmentCost(f.Rate, w, dst)
+		if cst < best {
+			best, bestJ = cst, j
+		}
+	}
+	if bestJ < 0 {
+		return nil, fmt.Errorf("controller: no feasible route for flow %d", f.ID)
+	}
+	list := make([]topology.NodeID, len(types))
+	j := bestJ
+	for s := len(types) - 1; s >= 0; s-- {
+		list[s] = stages[s][j]
+		if s > 0 {
+			j = prev[s][j]
+		}
+	}
+	return &flow.Policy{Flow: f.ID, List: list, Types: append([]string(nil), types...)}, nil
+}
+
+// OptimizeInstalled reruns Algorithm 1 for an installed flow and reinstalls
+// the better policy if it strictly reduces the flow's cost. It returns the
+// achieved utility (cost reduction, >= 0).
+func (c *Controller) OptimizeInstalled(f *flow.Flow, loc flow.Locator) (float64, error) {
+	old, ok := c.policies[f.ID]
+	if !ok {
+		return 0, fmt.Errorf("controller: flow %d has no installed policy", f.ID)
+	}
+	oldCost, err := c.cost.FlowCost(f, old, loc)
+	if err != nil {
+		return 0, err
+	}
+	opt, err := c.OptimizePolicy(f, loc)
+	if err != nil {
+		return 0, err
+	}
+	newCost, err := c.cost.FlowCost(f, opt, loc)
+	if err != nil {
+		return 0, err
+	}
+	if newCost >= oldCost-1e-12 {
+		return 0, nil
+	}
+	if err := c.Install(f, opt); err != nil {
+		return 0, err
+	}
+	return oldCost - newCost, nil
+}
+
+// TotalCost evaluates the TAA objective over the installed policies.
+func (c *Controller) TotalCost(flows []*flow.Flow, loc flow.Locator) (float64, error) {
+	return c.cost.TotalCost(flows, c.policies, loc)
+}
+
+// OverloadedSwitches returns switches whose load exceeds capacity (possible
+// only after external capacity changes, e.g. failure injection).
+func (c *Controller) OverloadedSwitches() []topology.NodeID {
+	var out []topology.NodeID
+	for _, w := range c.topo.Switches() {
+		cap := c.topo.Node(w).Capacity
+		if !math.IsInf(cap, 1) && c.load[w] > cap+1e-9 {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// RebalanceOverloaded restores feasibility after a capacity change (failure
+// injection): while any switch is overloaded, the controller picks the
+// largest-rate flow routed through it, uninstalls its policy, re-runs
+// Algorithm 1 against the degraded fabric and reinstalls the result. It
+// returns the number of flows rerouted, or an error when no feasible
+// rerouting exists. Flows not in the given set cannot be moved.
+func (c *Controller) RebalanceOverloaded(flows []*flow.Flow, loc flow.Locator) (int, error) {
+	byID := make(map[flow.ID]*flow.Flow, len(flows))
+	for _, f := range flows {
+		byID[f.ID] = f
+	}
+	moved := 0
+	for guard := 0; guard <= len(flows)+len(c.policies); guard++ {
+		over := c.OverloadedSwitches()
+		if len(over) == 0 {
+			return moved, nil
+		}
+		w := over[0]
+		// Largest-rate movable flow through w.
+		var victim *flow.Flow
+		for id, p := range c.policies {
+			f, ok := byID[id]
+			if !ok {
+				continue
+			}
+			onW := false
+			for _, sw := range p.List {
+				if sw == w {
+					onW = true
+					break
+				}
+			}
+			if onW && (victim == nil || f.Rate > victim.Rate) {
+				victim = f
+			}
+		}
+		if victim == nil {
+			return moved, fmt.Errorf("controller: switch %d overloaded by immovable flows", w)
+		}
+		c.Uninstall(victim.ID)
+		opt, err := c.OptimizePolicy(victim, loc)
+		if err != nil {
+			return moved, fmt.Errorf("controller: rebalance flow %d: %w", victim.ID, err)
+		}
+		if err := c.Install(victim, opt); err != nil {
+			return moved, fmt.Errorf("controller: rebalance flow %d: %w", victim.ID, err)
+		}
+		moved++
+	}
+	return moved, fmt.Errorf("controller: rebalance did not converge")
+}
+
+// UtilizationStats summarizes switch load across the fabric.
+type UtilizationStats struct {
+	// Loaded counts switches carrying any flow.
+	Loaded int
+	// MeanLoad and MaxLoad are over ALL switches (absolute rate units).
+	MeanLoad, MaxLoad float64
+	// MeanUtil and MaxUtil are load/capacity over capacity-limited switches.
+	MeanUtil, MaxUtil float64
+}
+
+// Utilization computes fabric-wide switch load statistics — the evenness of
+// the policy layer's traffic spreading.
+func (c *Controller) Utilization() UtilizationStats {
+	var st UtilizationStats
+	switches := c.topo.Switches()
+	if len(switches) == 0 {
+		return st
+	}
+	var loadSum, utilSum float64
+	capped := 0
+	for _, w := range switches {
+		l := c.load[w]
+		if l > 0 {
+			st.Loaded++
+		}
+		loadSum += l
+		if l > st.MaxLoad {
+			st.MaxLoad = l
+		}
+		cap := c.topo.Node(w).Capacity
+		if !math.IsInf(cap, 1) && cap > 0 {
+			u := l / cap
+			utilSum += u
+			capped++
+			if u > st.MaxUtil {
+				st.MaxUtil = u
+			}
+		}
+	}
+	st.MeanLoad = loadSum / float64(len(switches))
+	if capped > 0 {
+		st.MeanUtil = utilSum / float64(capped)
+	}
+	return st
+}
+
+// UtilizationByType groups Utilization per switch type (access,
+// aggregation, core, ...), exposing which tier carries the pressure.
+func (c *Controller) UtilizationByType() map[string]UtilizationStats {
+	out := make(map[string]UtilizationStats)
+	byType := make(map[string][]topology.NodeID)
+	for _, w := range c.topo.Switches() {
+		t := c.topo.Node(w).Type
+		byType[t] = append(byType[t], w)
+	}
+	for t, ws := range byType {
+		var st UtilizationStats
+		var loadSum, utilSum float64
+		capped := 0
+		for _, w := range ws {
+			l := c.load[w]
+			if l > 0 {
+				st.Loaded++
+			}
+			loadSum += l
+			if l > st.MaxLoad {
+				st.MaxLoad = l
+			}
+			cap := c.topo.Node(w).Capacity
+			if !math.IsInf(cap, 1) && cap > 0 {
+				u := l / cap
+				utilSum += u
+				capped++
+				if u > st.MaxUtil {
+					st.MaxUtil = u
+				}
+			}
+		}
+		st.MeanLoad = loadSum / float64(len(ws))
+		if capped > 0 {
+			st.MeanUtil = utilSum / float64(capped)
+		}
+		out[t] = st
+	}
+	return out
+}

@@ -1,0 +1,565 @@
+// Package core implements the paper's primary contribution: Hit-Scheduler,
+// the Hierarchical-topology-aware MapReduce scheduler that jointly optimizes
+// task assignment and network policy to minimize total shuffle traffic cost
+// (the TAA problem of §3–4).
+//
+// The solution follows §5's separated optimization strategy:
+//
+//  1. Every flow starts from a random placement and a random policy.
+//  2. Policy optimization (Algorithm 1) finds each flow's minimum-cost typed
+//     switch route given current placements, and — by also exploring the
+//     candidate servers of both endpoint containers (Figure 5's layered
+//     flow-path graph) — accumulates a preference matrix P(server,
+//     container) grading how much each server wants each container.
+//  3. Task assignment (Algorithm 2) runs a modified many-to-one Gale–Shapley
+//     matching between containers (ranking servers by the utility of moving
+//     there, Eq. 10) and servers (ranking containers by the preference
+//     matrix), respecting server capacities.
+//  4. Policies are re-optimized for the new placement; the loop repeats
+//     until the total cost stops improving.
+//
+// Wave structure (§5.3): when every Reduce container is already fixed (maps
+// arriving in later waves), the scheduler switches to the greedy O(n²)
+// subsequent-wave strategy: heaviest shuffle producers are paired with the
+// lowest-delay feasible servers.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/flow"
+	"repro/internal/scheduler"
+	"repro/internal/stablematch"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// HitScheduler implements scheduler.Scheduler with the paper's joint
+// optimization. The zero value uses the defaults below; the ablation fields
+// turn individual mechanisms off for the design-choice benchmarks.
+type HitScheduler struct {
+	// MaxIterations bounds the joint policy/assignment rounds (default 4).
+	MaxIterations int
+	// Epsilon is the relative cost-improvement threshold below which the
+	// loop stops (default 1e-6).
+	Epsilon float64
+	// DisablePolicyOpt skips Algorithm 1's per-flow route optimization
+	// (policies stay on their initial random routes). Ablation only.
+	DisablePolicyOpt bool
+	// DisableStableMatching replaces Algorithm 2 with per-container greedy
+	// best-utility moves. Ablation only.
+	DisableStableMatching bool
+}
+
+// Name implements scheduler.Scheduler.
+func (h *HitScheduler) Name() string { return "hit" }
+
+func (h *HitScheduler) maxIterations() int {
+	if h.MaxIterations <= 0 {
+		return 4
+	}
+	return h.MaxIterations
+}
+
+func (h *HitScheduler) epsilon() float64 {
+	if h.Epsilon <= 0 {
+		return 1e-6
+	}
+	return h.Epsilon
+}
+
+// Schedule implements scheduler.Scheduler.
+func (h *HitScheduler) Schedule(req *scheduler.Request) error {
+	if err := req.Validate(); err != nil {
+		return err
+	}
+	movable := h.movableTasks(req)
+
+	// §5.3.1: random initial assignment for every unplaced container.
+	for _, t := range movable {
+		if req.Cluster.Container(t.Container).Placed() {
+			continue
+		}
+		cands := req.Cluster.Candidates(t.Container)
+		if len(cands) == 0 {
+			return fmt.Errorf("core: no feasible server for container %d", t.Container)
+		}
+		if err := req.Cluster.Place(t.Container, cands[req.Rand.Intn(len(cands))]); err != nil {
+			return err
+		}
+	}
+
+	// Initial random policies (the paper's starting state for Algorithm 1).
+	loc := req.Locator()
+	for _, f := range req.Flows {
+		p, err := req.Controller.RandomPolicy(f, loc, req.Rand)
+		if err != nil {
+			return err
+		}
+		if err := req.Controller.Install(f, p); err != nil {
+			return fmt.Errorf("core: initial policy for flow %d: %w", f.ID, err)
+		}
+	}
+
+	if h.isSubsequentWave(req, movable) {
+		return h.scheduleSubsequentWave(req, movable)
+	}
+	return h.scheduleInitialWave(req, movable)
+}
+
+// movableTasks returns the tasks whose containers this round may move.
+func (h *HitScheduler) movableTasks(req *scheduler.Request) []scheduler.Task {
+	var out []scheduler.Task
+	for _, t := range req.Tasks {
+		if !req.Fixed[t.Container] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// isSubsequentWave reports whether this request matches §5.3.2: every
+// movable task is a Map, and at least one flow terminates at a fixed
+// (already placed) Reduce container.
+func (h *HitScheduler) isSubsequentWave(req *scheduler.Request, movable []scheduler.Task) bool {
+	if len(movable) == 0 || len(req.Fixed) == 0 {
+		return false
+	}
+	for _, t := range movable {
+		if t.Kind != workload.MapTask {
+			return false
+		}
+	}
+	anyFixedDst := false
+	for _, f := range req.Flows {
+		if req.Fixed[f.Dst] {
+			anyFixedDst = true
+			break
+		}
+	}
+	return anyFixedDst
+}
+
+// scheduleInitialWave runs the full joint optimization loop.
+func (h *HitScheduler) scheduleInitialWave(req *scheduler.Request, movable []scheduler.Task) error {
+	loc := req.Locator()
+	best, err := req.Controller.TotalCost(req.Flows, loc)
+	if err != nil {
+		return err
+	}
+	bestSnap := req.Cluster.Snapshot()
+
+	for iter := 0; iter < h.maxIterations(); iter++ {
+		// Phase 1 — network policy optimization (Algorithm 1 per flow).
+		if !h.DisablePolicyOpt {
+			for _, f := range req.Flows {
+				if _, err := req.Controller.OptimizeInstalled(f, loc); err != nil {
+					return err
+				}
+			}
+		}
+
+		// Phase 2 — task assignment via preference matrix + stable matching
+		// (Algorithm 2).
+		if err := h.assign(req, movable, loc); err != nil {
+			return err
+		}
+
+		// Phase 3 — policies must follow the new placement (type templates
+		// change when endpoints move racks).
+		if err := h.reinstallPolicies(req, loc); err != nil {
+			return err
+		}
+
+		cost, err := req.Controller.TotalCost(req.Flows, loc)
+		if err != nil {
+			return err
+		}
+		if cost < best*(1-h.epsilon()) {
+			best = cost
+			bestSnap = req.Cluster.Snapshot()
+			continue
+		}
+		// No material improvement: restore the best placement seen and stop.
+		if cost > best {
+			if err := req.Cluster.Restore(bestSnap); err != nil {
+				return err
+			}
+			if err := h.reinstallPolicies(req, loc); err != nil {
+				return err
+			}
+		}
+		break
+	}
+	return nil
+}
+
+// reinstallPolicies recomputes and installs the best policy for every flow
+// under the current placement. With policy optimization disabled it installs
+// fresh random policies matching the (possibly new) type templates.
+func (h *HitScheduler) reinstallPolicies(req *scheduler.Request, loc flow.Locator) error {
+	// Release the old routes first: stale switch loads from pre-move policies
+	// must not make the post-move optimum look infeasible.
+	for _, f := range req.Flows {
+		req.Controller.Uninstall(f.ID)
+	}
+	for _, f := range req.Flows {
+		var p *flow.Policy
+		var err error
+		if h.DisablePolicyOpt {
+			p, err = req.Controller.RandomPolicy(f, loc, req.Rand)
+		} else {
+			p, err = req.Controller.OptimizePolicy(f, loc)
+		}
+		if err != nil {
+			return err
+		}
+		if err := req.Controller.Install(f, p); err != nil {
+			return fmt.Errorf("core: reinstall flow %d: %w", f.ID, err)
+		}
+	}
+	return nil
+}
+
+// prefEntry orders container/server preference pairs.
+type prefEntry struct {
+	idx   int
+	grade float64
+}
+
+// assign performs one round of the Tasks Assignment Algorithm (Algorithm 2).
+//
+// Map and Reduce containers are matched in alternating sub-rounds — reduces
+// first (shuffle destinations chase their sources), then maps. Within a
+// sub-round every flow endpoint outside the group is anchored at its current
+// server, which makes each group member's cost independent of its peers'
+// simultaneous moves: exactly the independence §5.1.3's separability argument
+// licenses, turned into coordinate descent. Utilities assume the flow's
+// route is re-optimized after the move (the paper's grades "will be updated
+// when rescheduling a new routing path"), so they reduce to rate ×
+// hop-distance deltas against the anchored peer.
+func (h *HitScheduler) assign(req *scheduler.Request, movable []scheduler.Task, loc flow.Locator) error {
+	var reduces, maps []scheduler.Task
+	for _, t := range movable {
+		if t.Kind == workload.ReduceTask {
+			reduces = append(reduces, t)
+		} else {
+			maps = append(maps, t)
+		}
+	}
+	for _, group := range [][]scheduler.Task{reduces, maps} {
+		if len(group) == 0 {
+			continue
+		}
+		if err := h.assignGroup(req, group, loc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// assignGroup matches one kind-homogeneous container group onto servers.
+func (h *HitScheduler) assignGroup(req *scheduler.Request, group []scheduler.Task, loc flow.Locator) error {
+	servers := req.Cluster.Servers()
+	serverIdx := make(map[topology.NodeID]int, len(servers))
+	for i, s := range servers {
+		serverIdx[s] = i
+	}
+	containers := make([]cluster.ContainerID, len(group))
+	for i, t := range group {
+		containers[i] = t.Container
+	}
+	topo := req.Cluster.Topology()
+
+	// Incident flows and anchored peer servers per container.
+	incident := make([][]*flow.Flow, len(containers))
+	peerSrv := make([][]topology.NodeID, len(containers))
+	for i, c := range containers {
+		for _, f := range flow.IncidentFlows(c, req.Flows) {
+			peer := f.Src
+			if peer == c {
+				peer = f.Dst
+			}
+			ps := loc.ServerOf(peer)
+			if ps == topology.None {
+				continue
+			}
+			incident[i] = append(incident[i], f)
+			peerSrv[i] = append(peerSrv[i], ps)
+		}
+	}
+
+	// Release the whole group's demand before computing feasibility, so that
+	// pairwise exchanges between otherwise-full servers stay reachable — the
+	// matching, not the incumbent placement, decides who lands where.
+	original := make(map[cluster.ContainerID]topology.NodeID, len(containers))
+	for _, c := range containers {
+		original[c] = req.Cluster.Container(c).Server()
+		if err := req.Cluster.Unplace(c); err != nil {
+			return err
+		}
+	}
+
+	// Feasible servers per container with the group released.
+	feasible := make([][]int, len(containers))
+	for i, c := range containers {
+		for si, s := range servers {
+			if req.Cluster.CanHost(s, c) {
+				feasible[i] = append(feasible[i], si)
+			}
+		}
+		if len(feasible[i]) == 0 {
+			return fmt.Errorf("core: container %d has no feasible server", c)
+		}
+	}
+
+	// Anchored re-routed cost of hosting container ci on server s:
+	// Σ rate × dist(peer, s) — the flow cost after Algorithm 1 re-optimizes
+	// the route for the new endpoint.
+	anchoredCost := func(ci int, s topology.NodeID) float64 {
+		var cost float64
+		for k, f := range incident[ci] {
+			d := topo.Dist(peerSrv[ci][k], s)
+			if d < 0 {
+				continue
+			}
+			cost += f.Rate * float64(d)
+		}
+		return cost
+	}
+
+	// Proposer preferences: servers by utility (Eq. 10) = current cost minus
+	// candidate cost, descending.
+	propPrefs := make([][]int, len(containers))
+	for ci, c := range containers {
+		curCost := anchoredCost(ci, original[c])
+		entries := make([]prefEntry, 0, len(feasible[ci]))
+		for _, si := range feasible[ci] {
+			entries = append(entries, prefEntry{idx: si, grade: curCost - anchoredCost(ci, servers[si])})
+		}
+		sort.SliceStable(entries, func(a, b int) bool { return entries[a].grade > entries[b].grade })
+		propPrefs[ci] = make([]int, len(entries))
+		for k, e := range entries {
+			propPrefs[ci][k] = e.idx
+		}
+	}
+
+	// Host preferences: the preference matrix of Algorithm 1 (lines 11–13).
+	// Every flow votes its rate onto the feasible server nearest its anchored
+	// peer — the endpoint of the flow's optimal path in Figure 5's layered
+	// graph.
+	grades := make([][]float64, len(servers))
+	for i := range grades {
+		grades[i] = make([]float64, len(containers))
+	}
+	for ci := range containers {
+		cands := make([]topology.NodeID, len(feasible[ci]))
+		for k, si := range feasible[ci] {
+			cands[k] = servers[si]
+		}
+		for k, f := range incident[ci] {
+			_, best := minDistPair(topo, []topology.NodeID{peerSrv[ci][k]}, cands)
+			if best == topology.None {
+				continue
+			}
+			grades[serverIdx[best]][ci] += f.Rate
+		}
+	}
+	hostPrefs := make([][]int, len(servers))
+	for si := range servers {
+		entries := make([]prefEntry, 0, len(containers))
+		for ci := range containers {
+			entries = append(entries, prefEntry{idx: ci, grade: grades[si][ci]})
+		}
+		sort.SliceStable(entries, func(a, b int) bool { return entries[a].grade > entries[b].grade })
+		hostPrefs[si] = make([]int, len(entries))
+		for k, e := range entries {
+			hostPrefs[si][k] = e.idx
+		}
+	}
+
+	// CPU is the binding capacity dimension for the matching.
+	capacity := make([]float64, len(servers))
+	for si, s := range servers {
+		capacity[si] = float64(req.Cluster.Free(s).CPU)
+	}
+	loads := make([]float64, len(containers))
+	for ci, c := range containers {
+		loads[ci] = float64(req.Cluster.Container(c).Demand.CPU)
+		if loads[ci] <= 0 {
+			loads[ci] = 1 // zero-CPU containers still occupy a scheduling slot
+		}
+	}
+
+	place := func(c cluster.ContainerID, s topology.NodeID) error {
+		if s != topology.None {
+			if err := req.Cluster.Place(c, s); err == nil {
+				return nil
+			}
+		}
+		// Memory (the unmodeled dimension) blocked the slot: fall back to the
+		// original server, then any feasible one.
+		if orig := original[c]; orig != topology.None && orig != s {
+			if err := req.Cluster.Place(c, orig); err == nil {
+				return nil
+			}
+		}
+		for _, alt := range req.Cluster.Candidates(c) {
+			if err := req.Cluster.Place(c, alt); err == nil {
+				return nil
+			}
+		}
+		return fmt.Errorf("core: container %d has no feasible server after matching", c)
+	}
+
+	if h.DisableStableMatching {
+		// Ablation: greedy sequential best-utility placement.
+		for ci, c := range containers {
+			placed := false
+			for _, si := range propPrefs[ci] {
+				if req.Cluster.CanHost(servers[si], c) {
+					if err := req.Cluster.Place(c, servers[si]); err == nil {
+						placed = true
+						break
+					}
+				}
+			}
+			if !placed {
+				if err := place(c, original[c]); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+
+	res, err := stablematch.Match(&stablematch.Instance{
+		NumProposers:  len(containers),
+		NumHosts:      len(servers),
+		ProposerPrefs: propPrefs,
+		HostPrefs:     hostPrefs,
+		Load:          loads,
+		Capacity:      capacity,
+	})
+	if err != nil {
+		return err
+	}
+	for ci, hostIdx := range res.HostOf {
+		c := containers[ci]
+		target := original[c]
+		if hostIdx != stablematch.Unmatched {
+			target = servers[hostIdx]
+		}
+		if err := place(c, target); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// minDistPair finds the (src, dst) server pair with the smallest hop
+// distance via a multi-source BFS from srcCands, breaking ties toward lower
+// node IDs. It returns (None, None) when no dst is reachable.
+func minDistPair(topo *topology.Topology, srcCands, dstCands []topology.NodeID) (topology.NodeID, topology.NodeID) {
+	// Sharing a server is distance zero (map and reduce co-located).
+	inSrc := make(map[topology.NodeID]bool, len(srcCands))
+	for _, s := range srcCands {
+		inSrc[s] = true
+	}
+	for _, d := range dstCands {
+		if inSrc[d] {
+			return d, d
+		}
+	}
+	dist := make([]int, topo.NumNodes())
+	origin := make([]topology.NodeID, topo.NumNodes())
+	for i := range dist {
+		dist[i] = -1
+		origin[i] = topology.None
+	}
+	queue := make([]topology.NodeID, 0, len(srcCands))
+	sorted := append([]topology.NodeID(nil), srcCands...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, s := range sorted {
+		if dist[s] == -1 {
+			dist[s] = 0
+			origin[s] = s
+			queue = append(queue, s)
+		}
+	}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range topo.Neighbors(u) {
+			if dist[v] == -1 {
+				dist[v] = dist[u] + 1
+				origin[v] = origin[u]
+				queue = append(queue, v)
+			}
+		}
+	}
+	bestDst, bestSrc := topology.None, topology.None
+	bestD := -1
+	for _, d := range dstCands {
+		if dist[d] < 0 {
+			continue
+		}
+		if bestD == -1 || dist[d] < bestD || (dist[d] == bestD && d < bestDst) {
+			bestD = dist[d]
+			bestDst = d
+			bestSrc = origin[d]
+		}
+	}
+	return bestSrc, bestDst
+}
+
+// scheduleSubsequentWave implements §5.3.2: reduce placements are fixed, so
+// each shuffle flow's destination is static; maps are placed greedily in
+// descending shuffle-output order onto the feasible server with the lowest
+// added communication delay, then policies are optimized.
+func (h *HitScheduler) scheduleSubsequentWave(req *scheduler.Request, movable []scheduler.Task) error {
+	loc := req.Locator()
+	tasks := append([]scheduler.Task(nil), movable...)
+	scheduler.SortTasksByShuffleOutput(tasks)
+	topo := req.Cluster.Topology()
+
+	for _, t := range tasks {
+		c := t.Container
+		incident := flow.IncidentFlows(c, req.Flows)
+		best := topology.None
+		bestCost := 0.0
+		for _, s := range req.Cluster.Candidates(c) {
+			var cost float64
+			for _, f := range incident {
+				var peer cluster.ContainerID
+				if f.Src == c {
+					peer = f.Dst
+				} else {
+					peer = f.Src
+				}
+				ps := loc.ServerOf(peer)
+				if ps == topology.None {
+					continue
+				}
+				d := topo.Dist(s, ps)
+				if d < 0 {
+					continue
+				}
+				cost += f.Rate * float64(d)
+			}
+			if best == topology.None || cost < bestCost {
+				best, bestCost = s, cost
+			}
+		}
+		if best == topology.None {
+			return fmt.Errorf("core: no feasible server for map container %d", c)
+		}
+		// The container was randomly placed during initialization; move it.
+		if err := req.Cluster.Place(c, best); err != nil {
+			return err
+		}
+	}
+	return h.reinstallPolicies(req, loc)
+}

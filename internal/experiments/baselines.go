@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"repro/internal/metrics"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// BaselineRow is one scheduler's aggregate over the comparison workload.
+type BaselineRow struct {
+	Scheduler   string
+	ShuffleCost float64
+	JCTMean     float64
+	AvgHops     float64
+}
+
+// BaselineResult compares every implemented placement strategy — the
+// paper's three (capacity, pna, hit) plus the related-work CAM
+// (min-cost-flow placement) and the random strawman — on one workload.
+type BaselineResult struct {
+	Rows []BaselineRow
+}
+
+// Baselines runs the comparison on the testbed tree with a Table 1 mix.
+func Baselines(cfg Config) (*BaselineResult, error) {
+	cfg = cfg.withDefaults()
+	nJobs := 6
+	if cfg.Quick {
+		nJobs = 3
+	}
+	names := []string{"random", "capacity", "pna", "cam", "hit"}
+	res := &BaselineResult{}
+	cells, err := runCells(names, cfg.Repeats, func(name string, rep int) (*topology.Topology, []*workload.Job, int64, error) {
+		seed := cfg.Seed + int64(rep)*811
+		g, err := jobGen(cfg, seed)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		topo, err := testbedTopology(1)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		return topo, g.Workload(nJobs), seed, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for si, name := range names {
+		row := BaselineRow{Scheduler: name}
+		for _, r := range cells[si] {
+			row.ShuffleCost += r.TotalTrafficCost
+			row.JCTMean += r.JCT.Mean()
+			row.AvgHops += r.AvgRouteHops
+		}
+		n := float64(cfg.Repeats)
+		row.ShuffleCost /= n
+		row.JCTMean /= n
+		row.AvgHops /= n
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Cost returns the named scheduler's cost, or -1.
+func (r *BaselineResult) Cost(name string) float64 {
+	for _, row := range r.Rows {
+		if row.Scheduler == name {
+			return row.ShuffleCost
+		}
+	}
+	return -1
+}
+
+// Render formats the comparison.
+func (r *BaselineResult) Render() string {
+	tb := metrics.NewTable("Baseline comparison (Table 1 workload mix on the testbed tree)",
+		"scheduler", "shuffle cost", "JCT mean", "avg hops")
+	for _, row := range r.Rows {
+		tb.AddRowf([]string{"%s", "%.1f", "%.1f", "%.2f"},
+			row.Scheduler, row.ShuffleCost, row.JCTMean, row.AvgHops)
+	}
+	return tb.String()
+}

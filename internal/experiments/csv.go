@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"strconv"
+	"strings"
+)
+
+// CSVable results can dump plot-ready data rows. Every figure result
+// implements it, so `hitbench -csv` emits files a plotting tool can consume
+// directly (one header row, comma-separated).
+type CSVable interface {
+	CSV() string
+}
+
+func writeCSV(header []string, rows [][]string) string {
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	_ = w.Write(header)
+	_ = w.WriteAll(rows)
+	w.Flush()
+	return b.String()
+}
+
+func f(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+
+// CSV implements CSVable.
+func (r *Table1Result) CSV() string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, b := range r.Rows {
+		rows = append(rows, []string{b.Name, b.Class.String(), f(b.Share), f(b.ShuffleRatio), f(b.RemoteMapRatio)})
+	}
+	return writeCSV([]string{"benchmark", "class", "share_pct", "shuffle_ratio", "remote_map_ratio"}, rows)
+}
+
+// CSV implements CSVable.
+func (r *Fig1Result) CSV() string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{row.Class.String(), f(row.ShuffleGB), f(row.RemoteMapGB), f(row.ShuffleFrac), f(row.RemoteMapFrac)})
+	}
+	return writeCSV([]string{"class", "shuffle_gb", "remote_map_gb", "shuffle_frac", "remote_map_frac"}, rows)
+}
+
+// CSV implements CSVable.
+func (r *Fig3Result) CSV() string {
+	return writeCSV([]string{"placement", "delay_gbt"}, [][]string{
+		{"capacity", f(r.CapacityDelayGBT)},
+		{"hit", f(r.HitDelayGBT)},
+	})
+}
+
+// CSV implements CSVable: the Figure 6(a) CDF points per scheduler.
+func (r *Fig6Result) CSV() string {
+	var rows [][]string
+	for _, run := range r.Runs {
+		for _, pt := range run.JCT.CDF(64) {
+			rows = append(rows, []string{run.Name, f(pt.Value), f(pt.Fraction)})
+		}
+	}
+	return writeCSV([]string{"scheduler", "jct", "fraction"}, rows)
+}
+
+// CSV implements CSVable.
+func (r *Fig7Result) CSV() string {
+	rows := make([][]string, 0, len(r.Runs))
+	for _, run := range r.Runs {
+		rows = append(rows, []string{run.Name, f(run.AvgRouteHops), f(run.AvgShuffleDelayT), f(run.AvgTransferTime)})
+	}
+	return writeCSV([]string{"scheduler", "avg_route_hops", "avg_shuffle_delay_t", "avg_transfer_time"}, rows)
+}
+
+// CSV implements CSVable.
+func (r *Fig7PacketResult) CSV() string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{row.Scheduler, f(row.AvgDelayT), f(row.P99DelayT), f(row.LossRate), f(row.AvgHops)})
+	}
+	return writeCSV([]string{"scheduler", "avg_delay_t", "p99_delay_t", "loss_rate", "avg_hops"}, rows)
+}
+
+// CSV implements CSVable.
+func (r *Fig8aResult) CSV() string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{row.Class.String(), row.Scheduler, f(row.CostReduction)})
+	}
+	return writeCSV([]string{"class", "scheduler", "cost_reduction"}, rows)
+}
+
+// CSV implements CSVable.
+func (r *Fig8bResult) CSV() string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{row.Architecture, row.Scheduler, f(row.ShuffleCost)})
+	}
+	return writeCSV([]string{"architecture", "scheduler", "shuffle_cost"}, rows)
+}
+
+// CSV implements CSVable.
+func (r *Fig9Result) CSV() string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{f(row.BandwidthMbps), f(row.HitImprovement), f(row.PNAImprovement)})
+	}
+	return writeCSV([]string{"bandwidth_mbps", "hit_improvement", "pna_improvement"}, rows)
+}
+
+// CSV implements CSVable.
+func (r *Fig10Result) CSV() string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{strconv.Itoa(row.Jobs), f(row.HitCostReduction), f(row.PNACostReduction)})
+	}
+	return writeCSV([]string{"jobs", "hit_cost_reduction", "pna_cost_reduction"}, rows)
+}
+
+// CSV implements CSVable.
+func (r *BaselineResult) CSV() string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{row.Scheduler, f(row.ShuffleCost), f(row.JCTMean), f(row.AvgHops)})
+	}
+	return writeCSV([]string{"scheduler", "shuffle_cost", "jct_mean", "avg_hops"}, rows)
+}
+
+// CSV implements CSVable.
+func (r *OnlineResult) CSV() string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{row.Scheduler, f(row.JCTMean), f(row.JCTP90), f(row.Cost)})
+	}
+	return writeCSV([]string{"scheduler", "jct_mean", "jct_p90", "shuffle_cost"}, rows)
+}
+
+// CSV implements CSVable.
+func (r *FailureResult) CSV() string {
+	return writeCSV([]string{"metric", "value"}, [][]string{
+		{"cost_before", f(r.CostBefore)},
+		{"overloaded_after_failure", strconv.Itoa(r.OverloadedAfterFailure)},
+		{"flows_rerouted", strconv.Itoa(r.FlowsRerouted)},
+		{"overloaded_after_recovery", strconv.Itoa(r.OverloadedAfterRecovery)},
+		{"cost_after", f(r.CostAfter)},
+	})
+}
+
+// CSV implements CSVable.
+func (r *AblationResult) CSV() string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{row.Variant, f(row.ShuffleCost), f(row.JCTMean)})
+	}
+	return writeCSV([]string{"variant", "shuffle_cost", "jct_mean"}, rows)
+}
+
+// Interface checks: every experiment result is CSVable.
+var (
+	_ CSVable = (*Table1Result)(nil)
+	_ CSVable = (*Fig1Result)(nil)
+	_ CSVable = (*Fig3Result)(nil)
+	_ CSVable = (*Fig6Result)(nil)
+	_ CSVable = (*Fig7Result)(nil)
+	_ CSVable = (*Fig7PacketResult)(nil)
+	_ CSVable = (*Fig8aResult)(nil)
+	_ CSVable = (*Fig8bResult)(nil)
+	_ CSVable = (*Fig9Result)(nil)
+	_ CSVable = (*Fig10Result)(nil)
+	_ CSVable = (*BaselineResult)(nil)
+	_ CSVable = (*OnlineResult)(nil)
+	_ CSVable = (*FailureResult)(nil)
+	_ CSVable = (*AblationResult)(nil)
+)

@@ -1,0 +1,319 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§2 and §7) on the simulated substrate: Table 1 (workload mix),
+// Figure 1 (shuffle vs remote-map traffic volume), Figure 3 (the case
+// study), Figure 6 (CDFs of job/map/reduce times), Figure 7 (average route
+// length and shuffle delay), Figure 8 (job classes and network
+// architectures), Figure 9 (bandwidth sensitivity at 512 nodes) and Figure
+// 10 (job-count sensitivity). Each experiment returns a structured result
+// with a Render method producing the paper-style rows; cmd/hitbench and the
+// repository-level benchmarks drive them.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cluster"
+	"repro/internal/controller"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/scheduler"
+	"repro/internal/sim"
+	"repro/internal/taasearch"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// Config sizes the experiments. The zero value is upgraded to the defaults
+// used throughout EXPERIMENTS.md; Quick shrinks everything for unit tests.
+type Config struct {
+	Seed    int64
+	Repeats int  // independent seeds averaged per data point
+	Quick   bool // smaller workloads and sweeps
+}
+
+func (c Config) withDefaults() Config {
+	if c.Repeats <= 0 {
+		if c.Quick {
+			c.Repeats = 2
+		} else {
+			c.Repeats = 3
+		}
+	}
+	return c
+}
+
+// SchedulerNames lists the compared strategies in presentation order.
+func SchedulerNames() []string { return []string{"capacity", "pna", "hit"} }
+
+// newScheduler instantiates a fresh scheduler by name (fresh per run so no
+// state leaks between experiments).
+func newScheduler(name string) (scheduler.Scheduler, error) {
+	switch name {
+	case "capacity":
+		return scheduler.Capacity{}, nil
+	case "pna":
+		return scheduler.PNA{}, nil
+	case "hit":
+		return &core.HitScheduler{}, nil
+	case "random":
+		return scheduler.Random{}, nil
+	case "hit-nopolicy":
+		return &core.HitScheduler{DisablePolicyOpt: true}, nil
+	case "hit-nomatching":
+		return &core.HitScheduler{DisableStableMatching: true}, nil
+	case "cam":
+		return scheduler.CAM{}, nil
+	case "anneal":
+		return &taasearch.Annealer{}, nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown scheduler %q", name)
+	}
+}
+
+// testbedTopology builds the evaluation network of §7.1 (the 64-host,
+// 10-switch tree) with the given link bandwidth.
+func testbedTopology(bandwidth float64) (*topology.Topology, error) {
+	return topology.NewPaperTree(topology.LinkParams{
+		Bandwidth: bandwidth,
+		// Switch processing capacity is expressed against flow rates (which
+		// follow shuffle sizes), so it stays absolute under bandwidth sweeps.
+		SwitchCapacity: 48,
+		// Production trees are oversubscribed; 4:1 keeps rack uplinks the
+		// contended resource the way the paper's shared testbed network is.
+		Oversubscription: 4,
+	})
+}
+
+// jobGen builds the Table 1 workload generator used by the evaluation.
+func jobGen(cfg Config, seed int64) (*workload.Generator, error) {
+	wcfg := workload.DefaultConfig()
+	if cfg.Quick {
+		wcfg.MinInputGB, wcfg.MaxInputGB, wcfg.MaxMaps = 2, 5, 6
+	} else {
+		wcfg.MinInputGB, wcfg.MaxInputGB, wcfg.MaxMaps = 4, 16, 16
+	}
+	return workload.NewGenerator(wcfg, seed)
+}
+
+// runOnce executes one scheduler over one workload on a fresh engine.
+func runOnce(topo *topology.Topology, schedName string, jobs []*workload.Job, seed int64) (*sim.Result, error) {
+	s, err := newScheduler(schedName)
+	if err != nil {
+		return nil, err
+	}
+	// The paper's case study configures each server to host at most two
+	// tasks; the same density keeps endpoint links from becoming artificial
+	// hotspots when tasks co-locate.
+	eng, err := sim.New(topo, cluster.Resources{CPU: 2, Memory: 8192}, s, sim.Options{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	return eng.Run(jobs)
+}
+
+// ---------------------------------------------------------------------------
+// Table 1
+// ---------------------------------------------------------------------------
+
+// Table1Result reproduces the benchmark characterization table.
+type Table1Result struct {
+	Rows []workload.Benchmark
+}
+
+// Table1 returns the catalog exactly as Table 1 lists it.
+func Table1() *Table1Result {
+	return &Table1Result{Rows: workload.Catalog()}
+}
+
+// Render formats the table.
+func (r *Table1Result) Render() string {
+	tb := metrics.NewTable("Table 1: Benchmarks Characterization",
+		"benchmark", "class", "share(%)", "shuffle/input", "remote-map/input")
+	for _, b := range r.Rows {
+		tb.AddRowf([]string{"%s", "%s", "%.0f", "%.2f", "%.2f"},
+			b.Name, b.Class.String(), b.Share, b.ShuffleRatio, b.RemoteMapRatio)
+	}
+	return tb.String()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 1
+// ---------------------------------------------------------------------------
+
+// Fig1Row is one class's traffic decomposition.
+type Fig1Row struct {
+	Class          workload.Class
+	ShuffleGB      float64
+	RemoteMapGB    float64
+	ShuffleFrac    float64
+	RemoteMapFrac  float64
+	JobsAggregated int
+}
+
+// Fig1Result decomposes total communication volume per job class.
+type Fig1Result struct {
+	Rows []Fig1Row
+}
+
+// Figure1 aggregates generated jobs per class and splits their
+// communication volume into shuffle and remote-map components, reproducing
+// Figure 1's observation that shuffle dominates (>75%) for shuffle-heavy
+// jobs while remote map stays under 20%.
+func Figure1(cfg Config) (*Fig1Result, error) {
+	cfg = cfg.withDefaults()
+	n := 400
+	if cfg.Quick {
+		n = 100
+	}
+	res := &Fig1Result{}
+	for _, class := range workload.Classes() {
+		g, err := jobGen(cfg, cfg.Seed+int64(class)*101)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig1Row{Class: class}
+		for i := 0; i < n; i++ {
+			j, err := g.SampleClass(class)
+			if err != nil {
+				return nil, err
+			}
+			row.ShuffleGB += j.TotalShuffleGB()
+			row.RemoteMapGB += j.RemoteMapGB
+			row.JobsAggregated++
+		}
+		total := row.ShuffleGB + row.RemoteMapGB
+		if total > 0 {
+			row.ShuffleFrac = row.ShuffleGB / total
+			row.RemoteMapFrac = row.RemoteMapGB / total
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render formats the figure as rows.
+func (r *Fig1Result) Render() string {
+	tb := metrics.NewTable("Figure 1: Traffic Volume During Shuffle Phase",
+		"class", "shuffle(GB)", "remote-map(GB)", "shuffle(%)", "remote-map(%)")
+	for _, row := range r.Rows {
+		tb.AddRowf([]string{"%s", "%.0f", "%.0f", "%.1f", "%.1f"},
+			row.Class.String(), row.ShuffleGB, row.RemoteMapGB,
+			row.ShuffleFrac*100, row.RemoteMapFrac*100)
+	}
+	return tb.String()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 3 (case study)
+// ---------------------------------------------------------------------------
+
+// Fig3Result reproduces the §2.3 case study numbers.
+type Fig3Result struct {
+	CapacityDelayGBT float64 // the observed Capacity-scheduler placement
+	HitDelayGBT      float64 // the topology-aware placement
+	ImprovementPct   float64
+}
+
+// Figure3 rebuilds the exact case-study scenario: two jobs (34 GB and 10 GB
+// shuffle), maps on S1, reduce slots on S2/S4 only, and compares the
+// capacity-style placement (112 GB·T) with Hit-Scheduler's (64 GB·T).
+func Figure3() (*Fig3Result, error) {
+	run := func(hit bool) (float64, error) {
+		topo, servers, err := topology.NewCaseStudyTree(topology.LinkParams{
+			Bandwidth: 1, SwitchCapacity: topology.InfiniteCapacity,
+		})
+		if err != nil {
+			return 0, err
+		}
+		cl, err := cluster.New(topo, cluster.Resources{CPU: 2, Memory: 4096})
+		if err != nil {
+			return 0, err
+		}
+		ctl := controller.New(topo)
+		mk := func(id int, size float64) *workload.Job {
+			return &workload.Job{
+				ID: id, NumMaps: 1, NumReduces: 1, InputGB: size,
+				Shuffle:       [][]float64{{size}},
+				MapComputeSec: []float64{1}, ReduceComputeSec: []float64{1},
+			}
+		}
+		jobs := []*workload.Job{mk(0, 34), mk(1, 10)}
+		req, jt, err := scheduler.NewJobRequest(cl, ctl, jobs, cluster.Resources{CPU: 1, Memory: 1024}, rand.New(rand.NewSource(1)))
+		if err != nil {
+			return 0, err
+		}
+		// Maps observed on S1; S3 full; S2 and S4 with one free slot each.
+		if err := cl.Place(jt[0].Maps[0], servers[0]); err != nil {
+			return 0, err
+		}
+		if err := cl.Place(jt[1].Maps[0], servers[0]); err != nil {
+			return 0, err
+		}
+		req.Fixed[jt[0].Maps[0]] = true
+		req.Fixed[jt[1].Maps[0]] = true
+		for _, blocked := range []struct {
+			srv topology.NodeID
+			cpu int
+		}{{servers[2], 2}, {servers[1], 1}, {servers[3], 1}} {
+			ct, err := cl.NewContainer(cluster.Resources{CPU: blocked.cpu, Memory: 1})
+			if err != nil {
+				return 0, err
+			}
+			if err := cl.Place(ct.ID, blocked.srv); err != nil {
+				return 0, err
+			}
+		}
+		var s scheduler.Scheduler = &core.HitScheduler{}
+		if !hit {
+			// The case study's log-derived placement: R1 (heavy) on S4, R2 on
+			// S2 — the cross-rack heavy flow. Pin it directly.
+			if err := cl.Place(jt[0].Reduces[0], servers[3]); err != nil {
+				return 0, err
+			}
+			if err := cl.Place(jt[1].Reduces[0], servers[1]); err != nil {
+				return 0, err
+			}
+			req.Fixed[jt[0].Reduces[0]] = true
+			req.Fixed[jt[1].Reduces[0]] = true
+			s = scheduler.Capacity{}
+		}
+		if err := s.Schedule(req); err != nil {
+			return 0, err
+		}
+		cm := ctl.CostModel()
+		loc := req.Locator()
+		var delay float64
+		for _, f := range req.Flows {
+			d, err := cm.FlowDelay(f, ctl.Policy(f.ID), loc)
+			if err != nil {
+				return 0, err
+			}
+			delay += d
+		}
+		return delay, nil
+	}
+	capDelay, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	hitDelay, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig3Result{
+		CapacityDelayGBT: capDelay,
+		HitDelayGBT:      hitDelay,
+		ImprovementPct:   metrics.Improvement(capDelay, hitDelay) * 100,
+	}, nil
+}
+
+// Render formats the case study comparison.
+func (r *Fig3Result) Render() string {
+	tb := metrics.NewTable("Figure 3 / §2.3 case study: total shuffle delay cost",
+		"placement", "delay (GB·T)")
+	tb.AddRowf([]string{"%s", "%.0f"}, "capacity (observed)", r.CapacityDelayGBT)
+	tb.AddRowf([]string{"%s", "%.0f"}, "hit (topology-aware)", r.HitDelayGBT)
+	tb.AddRow("improvement", fmt.Sprintf("%.0f%% (paper: ~42%%)", r.ImprovementPct))
+	return tb.String()
+}

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cluster"
+	"repro/internal/controller"
+	"repro/internal/metrics"
+	"repro/internal/scheduler"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// FailureResult records the switch-degradation recovery experiment: an
+// extension exercising the controller's dynamic policy management (the
+// paper's Figure 2 scenario made operational — a switch loses capacity and
+// the affected shuffle flows are rerouted onto same-type alternatives).
+type FailureResult struct {
+	// CostBefore is the total shuffle cost with the healthy fabric.
+	CostBefore float64
+	// OverloadedAfterFailure counts switches pushed over capacity by the
+	// degradation.
+	OverloadedAfterFailure int
+	// FlowsRerouted is how many flows the controller moved to recover.
+	FlowsRerouted int
+	// CostAfter is the total cost on the degraded fabric after recovery.
+	CostAfter float64
+	// OverloadedAfterRecovery must be zero for successful recovery.
+	OverloadedAfterRecovery int
+}
+
+// FailureRecovery schedules a shuffle-heavy wave with Hit, halves the
+// capacity of the hottest aggregation-tier switch, and lets the controller
+// rebalance. Fat-tree fabrics always offer same-type alternatives, so
+// recovery must succeed with zero remaining overload and only a modest cost
+// increase.
+func FailureRecovery(cfg Config) (*FailureResult, error) {
+	cfg = cfg.withDefaults()
+	nJobs := 4
+	if cfg.Quick {
+		nJobs = 2
+	}
+	topo, err := topology.NewFatTree(4, topology.LinkParams{Bandwidth: 1, SwitchCapacity: 64})
+	if err != nil {
+		return nil, err
+	}
+	cl, err := cluster.New(topo, cluster.Resources{CPU: 4, Memory: 8192})
+	if err != nil {
+		return nil, err
+	}
+	ctl := controller.New(topo)
+	// Single-wave request: size jobs so every task fits at once.
+	wcfg := workload.DefaultConfig()
+	wcfg.MinInputGB, wcfg.MaxInputGB, wcfg.MaxMaps = 2, 6, 6
+	g, err := workload.NewGenerator(wcfg, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	var jobs []*workload.Job
+	for i := 0; i < nJobs; i++ {
+		j, err := g.SampleClass(workload.ShuffleHeavy)
+		if err != nil {
+			return nil, err
+		}
+		jobs = append(jobs, j)
+	}
+	s, err := newScheduler("hit")
+	if err != nil {
+		return nil, err
+	}
+	req, _, err := scheduler.NewJobRequest(cl, ctl, jobs, cluster.Resources{CPU: 1, Memory: 1024}, rand.New(rand.NewSource(cfg.Seed)))
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Schedule(req); err != nil {
+		return nil, err
+	}
+	loc := req.Locator()
+	res := &FailureResult{}
+	res.CostBefore, err = ctl.TotalCost(req.Flows, loc)
+	if err != nil {
+		return nil, err
+	}
+
+	// Degrade the hottest aggregation switch to half its current load.
+	var hottest topology.NodeID = topology.None
+	var maxLoad float64
+	for _, w := range topo.SwitchesOfType(topology.TypeAggregation) {
+		if l := ctl.Load(w); l > maxLoad {
+			hottest, maxLoad = w, l
+		}
+	}
+	if hottest == topology.None || maxLoad == 0 {
+		return nil, fmt.Errorf("experiments: no loaded aggregation switch to degrade")
+	}
+	if err := topo.SetSwitchCapacity(hottest, maxLoad/2); err != nil {
+		return nil, err
+	}
+	res.OverloadedAfterFailure = len(ctl.OverloadedSwitches())
+
+	res.FlowsRerouted, err = ctl.RebalanceOverloaded(req.Flows, loc)
+	if err != nil {
+		return nil, err
+	}
+	res.OverloadedAfterRecovery = len(ctl.OverloadedSwitches())
+	res.CostAfter, err = ctl.TotalCost(req.Flows, loc)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Render formats the recovery report.
+func (r *FailureResult) Render() string {
+	tb := metrics.NewTable("Failure injection: aggregation switch loses half its capacity",
+		"metric", "value")
+	tb.AddRowf([]string{"%s", "%.1f"}, "shuffle cost before failure", r.CostBefore)
+	tb.AddRowf([]string{"%s", "%d"}, "overloaded switches after failure", r.OverloadedAfterFailure)
+	tb.AddRowf([]string{"%s", "%d"}, "flows rerouted by controller", r.FlowsRerouted)
+	tb.AddRowf([]string{"%s", "%d"}, "overloaded switches after recovery", r.OverloadedAfterRecovery)
+	tb.AddRowf([]string{"%s", "%.1f"}, "shuffle cost after recovery", r.CostAfter)
+	return tb.String()
+}

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// OnlineRow is one scheduler's aggregate under Poisson arrivals.
+type OnlineRow struct {
+	Scheduler string
+	JCTMean   float64
+	JCTP90    float64
+	Cost      float64
+}
+
+// OnlineResult compares schedulers under online job arrivals — an extension
+// beyond the paper's batch submissions: jobs arrive as a Poisson process
+// and each is scheduled against whatever the cluster and fabric look like
+// at that moment.
+type OnlineResult struct {
+	Rows []OnlineRow
+	// ArrivalRate in jobs per time unit.
+	ArrivalRate float64
+}
+
+// Online runs the arrival experiment.
+func Online(cfg Config) (*OnlineResult, error) {
+	cfg = cfg.withDefaults()
+	nJobs := 8
+	rate := 0.02
+	if cfg.Quick {
+		nJobs = 3
+	}
+	res := &OnlineResult{ArrivalRate: rate}
+	for _, name := range SchedulerNames() {
+		row := OnlineRow{Scheduler: name}
+		for rep := 0; rep < cfg.Repeats; rep++ {
+			seed := cfg.Seed + int64(rep)*941
+			g, err := jobGen(cfg, seed)
+			if err != nil {
+				return nil, err
+			}
+			jobs := g.Workload(nJobs)
+			arrivals, err := workload.PoissonArrivals(nJobs, rate, seed)
+			if err != nil {
+				return nil, err
+			}
+			topo, err := testbedTopology(0.08)
+			if err != nil {
+				return nil, err
+			}
+			s, err := newScheduler(name)
+			if err != nil {
+				return nil, err
+			}
+			eng, err := sim.New(topo, cluster.Resources{CPU: 2, Memory: 8192}, s, sim.Options{Seed: seed})
+			if err != nil {
+				return nil, err
+			}
+			r, err := eng.RunWithArrivals(jobs, arrivals)
+			if err != nil {
+				return nil, err
+			}
+			row.JCTMean += r.JCT.Mean()
+			row.JCTP90 += r.JCT.Percentile(90)
+			row.Cost += r.TotalTrafficCost
+		}
+		n := float64(cfg.Repeats)
+		row.JCTMean /= n
+		row.JCTP90 /= n
+		row.Cost /= n
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// JCT returns the named scheduler's mean JCT, or -1.
+func (r *OnlineResult) JCT(name string) float64 {
+	for _, row := range r.Rows {
+		if row.Scheduler == name {
+			return row.JCTMean
+		}
+	}
+	return -1
+}
+
+// Render formats the table.
+func (r *OnlineResult) Render() string {
+	tb := metrics.NewTable("Online arrivals (Poisson) — extension beyond the paper's batch runs",
+		"scheduler", "JCT mean", "JCT p90", "shuffle cost")
+	for _, row := range r.Rows {
+		tb.AddRowf([]string{"%s", "%.1f", "%.1f", "%.1f"},
+			row.Scheduler, row.JCTMean, row.JCTP90, row.Cost)
+	}
+	return tb.String()
+}

@@ -1,0 +1,574 @@
+package flow
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cluster"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// testEnv bundles a fat-tree topology with a cluster and a helper that pins
+// containers to fixed servers via a map-backed Locator.
+type testEnv struct {
+	topo *topology.Topology
+	cl   *cluster.Cluster
+	loc  map[cluster.ContainerID]topology.NodeID
+}
+
+func (e *testEnv) locator() Locator {
+	return LocatorFunc(func(c cluster.ContainerID) topology.NodeID {
+		if s, ok := e.loc[c]; ok {
+			return s
+		}
+		return topology.None
+	})
+}
+
+func newTestEnv(t *testing.T) *testEnv {
+	t.Helper()
+	topo, err := topology.NewFatTree(4, topology.LinkParams{})
+	if err != nil {
+		t.Fatalf("NewFatTree: %v", err)
+	}
+	cl, err := cluster.New(topo, cluster.Resources{CPU: 8, Memory: 8192})
+	if err != nil {
+		t.Fatalf("cluster.New: %v", err)
+	}
+	return &testEnv{topo: topo, cl: cl, loc: make(map[cluster.ContainerID]topology.NodeID)}
+}
+
+func (e *testEnv) newContainer(t *testing.T, srv topology.NodeID) cluster.ContainerID {
+	t.Helper()
+	ct, err := e.cl.NewContainer(cluster.Resources{CPU: 1, Memory: 512})
+	if err != nil {
+		t.Fatalf("NewContainer: %v", err)
+	}
+	e.loc[ct.ID] = srv
+	return ct.ID
+}
+
+// shortestPolicy builds the flow's policy from one shortest path between its
+// endpoints.
+func (e *testEnv) shortestPolicy(t *testing.T, f *Flow) *Policy {
+	t.Helper()
+	src := e.loc[f.Src]
+	dst := e.loc[f.Dst]
+	path := e.topo.ShortestPath(src, dst)
+	if path == nil {
+		t.Fatalf("no path between %d and %d", src, dst)
+	}
+	return PolicyFromPath(e.topo, f.ID, path)
+}
+
+func TestFlowValidate(t *testing.T) {
+	f := &Flow{ID: 1, Src: 0, Dst: 1, SizeGB: 2, Rate: 2}
+	if err := f.Validate(); err != nil {
+		t.Errorf("valid flow rejected: %v", err)
+	}
+	if (&Flow{Src: 3, Dst: 3}).Validate() == nil {
+		t.Error("self flow accepted")
+	}
+	if (&Flow{Src: 0, Dst: 1, SizeGB: -1}).Validate() == nil {
+		t.Error("negative size accepted")
+	}
+}
+
+func TestPolicySatisfied(t *testing.T) {
+	e := newTestEnv(t)
+	srv := e.topo.Servers()
+	a := e.newContainer(t, srv[0])
+	b := e.newContainer(t, srv[15])
+	f := &Flow{ID: 0, Src: a, Dst: b, SizeGB: 1, Rate: 1}
+	p := e.shortestPolicy(t, f)
+	if err := p.Satisfied(e.topo); err != nil {
+		t.Errorf("shortest-path policy unsatisfied: %v", err)
+	}
+	// Corrupt the type requirement.
+	bad := p.Clone()
+	bad.Types[0] = "bogus"
+	if bad.Satisfied(e.topo) == nil {
+		t.Error("type mismatch accepted")
+	}
+	// List/Types length mismatch.
+	bad = p.Clone()
+	bad.Types = bad.Types[:len(bad.Types)-1]
+	if bad.Satisfied(e.topo) == nil {
+		t.Error("length mismatch accepted")
+	}
+	// Server in the switch list.
+	bad = p.Clone()
+	bad.List[0] = srv[0]
+	if bad.Satisfied(e.topo) == nil {
+		t.Error("server in list accepted")
+	}
+	// Invalid node.
+	bad = p.Clone()
+	bad.List[0] = topology.NodeID(-7)
+	if bad.Satisfied(e.topo) == nil {
+		t.Error("invalid node accepted")
+	}
+}
+
+func TestPolicyFromPathExtractsSwitches(t *testing.T) {
+	e := newTestEnv(t)
+	srv := e.topo.Servers()
+	path := e.topo.ShortestPath(srv[0], srv[15])
+	p := PolicyFromPath(e.topo, 3, path)
+	// Inter-pod fat-tree path: edge, agg, core, agg, edge = 5 switches.
+	if p.Len() != 5 {
+		t.Fatalf("policy len = %d, want 5 (%v)", p.Len(), p.List)
+	}
+	wantTypes := []string{topology.TypeAccess, topology.TypeAggregation, topology.TypeCore, topology.TypeAggregation, topology.TypeAccess}
+	for i, typ := range wantTypes {
+		if p.Types[i] != typ {
+			t.Errorf("type[%d] = %q, want %q", i, p.Types[i], typ)
+		}
+	}
+	if p.Flow != 3 {
+		t.Errorf("policy flow = %d, want 3", p.Flow)
+	}
+}
+
+func TestFlowCostAndDelay(t *testing.T) {
+	e := newTestEnv(t)
+	cm := NewCostModel(e.topo)
+	srv := e.topo.Servers()
+
+	// Same edge switch: 2-hop route, 1 switch.
+	a := e.newContainer(t, srv[0])
+	b := e.newContainer(t, srv[1])
+	f := &Flow{ID: 0, Src: a, Dst: b, SizeGB: 4, Rate: 2}
+	p := e.shortestPolicy(t, f)
+	cost, err := cm.FlowCost(f, p, e.locator())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 2*2 { // rate 2 x 2 hops x unit 1
+		t.Errorf("same-rack cost = %v, want 4", cost)
+	}
+	delay, err := cm.FlowDelay(f, p, e.locator())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delay != 4*1 { // size 4 x 1 switch x 1 T
+		t.Errorf("same-rack delay = %v GB*T, want 4", delay)
+	}
+	hops, err := cm.RouteHops(f, p, e.locator())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hops != 2 {
+		t.Errorf("hops = %d, want 2", hops)
+	}
+
+	// Inter-pod: 6 hops, 5 switches.
+	c := e.newContainer(t, srv[15])
+	g := &Flow{ID: 1, Src: a, Dst: c, SizeGB: 4, Rate: 2}
+	pg := e.shortestPolicy(t, g)
+	cost, err = cm.FlowCost(g, pg, e.locator())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 2*6 {
+		t.Errorf("inter-pod cost = %v, want 12", cost)
+	}
+	delay, _ = cm.FlowDelay(g, pg, e.locator())
+	if delay != 4*5 {
+		t.Errorf("inter-pod delay = %v, want 20", delay)
+	}
+}
+
+func TestFlowCostUnplacedEndpoint(t *testing.T) {
+	e := newTestEnv(t)
+	cm := NewCostModel(e.topo)
+	f := &Flow{ID: 0, Src: 100, Dst: 101, SizeGB: 1, Rate: 1}
+	p := &Policy{Flow: 0}
+	if _, err := cm.FlowCost(f, p, e.locator()); err == nil {
+		t.Error("unplaced endpoints accepted")
+	}
+	if _, err := cm.FlowDelay(f, p, e.locator()); err == nil {
+		t.Error("unplaced endpoints accepted in FlowDelay")
+	}
+}
+
+func TestTotalCost(t *testing.T) {
+	e := newTestEnv(t)
+	cm := NewCostModel(e.topo)
+	srv := e.topo.Servers()
+	a := e.newContainer(t, srv[0])
+	b := e.newContainer(t, srv[1])
+	c := e.newContainer(t, srv[2])
+	f1 := &Flow{ID: 0, Src: a, Dst: b, SizeGB: 1, Rate: 1}
+	f2 := &Flow{ID: 1, Src: a, Dst: c, SizeGB: 1, Rate: 1}
+	pols := map[ID]*Policy{
+		0: e.shortestPolicy(t, f1),
+		1: e.shortestPolicy(t, f2),
+	}
+	total, err := cm.TotalCost([]*Flow{f1, f2}, pols, e.locator())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// srv0-srv1 same edge (2 hops); srv0-srv2 different edge same pod (4 hops).
+	if total != 2+4 {
+		t.Errorf("total = %v, want 6", total)
+	}
+	delete(pols, 1)
+	if _, err := cm.TotalCost([]*Flow{f1, f2}, pols, e.locator()); err == nil {
+		t.Error("missing policy accepted")
+	}
+}
+
+func TestSwapUtilityMatchesCostDelta(t *testing.T) {
+	e := newTestEnv(t)
+	cm := NewCostModel(e.topo)
+	srv := e.topo.Servers()
+	a := e.newContainer(t, srv[0])
+	b := e.newContainer(t, srv[15])
+	f := &Flow{ID: 0, Src: a, Dst: b, SizeGB: 1, Rate: 3}
+	p := e.shortestPolicy(t, f)
+	loc := e.locator()
+
+	dag := e.topo.ShortestPathDAG(srv[0], srv[15])
+	stages := dag.SwitchStages()
+	// Find a stage with an alternative switch and check utility == cost delta.
+	found := false
+	for i, stage := range stages {
+		for _, w := range stage {
+			if w == p.List[i] {
+				continue
+			}
+			found = true
+			u, err := cm.SwapUtility(f, p, i, w, loc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			before, _ := cm.FlowCost(f, p, loc)
+			q := p.Clone()
+			if err := ApplySwap(e.topo, q, i, w); err != nil {
+				t.Fatalf("ApplySwap: %v", err)
+			}
+			after, _ := cm.FlowCost(f, q, loc)
+			if math.Abs((before-after)-u) > 1e-9 {
+				t.Errorf("stage %d swap to %d: utility %v != cost delta %v", i, w, u, before-after)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("fat-tree provided no alternative switches; test vacuous")
+	}
+	// Out of range.
+	if _, err := cm.SwapUtility(f, p, -1, 0, loc); err == nil {
+		t.Error("negative position accepted")
+	}
+	if _, err := cm.SwapUtility(f, p, p.Len(), 0, loc); err == nil {
+		t.Error("overflow position accepted")
+	}
+}
+
+func TestApplySwapTypeChecked(t *testing.T) {
+	e := newTestEnv(t)
+	srv := e.topo.Servers()
+	a := e.newContainer(t, srv[0])
+	b := e.newContainer(t, srv[15])
+	f := &Flow{ID: 0, Src: a, Dst: b, SizeGB: 1, Rate: 1}
+	p := e.shortestPolicy(t, f)
+	core := e.topo.SwitchesOfType(topology.TypeCore)[0]
+	// Position 0 requires an access switch; a core switch must be rejected.
+	if err := ApplySwap(e.topo, p, 0, core); err == nil {
+		t.Error("type-mismatched swap accepted")
+	}
+	if err := ApplySwap(e.topo, p, 0, srv[3]); err == nil {
+		t.Error("server swap target accepted")
+	}
+	if err := ApplySwap(e.topo, p, 99, core); err == nil {
+		t.Error("out-of-range swap accepted")
+	}
+}
+
+func TestMoveUtilityMatchesCostDelta(t *testing.T) {
+	e := newTestEnv(t)
+	cm := NewCostModel(e.topo)
+	srv := e.topo.Servers()
+	a := e.newContainer(t, srv[0])
+	b := e.newContainer(t, srv[15])
+	c := e.newContainer(t, srv[8])
+	f1 := &Flow{ID: 0, Src: a, Dst: b, SizeGB: 1, Rate: 2}
+	f2 := &Flow{ID: 1, Src: a, Dst: c, SizeGB: 1, Rate: 1}
+	flows := []*Flow{f1, f2}
+	pols := map[ID]*Policy{0: e.shortestPolicy(t, f1), 1: e.shortestPolicy(t, f2)}
+	loc := e.locator()
+
+	for _, target := range []topology.NodeID{srv[1], srv[4], srv[12]} {
+		u, err := cm.MoveUtility(a, target, flows, pols, loc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before, _ := cm.TotalCost(flows, pols, loc)
+		old := e.loc[a]
+		e.loc[a] = target
+		after, _ := cm.TotalCost(flows, pols, loc)
+		e.loc[a] = old
+		if math.Abs((before-after)-u) > 1e-9 {
+			t.Errorf("move to %d: utility %v != cost delta %v", target, u, before-after)
+		}
+	}
+}
+
+func TestMoveUtilityEmptyPolicy(t *testing.T) {
+	e := newTestEnv(t)
+	cm := NewCostModel(e.topo)
+	srv := e.topo.Servers()
+	a := e.newContainer(t, srv[0])
+	b := e.newContainer(t, srv[0]) // same server: empty policy
+	f := &Flow{ID: 0, Src: a, Dst: b, SizeGB: 1, Rate: 5}
+	pols := map[ID]*Policy{0: {Flow: 0}}
+	loc := e.locator()
+	// Moving a away from b costs dist(new, srv0) * 5.
+	u, err := cm.MoveUtility(a, srv[1], []*Flow{f}, pols, loc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u != -5*2 {
+		t.Errorf("utility = %v, want -10 (moving apart by 2 hops at rate 5)", u)
+	}
+}
+
+func TestMoveUtilityErrors(t *testing.T) {
+	e := newTestEnv(t)
+	cm := NewCostModel(e.topo)
+	if _, err := cm.MoveUtility(999, e.topo.Servers()[0], nil, nil, e.locator()); err == nil {
+		t.Error("unplaced container accepted")
+	}
+}
+
+func TestIncidentFlows(t *testing.T) {
+	f1 := &Flow{ID: 0, Src: 1, Dst: 2}
+	f2 := &Flow{ID: 1, Src: 3, Dst: 1}
+	f3 := &Flow{ID: 2, Src: 4, Dst: 5}
+	got := IncidentFlows(1, []*Flow{f1, f2, f3})
+	if len(got) != 2 {
+		t.Fatalf("incident = %d flows, want 2", len(got))
+	}
+}
+
+func TestClusterLocator(t *testing.T) {
+	e := newTestEnv(t)
+	ct, err := e.cl.NewContainer(cluster.Resources{CPU: 1, Memory: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loc := ClusterLocator(e.cl)
+	if got := loc.ServerOf(ct.ID); got != topology.None {
+		t.Errorf("unplaced container server = %d, want None", got)
+	}
+	srv := e.cl.Servers()[2]
+	if err := e.cl.Place(ct.ID, srv); err != nil {
+		t.Fatal(err)
+	}
+	if got := loc.ServerOf(ct.ID); got != srv {
+		t.Errorf("ServerOf = %d, want %d", got, srv)
+	}
+	if got := loc.ServerOf(cluster.ContainerID(99)); got != topology.None {
+		t.Errorf("unknown container server = %d, want None", got)
+	}
+}
+
+// TestQuickSeparabilityNonAdjacentSwaps verifies Eq. 6: the joint utility of
+// rescheduling two non-adjacent switches equals the sum of the individual
+// utilities (their affected segments are disjoint).
+func TestQuickSeparabilityNonAdjacentSwaps(t *testing.T) {
+	e := newTestEnv(t)
+	cm := NewCostModel(e.topo)
+	srv := e.topo.Servers()
+	rng := rand.New(rand.NewSource(2))
+
+	f := func(srcIdx, dstIdx uint8) bool {
+		s1 := srv[int(srcIdx)%len(srv)]
+		s2 := srv[int(dstIdx)%len(srv)]
+		if s1 == s2 {
+			return true
+		}
+		a := cluster.ContainerID(1000 + int(srcIdx))
+		b := cluster.ContainerID(2000 + int(dstIdx))
+		loc := LocatorFunc(func(c cluster.ContainerID) topology.NodeID {
+			if c == a {
+				return s1
+			}
+			return s2
+		})
+		fl := &Flow{ID: 0, Src: a, Dst: b, SizeGB: 1, Rate: 1 + rng.Float64()}
+		path := e.topo.ShortestPath(s1, s2)
+		p := PolicyFromPath(e.topo, 0, path)
+		if p.Len() < 3 {
+			return true // no two non-adjacent positions
+		}
+		// Candidates: same type anywhere in the graph (utility is defined
+		// regardless of adjacency; cost uses graph distance).
+		i, j := 0, 2
+		wi := pickSameType(e.topo, p, i, rng)
+		wj := pickSameType(e.topo, p, j, rng)
+		ui, err := cm.SwapUtility(fl, p, i, wi, loc)
+		if err != nil {
+			return false
+		}
+		uj, err := cm.SwapUtility(fl, p, j, wj, loc)
+		if err != nil {
+			return false
+		}
+		before, err := cm.FlowCost(fl, p, loc)
+		if err != nil {
+			return false
+		}
+		q := p.Clone()
+		if ApplySwap(e.topo, q, i, wi) != nil || ApplySwap(e.topo, q, j, wj) != nil {
+			return false
+		}
+		after, err := cm.FlowCost(fl, q, loc)
+		if err != nil {
+			return false
+		}
+		return math.Abs((before-after)-(ui+uj)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func pickSameType(topo *topology.Topology, p *Policy, i int, rng *rand.Rand) topology.NodeID {
+	cands := topo.SwitchesOfType(p.Types[i])
+	return cands[rng.Intn(len(cands))]
+}
+
+// TestQuickSeparabilityMoveAndSwap verifies Eq. 11: the utility of jointly
+// moving the source container and rescheduling an intermediate switch equals
+// the sum of the independent utilities.
+func TestQuickSeparabilityMoveAndSwap(t *testing.T) {
+	e := newTestEnv(t)
+	cm := NewCostModel(e.topo)
+	srv := e.topo.Servers()
+	rng := rand.New(rand.NewSource(9))
+
+	f := func(srcIdx, dstIdx, tgtIdx uint8) bool {
+		s1 := srv[int(srcIdx)%len(srv)]
+		s2 := srv[int(dstIdx)%len(srv)]
+		tgt := srv[int(tgtIdx)%len(srv)]
+		if s1 == s2 {
+			return true
+		}
+		a, b := cluster.ContainerID(1), cluster.ContainerID(2)
+		cur := map[cluster.ContainerID]topology.NodeID{a: s1, b: s2}
+		loc := LocatorFunc(func(c cluster.ContainerID) topology.NodeID { return cur[c] })
+		fl := &Flow{ID: 0, Src: a, Dst: b, SizeGB: 1, Rate: 2}
+		p := PolicyFromPath(e.topo, 0, e.topo.ShortestPath(s1, s2))
+		if p.Len() < 2 {
+			return true
+		}
+		flows := []*Flow{fl}
+		pols := map[ID]*Policy{0: p}
+
+		// Swap an intermediate (non-first) switch: disjoint from the source
+		// move, which only touches the (server, list[0]) segment.
+		i := 1 + rng.Intn(p.Len()-1)
+		w := pickSameType(e.topo, p, i, rng)
+		uSwap, err := cm.SwapUtility(fl, p, i, w, loc)
+		if err != nil {
+			return false
+		}
+		uMove, err := cm.MoveUtility(a, tgt, flows, pols, loc)
+		if err != nil {
+			return false
+		}
+		before, err := cm.TotalCost(flows, pols, loc)
+		if err != nil {
+			return false
+		}
+		q := p.Clone()
+		if ApplySwap(e.topo, q, i, w) != nil {
+			return false
+		}
+		cur[a] = tgt
+		after, err := cm.TotalCost(flows, map[ID]*Policy{0: q}, loc)
+		if err != nil {
+			return false
+		}
+		return math.Abs((before-after)-(uSwap+uMove)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// testJob builds a uniform m x r job with 1 GB per shuffle cell.
+func testJob(t *testing.T, m, r int) *workload.Job {
+	t.Helper()
+	j := &workload.Job{ID: 0, NumMaps: m, NumReduces: r, InputGB: float64(m)}
+	j.Shuffle = make([][]float64, m)
+	for i := range j.Shuffle {
+		j.Shuffle[i] = make([]float64, r)
+		for k := range j.Shuffle[i] {
+			j.Shuffle[i][k] = 1
+		}
+	}
+	j.MapComputeSec = make([]float64, m)
+	j.ReduceComputeSec = make([]float64, r)
+	if err := j.Validate(); err != nil {
+		t.Fatalf("testJob invalid: %v", err)
+	}
+	return j
+}
+
+func TestBuildJobFlows(t *testing.T) {
+	job := testJob(t, 3, 2)
+	maps := []cluster.ContainerID{0, 1, 2}
+	reds := []cluster.ContainerID{3, 4}
+	flows, err := BuildJobFlows(job, maps, reds, 10, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flows) != 6 {
+		t.Fatalf("flows = %d, want 6", len(flows))
+	}
+	if flows[0].ID != 10 {
+		t.Errorf("first ID = %d, want 10", flows[0].ID)
+	}
+	if got := TotalSizeGB(flows); math.Abs(got-job.TotalShuffleGB()) > 1e-9 {
+		t.Errorf("total flow size %v != job shuffle %v", got, job.TotalShuffleGB())
+	}
+	for _, f := range flows {
+		if f.Rate != f.SizeGB {
+			t.Errorf("default rate %v != size %v", f.Rate, f.SizeGB)
+		}
+	}
+}
+
+func TestBuildJobFlowsErrors(t *testing.T) {
+	jw := testJob(t, 2, 2)
+	if _, err := BuildJobFlows(jw, []cluster.ContainerID{0}, []cluster.ContainerID{2, 3}, 0, BuildOptions{}); err == nil {
+		t.Error("short map containers accepted")
+	}
+	if _, err := BuildJobFlows(jw, []cluster.ContainerID{0, 1}, []cluster.ContainerID{2}, 0, BuildOptions{}); err == nil {
+		t.Error("short reduce containers accepted")
+	}
+	if _, err := BuildJobFlows(jw, []cluster.ContainerID{0, 1}, []cluster.ContainerID{1, 3}, 0, BuildOptions{}); err == nil {
+		t.Error("shared container accepted")
+	}
+	if _, err := BuildJobFlows(jw, []cluster.ContainerID{0, 1}, []cluster.ContainerID{2, 3}, 0, BuildOptions{RatePerGB: -1}); err == nil {
+		t.Error("negative rate accepted")
+	}
+}
+
+func TestBuildJobFlowsMinSize(t *testing.T) {
+	jw := testJob(t, 2, 2)
+	jw.Shuffle[0][0] = 0.001
+	flows, err := BuildJobFlows(jw, []cluster.ContainerID{0, 1}, []cluster.ContainerID{2, 3}, 0, BuildOptions{MinSizeGB: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flows) != 3 {
+		t.Errorf("flows = %d, want 3 (tiny cell dropped)", len(flows))
+	}
+}

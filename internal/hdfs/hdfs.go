@@ -1,0 +1,342 @@
+// Package hdfs models the distributed-filesystem side of the paper's
+// motivation (§1–2): map input blocks spread over the cluster with HDFS's
+// rack-aware replica placement, so a map task's input is node-local,
+// rack-local, or remote depending on where its container lands. The remote
+// map traffic of Figure 1 — and the delay-scheduling baseline the related
+// work compares against — both derive from these placements.
+//
+// The NameNode implements Hadoop's default block-placement policy: the
+// first replica on the writer's node (or a random node), the second on a
+// different rack, the third on the same rack as the second but a different
+// node; further replicas land on random under-loaded nodes.
+package hdfs
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/topology"
+)
+
+// BlockID identifies one block within a NameNode.
+type BlockID int
+
+// Locality classifies how close a reader is to a block replica.
+type Locality int
+
+const (
+	// NodeLocal: a replica lives on the reader's server.
+	NodeLocal Locality = iota
+	// RackLocal: a replica lives under the reader's access switch.
+	RackLocal
+	// Remote: every replica is in another rack.
+	Remote
+)
+
+// String returns "node-local", "rack-local" or "remote".
+func (l Locality) String() string {
+	switch l {
+	case NodeLocal:
+		return "node-local"
+	case RackLocal:
+		return "rack-local"
+	case Remote:
+		return "remote"
+	default:
+		return fmt.Sprintf("locality(%d)", int(l))
+	}
+}
+
+// File is a named sequence of equally-sized blocks.
+type File struct {
+	Name    string
+	Blocks  []BlockID
+	BlockGB float64
+}
+
+// TotalGB returns the file size.
+func (f *File) TotalGB() float64 { return float64(len(f.Blocks)) * f.BlockGB }
+
+// NameNode tracks block replica placements over a topology's servers.
+type NameNode struct {
+	topo        *topology.Topology
+	replication int
+	rng         *rand.Rand
+	files       map[string]*File
+	replicas    map[BlockID][]topology.NodeID
+	usage       map[topology.NodeID]int
+	nextBlock   BlockID
+	// rackOf caches each server's access switch.
+	rackOf map[topology.NodeID]topology.NodeID
+	racks  map[topology.NodeID][]topology.NodeID // access switch -> servers
+}
+
+// NewNameNode builds a NameNode with the given replication factor (Hadoop's
+// default is 3) and deterministic seed.
+func NewNameNode(topo *topology.Topology, replication int, seed int64) (*NameNode, error) {
+	if topo == nil {
+		return nil, fmt.Errorf("hdfs: nil topology")
+	}
+	if replication < 1 {
+		return nil, fmt.Errorf("hdfs: replication must be >= 1, got %d", replication)
+	}
+	if replication > topo.NumServers() {
+		return nil, fmt.Errorf("hdfs: replication %d exceeds %d servers", replication, topo.NumServers())
+	}
+	nn := &NameNode{
+		topo:        topo,
+		replication: replication,
+		rng:         rand.New(rand.NewSource(seed)),
+		files:       make(map[string]*File),
+		replicas:    make(map[BlockID][]topology.NodeID),
+		usage:       make(map[topology.NodeID]int),
+		rackOf:      make(map[topology.NodeID]topology.NodeID),
+		racks:       make(map[topology.NodeID][]topology.NodeID),
+	}
+	for _, s := range topo.Servers() {
+		acc := topo.AccessSwitch(s)
+		nn.rackOf[s] = acc
+		nn.racks[acc] = append(nn.racks[acc], s)
+	}
+	return nn, nil
+}
+
+// Replication returns the replica count per block.
+func (nn *NameNode) Replication() int { return nn.replication }
+
+// NumBlocks returns the total block count.
+func (nn *NameNode) NumBlocks() int { return len(nn.replicas) }
+
+// Create writes a file of sizeGB split into blockGB blocks from a random
+// writer node. It fails if the name exists.
+func (nn *NameNode) Create(name string, sizeGB, blockGB float64) (*File, error) {
+	servers := nn.topo.Servers()
+	writer := servers[nn.rng.Intn(len(servers))]
+	return nn.CreateFrom(name, sizeGB, blockGB, writer)
+}
+
+// CreateFrom writes a file with the given writer node (first replica home).
+func (nn *NameNode) CreateFrom(name string, sizeGB, blockGB float64, writer topology.NodeID) (*File, error) {
+	if _, dup := nn.files[name]; dup {
+		return nil, fmt.Errorf("hdfs: file %q exists", name)
+	}
+	if sizeGB <= 0 || blockGB <= 0 {
+		return nil, fmt.Errorf("hdfs: non-positive size/block (%v, %v)", sizeGB, blockGB)
+	}
+	if !nn.topo.Valid(writer) || !nn.topo.Node(writer).IsServer() {
+		return nil, fmt.Errorf("hdfs: writer %d is not a server", writer)
+	}
+	n := int((sizeGB + blockGB - 1e-12) / blockGB)
+	if n < 1 {
+		n = 1
+	}
+	f := &File{Name: name, BlockGB: blockGB}
+	for i := 0; i < n; i++ {
+		id := nn.nextBlock
+		nn.nextBlock++
+		locs := nn.placeBlock(writer)
+		nn.replicas[id] = locs
+		for _, s := range locs {
+			nn.usage[s]++
+		}
+		f.Blocks = append(f.Blocks, id)
+	}
+	nn.files[name] = f
+	return f, nil
+}
+
+// placeBlock applies the default placement policy starting from writer.
+func (nn *NameNode) placeBlock(writer topology.NodeID) []topology.NodeID {
+	chosen := []topology.NodeID{writer}
+	used := map[topology.NodeID]bool{writer: true}
+
+	// Second replica: different rack when one exists.
+	if len(chosen) < nn.replication {
+		if s := nn.pickServer(func(c topology.NodeID) bool {
+			return !used[c] && nn.rackOf[c] != nn.rackOf[writer]
+		}); s != topology.None {
+			chosen = append(chosen, s)
+			used[s] = true
+		}
+	}
+	// Third replica: same rack as the second, different node.
+	if len(chosen) >= 2 && len(chosen) < nn.replication {
+		second := chosen[1]
+		if s := nn.pickServer(func(c topology.NodeID) bool {
+			return !used[c] && nn.rackOf[c] == nn.rackOf[second]
+		}); s != topology.None {
+			chosen = append(chosen, s)
+			used[s] = true
+		}
+	}
+	// Remaining replicas (or fallbacks when the cluster has one rack):
+	// random under-loaded nodes.
+	for len(chosen) < nn.replication {
+		s := nn.pickServer(func(c topology.NodeID) bool { return !used[c] })
+		if s == topology.None {
+			break
+		}
+		chosen = append(chosen, s)
+		used[s] = true
+	}
+	return chosen
+}
+
+// pickServer draws uniformly among the two least-loaded eligible servers to
+// keep block counts balanced while staying random.
+func (nn *NameNode) pickServer(ok func(topology.NodeID) bool) topology.NodeID {
+	var eligible []topology.NodeID
+	for _, s := range nn.topo.Servers() {
+		if ok(s) {
+			eligible = append(eligible, s)
+		}
+	}
+	if len(eligible) == 0 {
+		return topology.None
+	}
+	sort.Slice(eligible, func(i, j int) bool {
+		ui, uj := nn.usage[eligible[i]], nn.usage[eligible[j]]
+		if ui != uj {
+			return ui < uj
+		}
+		return eligible[i] < eligible[j]
+	})
+	top := 2
+	if len(eligible) < top {
+		top = len(eligible)
+	}
+	return eligible[nn.rng.Intn(top)]
+}
+
+// File returns a file by name.
+func (nn *NameNode) File(name string) (*File, bool) {
+	f, ok := nn.files[name]
+	return f, ok
+}
+
+// Replicas returns a block's replica servers (do not modify).
+func (nn *NameNode) Replicas(b BlockID) []topology.NodeID { return nn.replicas[b] }
+
+// BlocksOn returns how many replicas server s stores.
+func (nn *NameNode) BlocksOn(s topology.NodeID) int { return nn.usage[s] }
+
+// LocalityOf classifies reading block b from server reader.
+func (nn *NameNode) LocalityOf(b BlockID, reader topology.NodeID) (Locality, error) {
+	locs, ok := nn.replicas[b]
+	if !ok {
+		return Remote, fmt.Errorf("hdfs: unknown block %d", b)
+	}
+	best := Remote
+	for _, s := range locs {
+		switch {
+		case s == reader:
+			return NodeLocal, nil
+		case nn.rackOf[s] == nn.rackOf[reader]:
+			best = RackLocal
+		}
+	}
+	return best, nil
+}
+
+// NearestReplica returns the replica closest to reader (by hop distance)
+// and its distance.
+func (nn *NameNode) NearestReplica(b BlockID, reader topology.NodeID) (topology.NodeID, int, error) {
+	locs, ok := nn.replicas[b]
+	if !ok {
+		return topology.None, -1, fmt.Errorf("hdfs: unknown block %d", b)
+	}
+	best, bestD := topology.None, -1
+	for _, s := range locs {
+		d := nn.topo.Dist(reader, s)
+		if d < 0 {
+			continue
+		}
+		if bestD == -1 || d < bestD || (d == bestD && s < best) {
+			best, bestD = s, d
+		}
+	}
+	if best == topology.None {
+		return topology.None, -1, fmt.Errorf("hdfs: block %d unreachable from %d", b, reader)
+	}
+	return best, bestD, nil
+}
+
+// RemoteReadGB returns the bytes that cross the network when reading block
+// b from reader: zero when node-local, the block size otherwise.
+func (nn *NameNode) RemoteReadGB(f *File, b BlockID, reader topology.NodeID) (float64, error) {
+	loc, err := nn.LocalityOf(b, reader)
+	if err != nil {
+		return 0, err
+	}
+	if loc == NodeLocal {
+		return 0, nil
+	}
+	return f.BlockGB, nil
+}
+
+// Decommission removes server s: every replica it held is re-replicated
+// onto another eligible server (different from existing replica homes). It
+// returns the number of blocks re-replicated.
+func (nn *NameNode) Decommission(s topology.NodeID) (int, error) {
+	if !nn.topo.Valid(s) || !nn.topo.Node(s).IsServer() {
+		return 0, fmt.Errorf("hdfs: %d is not a server", s)
+	}
+	moved := 0
+	for b, locs := range nn.replicas {
+		idx := -1
+		for i, loc := range locs {
+			if loc == s {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			continue
+		}
+		used := map[topology.NodeID]bool{s: true}
+		for _, loc := range locs {
+			used[loc] = true
+		}
+		repl := nn.pickServer(func(c topology.NodeID) bool { return !used[c] })
+		if repl == topology.None {
+			// No other server available: drop the replica.
+			nn.replicas[b] = append(locs[:idx], locs[idx+1:]...)
+		} else {
+			locs[idx] = repl
+			nn.usage[repl]++
+			moved++
+		}
+		nn.usage[s]--
+	}
+	if nn.usage[s] != 0 {
+		return moved, fmt.Errorf("hdfs: usage accounting broken for %d", s)
+	}
+	delete(nn.usage, s)
+	return moved, nil
+}
+
+// Validate checks internal invariants (replica counts, usage sums, no
+// duplicate replica homes per block).
+func (nn *NameNode) Validate() error {
+	count := make(map[topology.NodeID]int)
+	for b, locs := range nn.replicas {
+		seen := make(map[topology.NodeID]bool, len(locs))
+		for _, s := range locs {
+			if seen[s] {
+				return fmt.Errorf("hdfs: block %d has duplicate replica on %d", b, s)
+			}
+			seen[s] = true
+			count[s]++
+		}
+		if len(locs) == 0 {
+			return fmt.Errorf("hdfs: block %d has no replicas", b)
+		}
+	}
+	for s, c := range count {
+		if nn.usage[s] != c {
+			return fmt.Errorf("hdfs: usage[%d] = %d, want %d", s, nn.usage[s], c)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,315 @@
+package hdfs
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/topology"
+)
+
+func newNN(t *testing.T, depth, fanout, repl int) (*NameNode, *topology.Topology) {
+	t.Helper()
+	topo, err := topology.NewTree(depth, fanout, topology.LinkParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nn, err := NewNameNode(topo, repl, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nn, topo
+}
+
+func TestNewNameNodeErrors(t *testing.T) {
+	topo, _ := topology.NewTree(1, 2, topology.LinkParams{})
+	if _, err := NewNameNode(nil, 3, 1); err == nil {
+		t.Error("nil topology accepted")
+	}
+	if _, err := NewNameNode(topo, 0, 1); err == nil {
+		t.Error("replication 0 accepted")
+	}
+	if _, err := NewNameNode(topo, 3, 1); err == nil {
+		t.Error("replication > servers accepted")
+	}
+}
+
+func TestCreateBasics(t *testing.T) {
+	nn, _ := newNN(t, 2, 4, 3)
+	f, err := nn.Create("input", 4, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Blocks) != 8 {
+		t.Errorf("blocks = %d, want 8", len(f.Blocks))
+	}
+	if f.TotalGB() != 4 {
+		t.Errorf("TotalGB = %v", f.TotalGB())
+	}
+	for _, b := range f.Blocks {
+		if got := len(nn.Replicas(b)); got != 3 {
+			t.Errorf("block %d has %d replicas, want 3", b, got)
+		}
+	}
+	if err := nn.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	// Duplicate name rejected.
+	if _, err := nn.Create("input", 1, 0.5); err == nil {
+		t.Error("duplicate file accepted")
+	}
+	// Lookup.
+	if got, ok := nn.File("input"); !ok || got != f {
+		t.Error("File lookup broken")
+	}
+	if _, ok := nn.File("nope"); ok {
+		t.Error("missing file found")
+	}
+	if nn.NumBlocks() != 8 {
+		t.Errorf("NumBlocks = %d", nn.NumBlocks())
+	}
+	if nn.Replication() != 3 {
+		t.Errorf("Replication = %d", nn.Replication())
+	}
+}
+
+func TestCreateErrors(t *testing.T) {
+	nn, topo := newNN(t, 2, 4, 3)
+	if _, err := nn.Create("a", 0, 1); err == nil {
+		t.Error("zero size accepted")
+	}
+	if _, err := nn.Create("b", 1, 0); err == nil {
+		t.Error("zero block accepted")
+	}
+	if _, err := nn.CreateFrom("c", 1, 1, topo.Switches()[0]); err == nil {
+		t.Error("switch writer accepted")
+	}
+}
+
+func TestPlacementPolicyRackSpread(t *testing.T) {
+	nn, topo := newNN(t, 2, 4, 3)
+	writer := topo.Servers()[0]
+	f, err := nn.CreateFrom("data", 8, 1, writer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range f.Blocks {
+		locs := nn.Replicas(b)
+		if locs[0] != writer {
+			t.Errorf("first replica on %d, want writer %d", locs[0], writer)
+		}
+		// Replica 2 must be on a different rack than the writer.
+		r0 := topo.AccessSwitch(writer)
+		r1 := topo.AccessSwitch(locs[1])
+		if r0 == r1 {
+			t.Errorf("second replica in writer's rack")
+		}
+		// Replica 3 shares replica 2's rack on a different node.
+		r2 := topo.AccessSwitch(locs[2])
+		if r1 != r2 {
+			t.Errorf("third replica rack %d, want %d", r2, r1)
+		}
+		if locs[1] == locs[2] {
+			t.Error("replicas 2 and 3 on the same node")
+		}
+	}
+}
+
+func TestSingleRackFallback(t *testing.T) {
+	// depth 1: one access switch, one rack. Replication must still succeed
+	// via the fallback path.
+	nn, _ := newNN(t, 1, 4, 3)
+	f, err := nn.Create("x", 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range f.Blocks {
+		if got := len(nn.Replicas(b)); got != 3 {
+			t.Errorf("block %d replicas = %d, want 3", b, got)
+		}
+	}
+	if err := nn.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLocalityOf(t *testing.T) {
+	nn, topo := newNN(t, 2, 4, 3)
+	writer := topo.Servers()[0]
+	f, err := nn.CreateFrom("y", 1, 1, writer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := f.Blocks[0]
+	if loc, err := nn.LocalityOf(b, writer); err != nil || loc != NodeLocal {
+		t.Errorf("writer locality = %v, %v; want node-local", loc, err)
+	}
+	// A rack-mate of the writer that is not a replica: rack-local.
+	rackMate := topology.None
+	for _, s := range topo.Servers() {
+		if s == writer || topo.AccessSwitch(s) != topo.AccessSwitch(writer) {
+			continue
+		}
+		isReplica := false
+		for _, r := range nn.Replicas(b) {
+			if r == s {
+				isReplica = true
+			}
+		}
+		if !isReplica {
+			rackMate = s
+			break
+		}
+	}
+	if rackMate != topology.None {
+		if loc, _ := nn.LocalityOf(b, rackMate); loc != RackLocal {
+			t.Errorf("rack-mate locality = %v, want rack-local", loc)
+		}
+	}
+	if _, err := nn.LocalityOf(BlockID(999), writer); err == nil {
+		t.Error("unknown block accepted")
+	}
+	if NodeLocal.String() != "node-local" || RackLocal.String() != "rack-local" || Remote.String() != "remote" {
+		t.Error("locality strings wrong")
+	}
+	if Locality(9).String() == "" {
+		t.Error("unknown locality string empty")
+	}
+}
+
+func TestNearestReplicaAndRemoteRead(t *testing.T) {
+	nn, topo := newNN(t, 2, 4, 3)
+	writer := topo.Servers()[0]
+	f, err := nn.CreateFrom("z", 1, 1, writer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := f.Blocks[0]
+	s, d, err := nn.NearestReplica(b, writer)
+	if err != nil || s != writer || d != 0 {
+		t.Errorf("NearestReplica(writer) = (%d, %d, %v)", s, d, err)
+	}
+	gb, err := nn.RemoteReadGB(f, b, writer)
+	if err != nil || gb != 0 {
+		t.Errorf("node-local remote read = %v", gb)
+	}
+	// A server in a rack with no replicas reads the whole block remotely.
+	for _, srv := range topo.Servers() {
+		loc, _ := nn.LocalityOf(b, srv)
+		if loc == Remote {
+			gb, err := nn.RemoteReadGB(f, b, srv)
+			if err != nil || gb != f.BlockGB {
+				t.Errorf("remote read = %v, want %v", gb, f.BlockGB)
+			}
+			break
+		}
+	}
+	if _, _, err := nn.NearestReplica(BlockID(999), writer); err == nil {
+		t.Error("unknown block accepted")
+	}
+	if _, err := nn.RemoteReadGB(f, BlockID(999), writer); err == nil {
+		t.Error("unknown block accepted")
+	}
+}
+
+func TestDecommissionReReplicates(t *testing.T) {
+	nn, topo := newNN(t, 2, 4, 3)
+	if _, err := nn.Create("big", 16, 1); err != nil {
+		t.Fatal(err)
+	}
+	victim := topo.Servers()[0]
+	// Find how many blocks the victim holds.
+	before := nn.BlocksOn(victim)
+	moved, err := nn.Decommission(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved != before {
+		t.Errorf("moved %d, want %d", moved, before)
+	}
+	if nn.BlocksOn(victim) != 0 {
+		t.Errorf("victim still holds %d blocks", nn.BlocksOn(victim))
+	}
+	// Every block still fully replicated, and no replica on the victim.
+	for b := BlockID(0); int(b) < nn.NumBlocks(); b++ {
+		locs := nn.Replicas(b)
+		if len(locs) != 3 {
+			t.Errorf("block %d replicas = %d after decommission", b, len(locs))
+		}
+		for _, s := range locs {
+			if s == victim {
+				t.Errorf("block %d still on victim", b)
+			}
+		}
+	}
+	if err := nn.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	if _, err := nn.Decommission(topo.Switches()[0]); err == nil {
+		t.Error("decommissioning a switch accepted")
+	}
+}
+
+func TestUsageRoughlyBalanced(t *testing.T) {
+	nn, topo := newNN(t, 2, 4, 3)
+	for i := 0; i < 20; i++ {
+		if _, err := nn.Create(fileName(i), 8, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	min, max := 1<<30, 0
+	for _, s := range topo.Servers() {
+		u := nn.BlocksOn(s)
+		if u < min {
+			min = u
+		}
+		if u > max {
+			max = u
+		}
+	}
+	// 480 replicas over 16 servers = 30 each; the two-least-loaded picker
+	// keeps the spread tight except that every block's first replica sits on
+	// the (uniformly random) writer.
+	if max > 3*min+10 {
+		t.Errorf("imbalanced usage: min %d, max %d", min, max)
+	}
+}
+
+func fileName(i int) string { return string(rune('a'+i%26)) + string(rune('0'+i/26)) }
+
+// TestQuickReplicasAlwaysDistinctAndComplete: any file on any topology gets
+// fully replicated blocks with distinct homes.
+func TestQuickReplicasAlwaysDistinctAndComplete(t *testing.T) {
+	topo, err := topology.NewTree(2, 3, topology.LinkParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64, sizeSeed, replSeed uint8) bool {
+		repl := int(replSeed%3) + 1
+		nn, err := NewNameNode(topo, repl, seed)
+		if err != nil {
+			return false
+		}
+		size := 0.5 + float64(sizeSeed%16)
+		file, err := nn.Create("f", size, 1)
+		if err != nil {
+			return false
+		}
+		for _, b := range file.Blocks {
+			locs := nn.Replicas(b)
+			if len(locs) != repl {
+				return false
+			}
+			seen := map[topology.NodeID]bool{}
+			for _, s := range locs {
+				if seen[s] || !topo.Node(s).IsServer() {
+					return false
+				}
+				seen[s] = true
+			}
+		}
+		return nn.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,73 @@
+package mincostflow
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzAssignment checks solver invariants on arbitrary cost/capacity
+// inputs: never exceeds capacities, reported total matches the assignment,
+// and the result is optimal versus brute force on these tiny instances.
+func FuzzAssignment(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6}, uint8(2), uint8(2))
+	f.Add([]byte{0}, uint8(1), uint8(1))
+	f.Fuzz(func(t *testing.T, data []byte, ni, nb uint8) {
+		nItems := 1 + int(ni%3)
+		nBins := 1 + int(nb%3)
+		at := func(i int) float64 {
+			if len(data) == 0 {
+				return 1
+			}
+			return float64(data[i%len(data)] % 50)
+		}
+		cost := make([][]float64, nItems)
+		for i := range cost {
+			cost[i] = make([]float64, nBins)
+			for b := range cost[i] {
+				cost[i][b] = at(i*nBins + b)
+			}
+		}
+		caps := make([]int, nBins)
+		total := 0
+		for b := range caps {
+			caps[b] = int(at(b+7)) % 3
+			total += caps[b]
+		}
+		assign, got, err := Assignment(cost, caps)
+		if err != nil {
+			t.Fatalf("valid instance rejected: %v", err)
+		}
+		used := make([]int, nBins)
+		sum := 0.0
+		placed := 0
+		for i, b := range assign {
+			if b == -1 {
+				continue
+			}
+			used[b]++
+			sum += cost[i][b]
+			placed++
+		}
+		for b := range used {
+			if used[b] > caps[b] {
+				t.Fatalf("bin %d over capacity", b)
+			}
+		}
+		if math.Abs(sum-got) > 1e-9 {
+			t.Fatalf("reported cost %v != assignment sum %v", got, sum)
+		}
+		// Max placement: the solver must place min(nItems, total capacity).
+		want := nItems
+		if total < want {
+			want = total
+		}
+		if placed != want {
+			t.Fatalf("placed %d, want %d", placed, want)
+		}
+		if placed == nItems {
+			if best := bruteAssignment(cost, caps); math.Abs(got-best) > 1e-9 {
+				t.Fatalf("cost %v, brute force %v", got, best)
+			}
+		}
+	})
+}

@@ -1,0 +1,245 @@
+// Package mincostflow implements minimum-cost maximum-flow via successive
+// shortest augmenting paths with Johnson potentials. It is the optimization
+// substrate behind the CAM-style baseline scheduler (Li et al. [HPDC'12],
+// cited by the paper as the "topology aware minimum cost flow based
+// resource manager"): assigning reduce tasks to servers with capacities is
+// a transportation problem this solver answers exactly.
+package mincostflow
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+type edge struct {
+	to   int
+	cap  int
+	cost float64
+	flow int
+}
+
+// Graph is a directed flow network with float64 edge costs. Nodes are
+// 0..N-1. Adding an edge also adds its residual reverse edge.
+type Graph struct {
+	n     int
+	edges []edge
+	adj   [][]int // node -> edge indices
+}
+
+// NewGraph creates a graph with n nodes.
+func NewGraph(n int) (*Graph, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("mincostflow: need at least one node, got %d", n)
+	}
+	return &Graph{n: n, adj: make([][]int, n)}, nil
+}
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return g.n }
+
+// AddEdge adds a directed edge u->v with the given capacity and cost and
+// returns its ID (usable with Flow after solving). Costs must be
+// non-negative (the successive-shortest-path invariant).
+func (g *Graph) AddEdge(u, v, capacity int, cost float64) (int, error) {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return 0, fmt.Errorf("mincostflow: edge (%d,%d) out of range", u, v)
+	}
+	if u == v {
+		return 0, fmt.Errorf("mincostflow: self-edge on %d", u)
+	}
+	if capacity < 0 {
+		return 0, fmt.Errorf("mincostflow: negative capacity %d", capacity)
+	}
+	if cost < 0 || math.IsNaN(cost) || math.IsInf(cost, 0) {
+		return 0, fmt.Errorf("mincostflow: invalid cost %v", cost)
+	}
+	id := len(g.edges)
+	g.edges = append(g.edges, edge{to: v, cap: capacity, cost: cost})
+	g.adj[u] = append(g.adj[u], id)
+	g.edges = append(g.edges, edge{to: u, cap: 0, cost: -cost})
+	g.adj[v] = append(g.adj[v], id+1)
+	return id, nil
+}
+
+// Flow returns the flow pushed over edge id after Solve.
+func (g *Graph) Flow(id int) (int, error) {
+	if id < 0 || id >= len(g.edges) || id%2 == 1 {
+		return 0, fmt.Errorf("mincostflow: invalid edge id %d", id)
+	}
+	return g.edges[id].flow, nil
+}
+
+// pqItem is a Dijkstra frontier entry.
+type pqItem struct {
+	node int
+	dist float64
+}
+
+type pq []pqItem
+
+func (p pq) Len() int            { return len(p) }
+func (p pq) Less(i, j int) bool  { return p[i].dist < p[j].dist }
+func (p pq) Swap(i, j int)       { p[i], p[j] = p[j], p[i] }
+func (p *pq) Push(x interface{}) { *p = append(*p, x.(pqItem)) }
+func (p *pq) Pop() interface{} {
+	old := *p
+	n := len(old)
+	x := old[n-1]
+	*p = old[:n-1]
+	return x
+}
+
+// Solve pushes up to maxFlow units from source to sink at minimum total
+// cost (maxFlow < 0 means "as much as possible") and returns the achieved
+// flow and its cost. Solve may be called once per graph.
+func (g *Graph) Solve(source, sink, maxFlow int) (int, float64, error) {
+	if source < 0 || source >= g.n || sink < 0 || sink >= g.n || source == sink {
+		return 0, 0, fmt.Errorf("mincostflow: bad terminals (%d, %d)", source, sink)
+	}
+	if maxFlow < 0 {
+		maxFlow = math.MaxInt32
+	}
+	potential := make([]float64, g.n) // all costs non-negative: zero init valid
+	dist := make([]float64, g.n)
+	prevEdge := make([]int, g.n)
+	inf := math.Inf(1)
+
+	totalFlow := 0
+	totalCost := 0.0
+	for totalFlow < maxFlow {
+		// Dijkstra over reduced costs.
+		for i := range dist {
+			dist[i] = inf
+			prevEdge[i] = -1
+		}
+		dist[source] = 0
+		h := &pq{{node: source}}
+		for h.Len() > 0 {
+			it := heap.Pop(h).(pqItem)
+			if it.dist > dist[it.node]+1e-12 {
+				continue
+			}
+			for _, ei := range g.adj[it.node] {
+				e := &g.edges[ei]
+				if e.cap-e.flow <= 0 {
+					continue
+				}
+				nd := dist[it.node] + e.cost + potential[it.node] - potential[e.to]
+				if nd < dist[e.to]-1e-12 {
+					dist[e.to] = nd
+					prevEdge[e.to] = ei
+					heap.Push(h, pqItem{node: e.to, dist: nd})
+				}
+			}
+		}
+		if math.IsInf(dist[sink], 1) {
+			break // no augmenting path
+		}
+		for i := range potential {
+			if !math.IsInf(dist[i], 1) {
+				potential[i] += dist[i]
+			}
+		}
+		// Bottleneck along the path.
+		push := maxFlow - totalFlow
+		for v := sink; v != source; {
+			e := &g.edges[prevEdge[v]]
+			if r := e.cap - e.flow; r < push {
+				push = r
+			}
+			v = g.edges[prevEdge[v]^1].to
+		}
+		for v := sink; v != source; {
+			ei := prevEdge[v]
+			g.edges[ei].flow += push
+			g.edges[ei^1].flow -= push
+			totalCost += float64(push) * g.edges[ei].cost
+			v = g.edges[ei^1].to
+		}
+		totalFlow += push
+	}
+	return totalFlow, totalCost, nil
+}
+
+// Assignment solves the transportation problem directly: items (each of
+// unit size) assigned to bins with capacities, minimizing the summed
+// cost[item][bin]. Infeasible (item, bin) pairs use math.Inf(1). It returns
+// assign[item] = bin (or -1 when the item could not be placed anywhere).
+func Assignment(cost [][]float64, binCapacity []int) ([]int, float64, error) {
+	nItems := len(cost)
+	nBins := len(binCapacity)
+	if nItems == 0 {
+		return nil, 0, nil
+	}
+	if nBins == 0 {
+		return nil, 0, fmt.Errorf("mincostflow: no bins")
+	}
+	for i, row := range cost {
+		if len(row) != nBins {
+			return nil, 0, fmt.Errorf("mincostflow: cost row %d has %d entries, want %d", i, len(row), nBins)
+		}
+	}
+	for b, c := range binCapacity {
+		if c < 0 {
+			return nil, 0, fmt.Errorf("mincostflow: bin %d has negative capacity", b)
+		}
+	}
+	// Nodes: 0 = source, 1..nItems = items, nItems+1..nItems+nBins = bins,
+	// last = sink.
+	g, err := NewGraph(nItems + nBins + 2)
+	if err != nil {
+		return nil, 0, err
+	}
+	source := 0
+	sink := nItems + nBins + 1
+	itemEdges := make([][]int, nItems) // edge IDs per (item, bin)
+	for i := 0; i < nItems; i++ {
+		if _, err := g.AddEdge(source, 1+i, 1, 0); err != nil {
+			return nil, 0, err
+		}
+		itemEdges[i] = make([]int, nBins)
+		for b := 0; b < nBins; b++ {
+			itemEdges[i][b] = -1
+			c := cost[i][b]
+			if math.IsInf(c, 1) {
+				continue
+			}
+			if c < 0 || math.IsNaN(c) {
+				return nil, 0, fmt.Errorf("mincostflow: invalid cost[%d][%d] = %v", i, b, c)
+			}
+			id, err := g.AddEdge(1+i, 1+nItems+b, 1, c)
+			if err != nil {
+				return nil, 0, err
+			}
+			itemEdges[i][b] = id
+		}
+	}
+	for b := 0; b < nBins; b++ {
+		if _, err := g.AddEdge(1+nItems+b, sink, binCapacity[b], 0); err != nil {
+			return nil, 0, err
+		}
+	}
+	_, total, err := g.Solve(source, sink, nItems)
+	if err != nil {
+		return nil, 0, err
+	}
+	assign := make([]int, nItems)
+	for i := range assign {
+		assign[i] = -1
+		for b := 0; b < nBins; b++ {
+			if itemEdges[i][b] < 0 {
+				continue
+			}
+			f, err := g.Flow(itemEdges[i][b])
+			if err != nil {
+				return nil, 0, err
+			}
+			if f > 0 {
+				assign[i] = b
+				break
+			}
+		}
+	}
+	return assign, total, nil
+}

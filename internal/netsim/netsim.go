@@ -1,0 +1,400 @@
+// Package netsim is a flow-level (fluid) network simulator. It replaces the
+// paper's Mininet/Open vSwitch testbed: given a set of shuffle transfers,
+// each pinned to a concrete route by its network policy, it computes
+// max-min fair bandwidth shares subject to link bandwidths and switch
+// processing capacities, and advances a fluid simulation to obtain per-flow
+// completion times, average shuffle delay and aggregate throughput — the
+// quantities Figures 6, 7 and 9 report.
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/flow"
+	"repro/internal/topology"
+)
+
+// Transfer is one data movement over a fixed route.
+type Transfer struct {
+	ID flow.ID
+	// Route is the full node walk (server, switches..., server). Consecutive
+	// nodes need not be adjacent; ExpandRoute inserts shortest sub-paths.
+	Route []topology.NodeID
+	// Bytes to move, in data units (GB).
+	Bytes float64
+	// Start time; transfers become active at this instant.
+	Start float64
+}
+
+// ExpandRoute turns a policy-level route (whose consecutive elements may be
+// several hops apart after switch rescheduling) into a concrete link walk by
+// splicing shortest paths between consecutive elements.
+func ExpandRoute(topo *topology.Topology, route []topology.NodeID) ([]topology.NodeID, error) {
+	if len(route) == 0 {
+		return nil, fmt.Errorf("netsim: empty route")
+	}
+	out := []topology.NodeID{route[0]}
+	for i := 1; i < len(route); i++ {
+		if route[i] == route[i-1] {
+			continue
+		}
+		seg := topo.ShortestPath(route[i-1], route[i])
+		if seg == nil {
+			return nil, fmt.Errorf("netsim: no path between %d and %d", route[i-1], route[i])
+		}
+		out = append(out, seg[1:]...)
+	}
+	return out, nil
+}
+
+// resource is a shared capacity: a link's bandwidth or a switch's processing
+// rate.
+type resource struct {
+	capacity float64
+	// members maps active transfer index -> multiplicity (a walk may cross a
+	// resource more than once).
+	members map[int]int
+}
+
+// FairShare computes the max-min fair rate of each active transfer via
+// progressive filling. Transfers whose route stays on one server (no links)
+// receive +Inf (local copies are not network-bound). Rates are in data units
+// per time unit.
+func FairShare(topo *topology.Topology, transfers []*Transfer) ([]float64, error) {
+	resources, crossing, err := buildResources(topo, transfers)
+	if err != nil {
+		return nil, err
+	}
+	rates := make([]float64, len(transfers))
+	frozen := make([]bool, len(transfers))
+	for i := range transfers {
+		if !crossing[i] {
+			rates[i] = math.Inf(1)
+			frozen[i] = true
+		}
+	}
+
+	level := 0.0
+	for {
+		// Remaining headroom per resource and active multiplicity.
+		bottleneck := math.Inf(1)
+		anyActive := false
+		for _, r := range resources {
+			used := 0.0
+			activeMult := 0
+			for idx, mult := range r.members {
+				if frozen[idx] {
+					used += rates[idx] * float64(mult)
+				} else {
+					activeMult += mult
+				}
+			}
+			if activeMult == 0 {
+				continue
+			}
+			anyActive = true
+			grow := (r.capacity - used - level*float64(activeMult)) / float64(activeMult)
+			if grow < bottleneck {
+				bottleneck = grow
+			}
+		}
+		if !anyActive {
+			break
+		}
+		if bottleneck < 0 {
+			bottleneck = 0
+		}
+		level += bottleneck
+		// Freeze every unfrozen transfer on a saturated resource.
+		progressed := false
+		for _, r := range resources {
+			used := 0.0
+			activeMult := 0
+			for idx, mult := range r.members {
+				if frozen[idx] {
+					used += rates[idx] * float64(mult)
+				} else {
+					activeMult += mult
+				}
+			}
+			if activeMult == 0 {
+				continue
+			}
+			if used+level*float64(activeMult) >= r.capacity-1e-9 {
+				for idx := range r.members {
+					if !frozen[idx] {
+						frozen[idx] = true
+						rates[idx] = level
+						progressed = true
+					}
+				}
+			}
+		}
+		if !progressed {
+			// No resource saturates (all remaining transfers unconstrained —
+			// possible only with infinite capacities). Give them the level and
+			// stop.
+			for i := range frozen {
+				if !frozen[i] {
+					frozen[i] = true
+					rates[i] = math.Inf(1)
+				}
+			}
+			break
+		}
+	}
+	return rates, nil
+}
+
+func buildResources(topo *topology.Topology, transfers []*Transfer) ([]*resource, []bool, error) {
+	type key struct {
+		link bool
+		a, b topology.NodeID // canonical link endpoints, or (switch, switch)
+	}
+	table := make(map[key]*resource)
+	crossing := make([]bool, len(transfers))
+
+	for idx, tr := range transfers {
+		walk, err := ExpandRoute(topo, tr.Route)
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(walk) > 1 {
+			crossing[idx] = true
+		}
+		for i := 1; i < len(walk); i++ {
+			l, ok := topo.Link(walk[i-1], walk[i])
+			if !ok {
+				return nil, nil, fmt.Errorf("netsim: walk uses missing link %d-%d", walk[i-1], walk[i])
+			}
+			// Links are full duplex: each direction is its own resource with
+			// the link's full bandwidth, as on real Ethernet fabrics.
+			k := key{link: true, a: walk[i-1], b: walk[i]}
+			r := table[k]
+			if r == nil {
+				r = &resource{capacity: l.Bandwidth, members: make(map[int]int)}
+				table[k] = r
+			}
+			r.members[idx]++
+		}
+		for _, n := range walk {
+			node := topo.Node(n)
+			if !node.IsSwitch() || math.IsInf(node.Capacity, 1) {
+				continue
+			}
+			k := key{a: n, b: n}
+			r := table[k]
+			if r == nil {
+				r = &resource{capacity: node.Capacity, members: make(map[int]int)}
+				table[k] = r
+			}
+			r.members[idx]++
+		}
+	}
+	out := make([]*resource, 0, len(table))
+	keys := make([]key, 0, len(table))
+	for k := range table {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].link != keys[j].link {
+			return keys[i].link
+		}
+		if keys[i].a != keys[j].a {
+			return keys[i].a < keys[j].a
+		}
+		return keys[i].b < keys[j].b
+	})
+	for _, k := range keys {
+		out = append(out, table[k])
+	}
+	return out, crossing, nil
+}
+
+// FlowStats summarizes one transfer's outcome.
+type FlowStats struct {
+	ID flow.ID
+	// Finish is the completion timestamp.
+	Finish float64
+	// TransferTime is Finish - Start (the bandwidth-bound component).
+	TransferTime float64
+	// PropagationDelay is the route latency in T units (switch traversals +
+	// link latencies) — the per-packet delay component Figure 7(b) averages.
+	PropagationDelay float64
+	// Hops is the number of links on the concrete walk (Figure 7(a)).
+	Hops int
+	// Bytes moved.
+	Bytes float64
+}
+
+// Result is the outcome of a Simulate run.
+type Result struct {
+	Flows map[flow.ID]*FlowStats
+	// Makespan is the time the last transfer finishes.
+	Makespan float64
+	// TotalBytes across all transfers.
+	TotalBytes float64
+}
+
+// Throughput returns TotalBytes / Makespan (0 when degenerate).
+func (r *Result) Throughput() float64 {
+	if r.Makespan <= 0 {
+		return 0
+	}
+	return r.TotalBytes / r.Makespan
+}
+
+// AvgTransferTime averages the bandwidth-bound transfer times.
+func (r *Result) AvgTransferTime() float64 {
+	if len(r.Flows) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, f := range r.Flows {
+		sum += f.TransferTime
+	}
+	return sum / float64(len(r.Flows))
+}
+
+// AvgPropagationDelay averages per-flow route latencies (Figure 7(b)).
+func (r *Result) AvgPropagationDelay() float64 {
+	if len(r.Flows) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, f := range r.Flows {
+		sum += f.PropagationDelay
+	}
+	return sum / float64(len(r.Flows))
+}
+
+// AvgHops averages route lengths (Figure 7(a)).
+func (r *Result) AvgHops() float64 {
+	if len(r.Flows) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, f := range r.Flows {
+		sum += float64(f.Hops)
+	}
+	return sum / float64(len(r.Flows))
+}
+
+// Simulate runs the fluid simulation to completion: at each step it computes
+// the max-min fair shares of the transfers active at the current time,
+// advances to the next completion or arrival, and repeats. It returns an
+// error when any route is invalid. Transfers with zero bytes complete at
+// their start instant.
+func Simulate(topo *topology.Topology, transfers []*Transfer) (*Result, error) {
+	res := &Result{Flows: make(map[flow.ID]*FlowStats, len(transfers))}
+	type state struct {
+		tr        *Transfer
+		remaining float64
+		walk      []topology.NodeID
+		done      bool
+	}
+	states := make([]*state, len(transfers))
+	seen := make(map[flow.ID]bool, len(transfers))
+	for i, tr := range transfers {
+		if seen[tr.ID] {
+			return nil, fmt.Errorf("netsim: duplicate transfer ID %d", tr.ID)
+		}
+		seen[tr.ID] = true
+		if tr.Bytes < 0 || tr.Start < 0 {
+			return nil, fmt.Errorf("netsim: transfer %d has negative bytes/start", tr.ID)
+		}
+		walk, err := ExpandRoute(topo, tr.Route)
+		if err != nil {
+			return nil, err
+		}
+		states[i] = &state{tr: tr, remaining: tr.Bytes, walk: walk}
+		res.Flows[tr.ID] = &FlowStats{
+			ID:               tr.ID,
+			Bytes:            tr.Bytes,
+			Hops:             len(walk) - 1,
+			PropagationDelay: topo.PathLatency(walk),
+		}
+		res.TotalBytes += tr.Bytes
+	}
+
+	now := 0.0
+	for step := 0; ; step++ {
+		if step > 4*len(transfers)+16 {
+			return nil, fmt.Errorf("netsim: simulation did not converge after %d steps", step)
+		}
+		// Active set at `now`; also find the next arrival.
+		var active []*Transfer
+		var activeStates []*state
+		nextArrival := math.Inf(1)
+		pendingWork := false
+		for _, st := range states {
+			if st.done {
+				continue
+			}
+			pendingWork = true
+			if st.tr.Start > now+1e-12 {
+				if st.tr.Start < nextArrival {
+					nextArrival = st.tr.Start
+				}
+				continue
+			}
+			if st.remaining <= 1e-12 {
+				st.done = true
+				res.Flows[st.tr.ID].Finish = now
+				res.Flows[st.tr.ID].TransferTime = now - st.tr.Start
+				if now > res.Makespan {
+					res.Makespan = now
+				}
+				continue
+			}
+			active = append(active, &Transfer{ID: st.tr.ID, Route: st.walk, Bytes: st.remaining})
+			activeStates = append(activeStates, st)
+		}
+		if !pendingWork {
+			break
+		}
+		if len(active) == 0 {
+			if math.IsInf(nextArrival, 1) {
+				break // only zero-byte stragglers, handled above
+			}
+			now = nextArrival
+			continue
+		}
+
+		rates, err := FairShare(topo, active)
+		if err != nil {
+			return nil, err
+		}
+		// Time to the next completion.
+		dt := math.Inf(1)
+		for i, st := range activeStates {
+			if rates[i] <= 0 {
+				continue
+			}
+			t := st.remaining / rates[i]
+			if t < dt {
+				dt = t
+			}
+		}
+		if math.IsInf(dt, 1) {
+			return nil, fmt.Errorf("netsim: active transfers starved (all rates zero) at t=%v", now)
+		}
+		if nextArrival-now < dt {
+			dt = nextArrival - now
+		}
+		for i, st := range activeStates {
+			if math.IsInf(rates[i], 1) {
+				st.remaining = 0
+			} else {
+				st.remaining -= rates[i] * dt
+			}
+			if st.remaining < 1e-12 {
+				st.remaining = 0
+			}
+		}
+		now += dt
+	}
+	return res, nil
+}

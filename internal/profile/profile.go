@@ -1,0 +1,171 @@
+// Package profile implements the offline phase of the paper's Hadoop
+// integration (§6): profiling the shuffle data rate of each application.
+// Completed jobs report their observed input/shuffle/remote-map volumes;
+// the store keeps exponentially weighted per-benchmark ratios and predicts
+// the shuffle demand of future submissions — the numbers the online phase's
+// mapred.job.topologyaware class feeds to Hit-ResourceRequest construction.
+//
+// The store serializes to JSON so profiles survive across runs.
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/workload"
+)
+
+// Record is one completed job's observation.
+type Record struct {
+	Benchmark   string  `json:"benchmark"`
+	InputGB     float64 `json:"input_gb"`
+	ShuffleGB   float64 `json:"shuffle_gb"`
+	RemoteMapGB float64 `json:"remote_map_gb"`
+}
+
+// Validate checks the record.
+func (r *Record) Validate() error {
+	if r.Benchmark == "" {
+		return fmt.Errorf("profile: empty benchmark name")
+	}
+	if r.InputGB <= 0 {
+		return fmt.Errorf("profile: non-positive input %v", r.InputGB)
+	}
+	if r.ShuffleGB < 0 || r.RemoteMapGB < 0 {
+		return fmt.Errorf("profile: negative volumes (%v, %v)", r.ShuffleGB, r.RemoteMapGB)
+	}
+	return nil
+}
+
+// Estimate is the store's belief about one benchmark.
+type Estimate struct {
+	ShuffleRatio   float64 `json:"shuffle_ratio"`
+	RemoteMapRatio float64 `json:"remote_map_ratio"`
+	Samples        int     `json:"samples"`
+}
+
+type storeJSON struct {
+	Alpha      float64             `json:"alpha"`
+	Benchmarks map[string]Estimate `json:"benchmarks"`
+}
+
+// Store accumulates profiles. Not safe for concurrent use.
+type Store struct {
+	alpha   float64
+	byBench map[string]Estimate
+}
+
+// NewStore creates a store with EWMA weight alpha in (0, 1]: each new
+// observation contributes alpha of the updated ratio (alpha 1 = only the
+// latest observation counts).
+func NewStore(alpha float64) (*Store, error) {
+	if alpha <= 0 || alpha > 1 {
+		return nil, fmt.Errorf("profile: alpha must be in (0, 1], got %v", alpha)
+	}
+	return &Store{alpha: alpha, byBench: make(map[string]Estimate)}, nil
+}
+
+// Record folds one observation into the benchmark's estimate.
+func (s *Store) Record(r Record) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	cur, ok := s.byBench[r.Benchmark]
+	obsShuffle := r.ShuffleGB / r.InputGB
+	obsRemote := r.RemoteMapGB / r.InputGB
+	if !ok {
+		s.byBench[r.Benchmark] = Estimate{ShuffleRatio: obsShuffle, RemoteMapRatio: obsRemote, Samples: 1}
+		return nil
+	}
+	cur.ShuffleRatio = (1-s.alpha)*cur.ShuffleRatio + s.alpha*obsShuffle
+	cur.RemoteMapRatio = (1-s.alpha)*cur.RemoteMapRatio + s.alpha*obsRemote
+	cur.Samples++
+	s.byBench[r.Benchmark] = cur
+	return nil
+}
+
+// RecordJob profiles a workload.Job's ground truth (useful for warming a
+// store from a generator).
+func (s *Store) RecordJob(j *workload.Job) error {
+	if j == nil {
+		return fmt.Errorf("profile: nil job")
+	}
+	return s.Record(Record{
+		Benchmark:   j.Benchmark,
+		InputGB:     j.InputGB,
+		ShuffleGB:   j.TotalShuffleGB(),
+		RemoteMapGB: j.RemoteMapGB,
+	})
+}
+
+// Estimate returns the current belief for a benchmark.
+func (s *Store) Estimate(bench string) (Estimate, bool) {
+	e, ok := s.byBench[bench]
+	return e, ok
+}
+
+// PredictShuffleGB predicts a new submission's shuffle volume.
+func (s *Store) PredictShuffleGB(bench string, inputGB float64) (float64, error) {
+	if inputGB <= 0 {
+		return 0, fmt.Errorf("profile: non-positive input %v", inputGB)
+	}
+	e, ok := s.byBench[bench]
+	if !ok {
+		return 0, fmt.Errorf("profile: no profile for %q", bench)
+	}
+	return e.ShuffleRatio * inputGB, nil
+}
+
+// Benchmarks lists profiled benchmark names, sorted.
+func (s *Store) Benchmarks() []string {
+	out := make([]string, 0, len(s.byBench))
+	for b := range s.byBench {
+		out = append(out, b)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of profiled benchmarks.
+func (s *Store) Len() int { return len(s.byBench) }
+
+// Save writes the store as JSON.
+func (s *Store) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(storeJSON{Alpha: s.alpha, Benchmarks: s.byBench})
+}
+
+// Load reads a store written by Save.
+func Load(r io.Reader) (*Store, error) {
+	var sj storeJSON
+	if err := json.NewDecoder(r).Decode(&sj); err != nil {
+		return nil, fmt.Errorf("profile: %w", err)
+	}
+	st, err := NewStore(sj.Alpha)
+	if err != nil {
+		return nil, err
+	}
+	for b, e := range sj.Benchmarks {
+		if b == "" || e.Samples < 1 || e.ShuffleRatio < 0 || e.RemoteMapRatio < 0 {
+			return nil, fmt.Errorf("profile: corrupt entry %q: %+v", b, e)
+		}
+		st.byBench[b] = e
+	}
+	return st, nil
+}
+
+// Classify maps an estimated shuffle ratio onto the paper's Table 1 classes
+// using the catalog's natural break points (heavy >= 0.6, medium >= 0.2).
+func Classify(shuffleRatio float64) workload.Class {
+	switch {
+	case shuffleRatio >= 0.6:
+		return workload.ShuffleHeavy
+	case shuffleRatio >= 0.2:
+		return workload.ShuffleMedium
+	default:
+		return workload.ShuffleLight
+	}
+}

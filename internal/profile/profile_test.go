@@ -1,0 +1,183 @@
+package profile
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestNewStoreAlpha(t *testing.T) {
+	for _, a := range []float64{0, -1, 1.5} {
+		if _, err := NewStore(a); err == nil {
+			t.Errorf("alpha %v accepted", a)
+		}
+	}
+	if _, err := NewStore(0.3); err != nil {
+		t.Errorf("valid alpha rejected: %v", err)
+	}
+}
+
+func TestRecordAndPredict(t *testing.T) {
+	s, _ := NewStore(0.5)
+	if err := s.Record(Record{Benchmark: "terasort", InputGB: 10, ShuffleGB: 10, RemoteMapGB: 0.8}); err != nil {
+		t.Fatal(err)
+	}
+	e, ok := s.Estimate("terasort")
+	if !ok {
+		t.Fatal("no estimate")
+	}
+	if e.ShuffleRatio != 1.0 || e.Samples != 1 {
+		t.Errorf("estimate = %+v", e)
+	}
+	got, err := s.PredictShuffleGB("terasort", 20)
+	if err != nil || math.Abs(got-20) > 1e-9 {
+		t.Errorf("prediction = %v, %v", got, err)
+	}
+	if _, err := s.PredictShuffleGB("grep", 5); err == nil {
+		t.Error("unknown benchmark predicted")
+	}
+	if _, err := s.PredictShuffleGB("terasort", 0); err == nil {
+		t.Error("zero input accepted")
+	}
+}
+
+func TestEWMARecencyWeighting(t *testing.T) {
+	s, _ := NewStore(0.5)
+	must := func(r Record) {
+		t.Helper()
+		if err := s.Record(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(Record{Benchmark: "join", InputGB: 10, ShuffleGB: 10}) // ratio 1.0
+	must(Record{Benchmark: "join", InputGB: 10, ShuffleGB: 5})  // obs 0.5 -> 0.75
+	e, _ := s.Estimate("join")
+	if math.Abs(e.ShuffleRatio-0.75) > 1e-9 {
+		t.Errorf("EWMA = %v, want 0.75", e.ShuffleRatio)
+	}
+	if e.Samples != 2 {
+		t.Errorf("samples = %d", e.Samples)
+	}
+	// Drifting workloads converge toward the new regime.
+	for i := 0; i < 20; i++ {
+		must(Record{Benchmark: "join", InputGB: 10, ShuffleGB: 2}) // ratio 0.2
+	}
+	e, _ = s.Estimate("join")
+	if math.Abs(e.ShuffleRatio-0.2) > 0.01 {
+		t.Errorf("post-drift ratio = %v, want ~0.2", e.ShuffleRatio)
+	}
+}
+
+func TestRecordValidation(t *testing.T) {
+	s, _ := NewStore(0.5)
+	bad := []Record{
+		{Benchmark: "", InputGB: 1},
+		{Benchmark: "x", InputGB: 0},
+		{Benchmark: "x", InputGB: 1, ShuffleGB: -1},
+		{Benchmark: "x", InputGB: 1, RemoteMapGB: -1},
+	}
+	for i, r := range bad {
+		if err := s.Record(r); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	if err := s.RecordJob(nil); err == nil {
+		t.Error("nil job accepted")
+	}
+}
+
+func TestRecordJobMatchesGenerator(t *testing.T) {
+	g, err := workload.NewGenerator(workload.DefaultConfig(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := NewStore(0.3)
+	for i := 0; i < 50; i++ {
+		if err := s.RecordJob(g.Sample()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Every catalog benchmark that appeared should estimate close to its
+	// true shuffle ratio (generation is exact per benchmark).
+	for _, name := range s.Benchmarks() {
+		b, err := workload.BenchmarkByName(name)
+		if err != nil {
+			t.Fatalf("unknown profiled benchmark %q", name)
+		}
+		e, _ := s.Estimate(name)
+		if math.Abs(e.ShuffleRatio-b.ShuffleRatio) > 1e-6 {
+			t.Errorf("%s: ratio %v, want %v", name, e.ShuffleRatio, b.ShuffleRatio)
+		}
+		if Classify(e.ShuffleRatio) != b.Class {
+			t.Errorf("%s classified as %v, want %v", name, Classify(e.ShuffleRatio), b.Class)
+		}
+	}
+	if s.Len() == 0 {
+		t.Error("no benchmarks profiled")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	s, _ := NewStore(0.4)
+	if err := s.Record(Record{Benchmark: "grep", InputGB: 10, ShuffleGB: 0.1, RemoteMapGB: 0.6}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Record(Record{Benchmark: "terasort", InputGB: 8, ShuffleGB: 8, RemoteMapGB: 0.64}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 2 {
+		t.Fatalf("loaded %d benchmarks", loaded.Len())
+	}
+	for _, name := range []string{"grep", "terasort"} {
+		a, _ := s.Estimate(name)
+		b, ok := loaded.Estimate(name)
+		if !ok || a != b {
+			t.Errorf("%s: %+v != %+v", name, a, b)
+		}
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Load(strings.NewReader(`{"alpha": 0, "benchmarks": {}}`)); err == nil {
+		t.Error("zero alpha accepted")
+	}
+	if _, err := Load(strings.NewReader(`{"alpha": 0.5, "benchmarks": {"x": {"shuffle_ratio": -1, "samples": 1}}}`)); err == nil {
+		t.Error("negative ratio accepted")
+	}
+	if _, err := Load(strings.NewReader(`{"alpha": 0.5, "benchmarks": {"x": {"shuffle_ratio": 1, "samples": 0}}}`)); err == nil {
+		t.Error("zero samples accepted")
+	}
+}
+
+func TestClassifyBoundaries(t *testing.T) {
+	cases := []struct {
+		ratio float64
+		want  workload.Class
+	}{
+		{1.0, workload.ShuffleHeavy},
+		{0.6, workload.ShuffleHeavy},
+		{0.59, workload.ShuffleMedium},
+		{0.2, workload.ShuffleMedium},
+		{0.19, workload.ShuffleLight},
+		{0, workload.ShuffleLight},
+	}
+	for _, tc := range cases {
+		if got := Classify(tc.ratio); got != tc.want {
+			t.Errorf("Classify(%v) = %v, want %v", tc.ratio, got, tc.want)
+		}
+	}
+}

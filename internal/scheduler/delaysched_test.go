@@ -1,0 +1,173 @@
+package scheduler
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/hdfs"
+	"repro/internal/workload"
+)
+
+func newNameNode(t *testing.T, cl *cluster.Cluster) *hdfs.NameNode {
+	t.Helper()
+	nn, err := hdfs.NewNameNode(cl.Topology(), 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nn
+}
+
+func TestDelaySchedulingAchievesLocality(t *testing.T) {
+	cl, ctl := testEnv(t, 2, 4, cluster.Resources{CPU: 4, Memory: 8192})
+	nn := newNameNode(t, cl)
+	job := uniformJob(t, 0, 12, 4, 0.5)
+	job.InputGB = 12
+	req, jt := buildRequest(t, cl, ctl, []*workload.Job{job}, 2)
+	if _, err := AssignJobBlocks(req, nn, job, jt[0].Maps); err != nil {
+		t.Fatal(err)
+	}
+	if err := (DelayScheduling{NameNode: nn, SkipBudget: 3}).Schedule(req); err != nil {
+		t.Fatal(err)
+	}
+	checkScheduled(t, req)
+	stats, err := MeasureLocality(req, nn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Total() != 12 {
+		t.Fatalf("measured %d maps, want 12", stats.Total())
+	}
+	// With 3 replicas on 16 roomy servers, delay scheduling should place
+	// nearly every map node-locally.
+	if stats.NodeLocalFraction() < 0.9 {
+		t.Errorf("node-local fraction = %v, want >= 0.9 (%+v)", stats.NodeLocalFraction(), stats)
+	}
+}
+
+func TestDelaySchedulingBeatsCapacityOnLocality(t *testing.T) {
+	var dsStats, capStats LocalityStats
+	{
+		cl, ctl := testEnv(t, 2, 4, cluster.Resources{CPU: 2, Memory: 8192})
+		nn := newNameNode(t, cl)
+		job := uniformJob(t, 0, 10, 4, 0.5)
+		job.InputGB = 10
+		req, jt := buildRequest(t, cl, ctl, []*workload.Job{job}, 3)
+		if _, err := AssignJobBlocks(req, nn, job, jt[0].Maps); err != nil {
+			t.Fatal(err)
+		}
+		if err := (DelayScheduling{NameNode: nn, SkipBudget: 3}).Schedule(req); err != nil {
+			t.Fatal(err)
+		}
+		dsStats, _ = MeasureLocality(req, nn)
+	}
+	{
+		cl, ctl := testEnv(t, 2, 4, cluster.Resources{CPU: 2, Memory: 8192})
+		nn := newNameNode(t, cl)
+		job := uniformJob(t, 0, 10, 4, 0.5)
+		job.InputGB = 10
+		req, jt := buildRequest(t, cl, ctl, []*workload.Job{job}, 3)
+		if _, err := AssignJobBlocks(req, nn, job, jt[0].Maps); err != nil {
+			t.Fatal(err)
+		}
+		if err := (Capacity{}).Schedule(req); err != nil {
+			t.Fatal(err)
+		}
+		capStats, _ = MeasureLocality(req, nn)
+	}
+	if dsStats.NodeLocalFraction() <= capStats.NodeLocalFraction() {
+		t.Errorf("delaysched locality %v <= capacity %v", dsStats.NodeLocalFraction(), capStats.NodeLocalFraction())
+	}
+	t.Logf("node-local: delaysched %.0f%%, capacity %.0f%%",
+		dsStats.NodeLocalFraction()*100, capStats.NodeLocalFraction()*100)
+}
+
+func TestDelaySchedulingZeroBudgetSkipsRackTier(t *testing.T) {
+	// Fill every replica host of every block; with SkipBudget 0 the
+	// scheduler must fall to "anywhere" (never rack-tier). We just verify it
+	// completes and achieves zero node-local placements.
+	cl, ctl := testEnv(t, 2, 4, cluster.Resources{CPU: 1, Memory: 8192})
+	nn := newNameNode(t, cl)
+	job := uniformJob(t, 0, 4, 2, 0.5)
+	job.InputGB = 4
+	req, jt := buildRequest(t, cl, ctl, []*workload.Job{job}, 4)
+	if _, err := AssignJobBlocks(req, nn, job, jt[0].Maps); err != nil {
+		t.Fatal(err)
+	}
+	// Block every replica host with a filler container.
+	blocked := map[int64]bool{}
+	for _, c := range jt[0].Maps {
+		for _, s := range nn.Replicas(req.BlockOf[c]) {
+			if blocked[int64(s)] {
+				continue
+			}
+			ct, err := cl.NewContainer(cluster.Resources{CPU: 1, Memory: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := cl.Place(ct.ID, s); err == nil {
+				blocked[int64(s)] = true
+			}
+		}
+	}
+	if err := (DelayScheduling{NameNode: nn, SkipBudget: 0}).Schedule(req); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := MeasureLocality(req, nn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.NodeLocal != 0 {
+		t.Errorf("node-local = %d with all replica hosts full", stats.NodeLocal)
+	}
+	checkScheduled(t, req)
+}
+
+func TestDelaySchedulingWithoutBlocksFallsBack(t *testing.T) {
+	cl, ctl := testEnv(t, 2, 2, cluster.Resources{CPU: 4, Memory: 8192})
+	nn := newNameNode(t, cl)
+	req, _ := buildRequest(t, cl, ctl, []*workload.Job{uniformJob(t, 0, 3, 2, 1)}, 5)
+	// No AssignJobBlocks: BlockOf is empty.
+	if err := (DelayScheduling{NameNode: nn}).Schedule(req); err != nil {
+		t.Fatal(err)
+	}
+	checkScheduled(t, req)
+	stats, err := MeasureLocality(req, nn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Total() != 0 {
+		t.Errorf("stats counted %d maps without blocks", stats.Total())
+	}
+	if stats.NodeLocalFraction() != 0 {
+		t.Error("empty stats fraction should be 0")
+	}
+}
+
+func TestDelaySchedulingNilNameNode(t *testing.T) {
+	cl, ctl := testEnv(t, 1, 2, cluster.Resources{CPU: 2, Memory: 2048})
+	req, _ := buildRequest(t, cl, ctl, []*workload.Job{uniformJob(t, 0, 1, 1, 1)}, 1)
+	if err := (DelayScheduling{}).Schedule(req); err == nil {
+		t.Error("nil NameNode accepted")
+	}
+}
+
+func TestAssignJobBlocksErrors(t *testing.T) {
+	cl, ctl := testEnv(t, 2, 2, cluster.Resources{CPU: 4, Memory: 8192})
+	nn := newNameNode(t, cl)
+	job := uniformJob(t, 0, 2, 1, 1)
+	job.InputGB = 2
+	req, jt := buildRequest(t, cl, ctl, []*workload.Job{job}, 6)
+	if _, err := AssignJobBlocks(req, nil, job, jt[0].Maps); err == nil {
+		t.Error("nil NameNode accepted")
+	}
+	if _, err := AssignJobBlocks(req, nn, job, jt[0].Maps[:1]); err == nil {
+		t.Error("short container list accepted")
+	}
+	if _, err := AssignJobBlocks(req, nn, job, jt[0].Maps); err != nil {
+		t.Fatalf("valid call failed: %v", err)
+	}
+	// Second call collides on the file name.
+	if _, err := AssignJobBlocks(req, nn, job, jt[0].Maps); err == nil {
+		t.Error("duplicate file accepted")
+	}
+}

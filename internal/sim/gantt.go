@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// RenderGantt draws an ASCII timeline of the run: one row per job showing
+// its map phase ('M'), the shuffle+reduce tail ('R') and idle time before
+// arrival ('.'). Width is the number of character cells the full makespan
+// maps onto (minimum 20).
+func RenderGantt(res *Result, width int) string {
+	if res == nil || len(res.Jobs) == 0 {
+		return "(no jobs)\n"
+	}
+	if width < 20 {
+		width = 20
+	}
+	// Horizon: the latest job end.
+	horizon := 0.0
+	for _, js := range res.Jobs {
+		if end := js.Arrival + js.Completion; end > horizon {
+			horizon = end
+		}
+	}
+	if horizon <= 0 {
+		return "(degenerate timeline)\n"
+	}
+	cell := horizon / float64(width)
+
+	jobs := append([]*JobStats(nil), res.Jobs...)
+	sort.SliceStable(jobs, func(i, j int) bool {
+		if jobs[i].Arrival != jobs[j].Arrival {
+			return jobs[i].Arrival < jobs[j].Arrival
+		}
+		return jobs[i].JobID < jobs[j].JobID
+	})
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "timeline: %d cells x %.2f time units (horizon %.1f)\n", width, cell, horizon)
+	for _, js := range jobs {
+		// Map phase duration: the longest map wave chain is bounded by the
+		// total map time; approximate with the max map time per wave count.
+		mapDur := 0.0
+		for _, d := range js.MapTimes {
+			if d > mapDur {
+				mapDur = d
+			}
+		}
+		mapDur *= float64(js.MapWaves)
+		if mapDur > js.Completion {
+			mapDur = js.Completion
+		}
+		row := make([]byte, width)
+		for i := range row {
+			t := (float64(i) + 0.5) * cell
+			switch {
+			case t < js.Arrival:
+				row[i] = '.'
+			case t < js.Arrival+mapDur:
+				row[i] = 'M'
+			case t < js.Arrival+js.Completion:
+				row[i] = 'R'
+			default:
+				row[i] = ' '
+			}
+		}
+		fmt.Fprintf(&b, "job %2d %-14s |%s| %.1f\n", js.JobID, js.Benchmark, string(row), js.Completion)
+	}
+	b.WriteString("legend: . waiting  M map phase  R shuffle+reduce\n")
+	return b.String()
+}

@@ -1,0 +1,90 @@
+package stablematch
+
+import (
+	"testing"
+)
+
+// FuzzMatch drives deferred acceptance with arbitrary byte-derived
+// preference structures and checks the invariants that must hold for ANY
+// input the validator accepts: capacities respected, TenantsOf/HostOf
+// consistent, and (unit loads) stability.
+func FuzzMatch(f *testing.F) {
+	f.Add([]byte{3, 2, 1, 0, 2, 1, 0, 1}, uint8(2))
+	f.Add([]byte{}, uint8(1))
+	f.Add([]byte{9, 9, 9, 9, 9, 9, 9, 9, 9, 9}, uint8(3))
+	f.Fuzz(func(t *testing.T, data []byte, capSeed uint8) {
+		nP := 1 + int(capSeed%5)
+		nH := 1 + int(capSeed/5%4)
+		in := &Instance{NumProposers: nP, NumHosts: nH,
+			ProposerPrefs: make([][]int, nP), HostPrefs: make([][]int, nH),
+			Capacity: make([]float64, nH)}
+		// Derive preference permutations from the fuzz bytes.
+		pick := func(i, n int) int {
+			if len(data) == 0 {
+				return i % n
+			}
+			return int(data[i%len(data)]) % n
+		}
+		for p := 0; p < nP; p++ {
+			seen := map[int]bool{}
+			for k := 0; k < nH; k++ {
+				h := pick(p*7+k, nH)
+				if !seen[h] {
+					seen[h] = true
+					in.ProposerPrefs[p] = append(in.ProposerPrefs[p], h)
+				}
+			}
+		}
+		for h := 0; h < nH; h++ {
+			seen := map[int]bool{}
+			for k := 0; k < nP; k++ {
+				p := pick(h*13+k+1, nP)
+				if !seen[p] {
+					seen[p] = true
+					in.HostPrefs[h] = append(in.HostPrefs[h], p)
+				}
+			}
+			in.Capacity[h] = float64(pick(h+3, 3) + 1)
+		}
+		res, err := Match(in)
+		if err != nil {
+			t.Fatalf("validated instance rejected: %v", err)
+		}
+		used := make([]float64, nH)
+		for p, h := range res.HostOf {
+			if h == Unmatched {
+				continue
+			}
+			if h < 0 || h >= nH {
+				t.Fatalf("proposer %d on invalid host %d", p, h)
+			}
+			used[h]++
+		}
+		for h := range used {
+			if used[h] > in.Capacity[h] {
+				t.Fatalf("host %d over capacity: %v > %v", h, used[h], in.Capacity[h])
+			}
+		}
+		count := 0
+		for h, tens := range res.TenantsOf {
+			for _, p := range tens {
+				if res.HostOf[p] != h {
+					t.Fatalf("TenantsOf inconsistent")
+				}
+				count++
+			}
+		}
+		matched := 0
+		for _, h := range res.HostOf {
+			if h != Unmatched {
+				matched++
+			}
+		}
+		if count != matched {
+			t.Fatalf("tenant count %d != matched %d", count, matched)
+		}
+		if !IsStable(in, res) {
+			t.Fatalf("unstable matching for unit loads: %v", FindBlockingPairs(in, res))
+		}
+	})
+}

@@ -1,0 +1,314 @@
+// Package stablematch implements many-to-one stable matching (the
+// hospitals/residents generalization of Gale–Shapley's stable marriage) with
+// per-host capacities, proposer-side blacklists and the "rejected-top"
+// pruning used by the paper's Tasks Assignment Algorithm (Algorithm 2).
+//
+// Terminology follows the paper: *proposers* are containers hosting Map or
+// Reduce tasks; *hosts* are servers. Each proposer is placed on at most one
+// host; a host accepts proposers until its capacity is exhausted, then
+// rejects its least-preferred tenants.
+package stablematch
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Unmatched marks a proposer that no host accepted.
+const Unmatched = -1
+
+// Instance describes one many-to-one matching problem.
+//
+// Preferences are given as ranked index lists: ProposerPrefs[p] lists host
+// indices in decreasing preference for proposer p (hosts absent from the
+// list are unacceptable to p); HostPrefs[h] likewise lists proposer indices
+// in decreasing preference for host h (proposers absent are unacceptable to
+// h and will always be rejected).
+type Instance struct {
+	NumProposers int
+	NumHosts     int
+	// ProposerPrefs[p] is proposer p's ranked host list, best first.
+	ProposerPrefs [][]int
+	// HostPrefs[h] is host h's ranked proposer list, best first.
+	HostPrefs [][]int
+	// Load[p] is the capacity consumed on a host by proposer p. If nil, every
+	// proposer consumes 1.
+	Load []float64
+	// Capacity[h] is host h's total capacity. If nil, every host has
+	// capacity 1 (one-to-one matching).
+	Capacity []float64
+}
+
+// Result is the outcome of Match.
+type Result struct {
+	// HostOf[p] is the host matched to proposer p, or Unmatched.
+	HostOf []int
+	// TenantsOf[h] lists the proposers matched to host h, in the order the
+	// host ranks them (best first).
+	TenantsOf [][]int
+	// Rounds is the number of proposal rounds executed.
+	Rounds int
+}
+
+// Validate checks structural consistency of the instance.
+func (in *Instance) Validate() error {
+	if in.NumProposers < 0 || in.NumHosts < 0 {
+		return errors.New("stablematch: negative dimensions")
+	}
+	if len(in.ProposerPrefs) != in.NumProposers {
+		return fmt.Errorf("stablematch: ProposerPrefs has %d rows, want %d", len(in.ProposerPrefs), in.NumProposers)
+	}
+	if len(in.HostPrefs) != in.NumHosts {
+		return fmt.Errorf("stablematch: HostPrefs has %d rows, want %d", len(in.HostPrefs), in.NumHosts)
+	}
+	for p, prefs := range in.ProposerPrefs {
+		seen := make(map[int]bool, len(prefs))
+		for _, h := range prefs {
+			if h < 0 || h >= in.NumHosts {
+				return fmt.Errorf("stablematch: proposer %d ranks invalid host %d", p, h)
+			}
+			if seen[h] {
+				return fmt.Errorf("stablematch: proposer %d ranks host %d twice", p, h)
+			}
+			seen[h] = true
+		}
+	}
+	for h, prefs := range in.HostPrefs {
+		seen := make(map[int]bool, len(prefs))
+		for _, p := range prefs {
+			if p < 0 || p >= in.NumProposers {
+				return fmt.Errorf("stablematch: host %d ranks invalid proposer %d", h, p)
+			}
+			if seen[p] {
+				return fmt.Errorf("stablematch: host %d ranks proposer %d twice", h, p)
+			}
+			seen[p] = true
+		}
+	}
+	if in.Load != nil {
+		if len(in.Load) != in.NumProposers {
+			return fmt.Errorf("stablematch: Load has %d entries, want %d", len(in.Load), in.NumProposers)
+		}
+		for p, l := range in.Load {
+			if l <= 0 {
+				return fmt.Errorf("stablematch: proposer %d has non-positive load %v", p, l)
+			}
+		}
+	}
+	if in.Capacity != nil {
+		if len(in.Capacity) != in.NumHosts {
+			return fmt.Errorf("stablematch: Capacity has %d entries, want %d", len(in.Capacity), in.NumHosts)
+		}
+		for h, c := range in.Capacity {
+			if c < 0 {
+				return fmt.Errorf("stablematch: host %d has negative capacity %v", h, c)
+			}
+		}
+	}
+	return nil
+}
+
+func (in *Instance) load(p int) float64 {
+	if in.Load == nil {
+		return 1
+	}
+	return in.Load[p]
+}
+
+func (in *Instance) capacity(h int) float64 {
+	if in.Capacity == nil {
+		return 1
+	}
+	return in.Capacity[h]
+}
+
+// Match runs proposer-proposing deferred acceptance and returns a stable
+// matching. Following Algorithm 2, whenever a host over capacity rejects its
+// least-preferred tenant it records the rejection ("rejected-top"), and any
+// proposer the host ranks at or below a rejected proposer adds that host to
+// its blacklist — those proposals are skipped outright, which preserves the
+// outcome while bounding work by O(M×N) proposals.
+func Match(in *Instance) (*Result, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+
+	// hostRank[h][p] = rank of proposer p at host h (lower is better);
+	// missing = unacceptable.
+	hostRank := make([]map[int]int, in.NumHosts)
+	for h, prefs := range in.HostPrefs {
+		hostRank[h] = make(map[int]int, len(prefs))
+		for r, p := range prefs {
+			hostRank[h][p] = r
+		}
+	}
+
+	// blacklist[p][h]: p must not propose to h anymore.
+	blacklist := make([]map[int]bool, in.NumProposers)
+	for p := range blacklist {
+		blacklist[p] = make(map[int]bool)
+	}
+	// rejectedTop[h] = worst (highest) rank the host has explicitly rejected;
+	// -1 if none. Once host h rejects the proposer it ranks at position r,
+	// every proposer ranked >= r blacklists h.
+	rejectedTop := make([]int, in.NumHosts)
+	for h := range rejectedTop {
+		rejectedTop[h] = -1
+	}
+
+	next := make([]int, in.NumProposers) // next index into ProposerPrefs[p]
+	hostOf := make([]int, in.NumProposers)
+	for p := range hostOf {
+		hostOf[p] = Unmatched
+	}
+	used := make([]float64, in.NumHosts)
+	tenants := make([][]int, in.NumHosts) // unsorted during the loop
+
+	free := make([]int, 0, in.NumProposers)
+	for p := 0; p < in.NumProposers; p++ {
+		free = append(free, p)
+	}
+
+	propagateRejection := func(h, rank int) {
+		if rank <= rejectedTop[h] {
+			return
+		}
+		rejectedTop[h] = rank
+		for _, worse := range in.HostPrefs[h][rank:] {
+			blacklist[worse][h] = true
+		}
+	}
+
+	rounds := 0
+	for len(free) > 0 {
+		rounds++
+		p := free[len(free)-1]
+		free = free[:len(free)-1]
+
+		// Advance to p's best not-yet-tried, not-blacklisted host.
+		h := -1
+		for next[p] < len(in.ProposerPrefs[p]) {
+			cand := in.ProposerPrefs[p][next[p]]
+			next[p]++
+			if blacklist[p][cand] {
+				continue
+			}
+			if _, acceptable := hostRank[cand][p]; !acceptable {
+				continue
+			}
+			h = cand
+			break
+		}
+		if h == -1 {
+			continue // p exhausts its list: stays unmatched
+		}
+
+		// Tentatively accept.
+		hostOf[p] = h
+		used[h] += in.load(p)
+		tenants[h] = append(tenants[h], p)
+
+		// Evict least-preferred tenants while over capacity (Algorithm 2
+		// lines 8–13).
+		for used[h] > in.capacity(h) {
+			worstIdx, worstRank := -1, -1
+			for i, q := range tenants[h] {
+				if r := hostRank[h][q]; r > worstRank {
+					worstIdx, worstRank = i, r
+				}
+			}
+			if worstIdx < 0 {
+				break // defensive: no tenants yet over capacity cannot happen
+			}
+			evicted := tenants[h][worstIdx]
+			tenants[h] = append(tenants[h][:worstIdx], tenants[h][worstIdx+1:]...)
+			used[h] -= in.load(evicted)
+			hostOf[evicted] = Unmatched
+			propagateRejection(h, worstRank)
+			free = append(free, evicted)
+			if evicted == p {
+				break // the newcomer itself was the worst; move on
+			}
+		}
+	}
+
+	res := &Result{HostOf: hostOf, TenantsOf: make([][]int, in.NumHosts), Rounds: rounds}
+	for h := range tenants {
+		// Present tenants in host preference order.
+		ordered := make([]int, 0, len(tenants[h]))
+		for _, p := range in.HostPrefs[h] {
+			if hostOf[p] == h {
+				ordered = append(ordered, p)
+			}
+		}
+		res.TenantsOf[h] = ordered
+	}
+	return res, nil
+}
+
+// BlockingPair describes a proposer/host pair that would both rather be
+// matched with each other than with their current assignment.
+type BlockingPair struct {
+	Proposer, Host int
+}
+
+// FindBlockingPairs returns every blocking pair of a matching, for
+// verification: (p, h) blocks when p strictly prefers h to its current host
+// (or is unmatched and finds h acceptable), h finds p acceptable, and h
+// either has spare capacity for p or tenants it likes strictly less whose
+// eviction frees enough room.
+func FindBlockingPairs(in *Instance, res *Result) []BlockingPair {
+	hostRank := make([]map[int]int, in.NumHosts)
+	for h, prefs := range in.HostPrefs {
+		hostRank[h] = make(map[int]int, len(prefs))
+		for r, p := range prefs {
+			hostRank[h][p] = r
+		}
+	}
+	propRank := make([]map[int]int, in.NumProposers)
+	for p, prefs := range in.ProposerPrefs {
+		propRank[p] = make(map[int]int, len(prefs))
+		for r, h := range prefs {
+			propRank[p][h] = r
+		}
+	}
+	used := make([]float64, in.NumHosts)
+	for p, h := range res.HostOf {
+		if h != Unmatched {
+			used[h] += in.load(p)
+		}
+	}
+
+	var out []BlockingPair
+	for p := 0; p < in.NumProposers; p++ {
+		cur := res.HostOf[p]
+		for h := 0; h < in.NumHosts; h++ {
+			hr, hOK := hostRank[h][p]
+			pr, pOK := propRank[p][h]
+			if !hOK || !pOK || h == cur {
+				continue
+			}
+			if cur != Unmatched {
+				if curRank, ok := propRank[p][cur]; ok && curRank <= pr {
+					continue // p does not strictly prefer h
+				}
+			}
+			// Room after evicting strictly-worse tenants?
+			avail := in.capacity(h) - used[h]
+			for _, q := range res.TenantsOf[h] {
+				if hostRank[h][q] > hr {
+					avail += in.load(q)
+				}
+			}
+			if avail >= in.load(p) {
+				out = append(out, BlockingPair{Proposer: p, Host: h})
+			}
+		}
+	}
+	return out
+}
+
+// IsStable reports whether the matching has no blocking pairs.
+func IsStable(in *Instance, res *Result) bool {
+	return len(FindBlockingPairs(in, res)) == 0
+}

@@ -1,0 +1,349 @@
+package stablematch
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustMatch(t *testing.T, in *Instance) *Result {
+	t.Helper()
+	res, err := Match(in)
+	if err != nil {
+		t.Fatalf("Match: %v", err)
+	}
+	return res
+}
+
+// fullPrefs returns 0..n-1 permuted by the given order function.
+func seqPrefs(rows, n int) [][]int {
+	out := make([][]int, rows)
+	for i := range out {
+		p := make([]int, n)
+		for j := range p {
+			p[j] = j
+		}
+		out[i] = p
+	}
+	return out
+}
+
+func TestClassicStableMarriage(t *testing.T) {
+	// Canonical 3x3 instance; proposer-optimal outcome is known.
+	in := &Instance{
+		NumProposers: 3,
+		NumHosts:     3,
+		ProposerPrefs: [][]int{
+			{0, 1, 2},
+			{1, 0, 2},
+			{0, 1, 2},
+		},
+		HostPrefs: [][]int{
+			{1, 0, 2},
+			{0, 1, 2},
+			{0, 1, 2},
+		},
+	}
+	res := mustMatch(t, in)
+	if !IsStable(in, res) {
+		t.Fatalf("matching unstable: %v (blocking %v)", res.HostOf, FindBlockingPairs(in, res))
+	}
+	for p, h := range res.HostOf {
+		if h == Unmatched {
+			t.Errorf("proposer %d unmatched in a square instance with full lists", p)
+		}
+	}
+}
+
+func TestCapacityManyToOne(t *testing.T) {
+	// 4 proposers, 2 hosts with capacity 2 each.
+	in := &Instance{
+		NumProposers:  4,
+		NumHosts:      2,
+		ProposerPrefs: seqPrefs(4, 2),
+		HostPrefs: [][]int{
+			{0, 1, 2, 3},
+			{3, 2, 1, 0},
+		},
+		Capacity: []float64{2, 2},
+	}
+	res := mustMatch(t, in)
+	if !IsStable(in, res) {
+		t.Fatalf("unstable: %v", FindBlockingPairs(in, res))
+	}
+	// Host 0 keeps its two favorites 0,1; 2,3 overflow to host 1.
+	if res.HostOf[0] != 0 || res.HostOf[1] != 0 {
+		t.Errorf("HostOf = %v, want proposers 0,1 on host 0", res.HostOf)
+	}
+	if res.HostOf[2] != 1 || res.HostOf[3] != 1 {
+		t.Errorf("HostOf = %v, want proposers 2,3 on host 1", res.HostOf)
+	}
+	// TenantsOf ordering follows host preference.
+	if got := res.TenantsOf[1]; len(got) != 2 || got[0] != 3 || got[1] != 2 {
+		t.Errorf("TenantsOf[1] = %v, want [3 2] (host preference order)", got)
+	}
+}
+
+func TestUnacceptablePairsNeverMatched(t *testing.T) {
+	in := &Instance{
+		NumProposers:  2,
+		NumHosts:      2,
+		ProposerPrefs: [][]int{{0}, {0, 1}}, // proposer 0 refuses host 1
+		HostPrefs: [][]int{
+			{1}, // host 0 refuses proposer 0
+			{1, 0},
+		},
+	}
+	res := mustMatch(t, in)
+	if res.HostOf[0] != Unmatched {
+		t.Errorf("proposer 0 matched to %d despite mutual unacceptability", res.HostOf[0])
+	}
+	if res.HostOf[1] != 0 {
+		t.Errorf("proposer 1 on %d, want host 0 (its first choice accepts it)", res.HostOf[1])
+	}
+	if !IsStable(in, res) {
+		t.Errorf("unstable: %v", FindBlockingPairs(in, res))
+	}
+}
+
+func TestZeroCapacityHostStaysEmpty(t *testing.T) {
+	in := &Instance{
+		NumProposers:  2,
+		NumHosts:      2,
+		ProposerPrefs: seqPrefs(2, 2),
+		HostPrefs:     seqPrefs(2, 2),
+		Capacity:      []float64{0, 2},
+	}
+	res := mustMatch(t, in)
+	if len(res.TenantsOf[0]) != 0 {
+		t.Errorf("zero-capacity host has tenants %v", res.TenantsOf[0])
+	}
+	if res.HostOf[0] != 1 || res.HostOf[1] != 1 {
+		t.Errorf("HostOf = %v, want both on host 1", res.HostOf)
+	}
+}
+
+func TestHeterogeneousLoadsRespectCapacity(t *testing.T) {
+	in := &Instance{
+		NumProposers:  3,
+		NumHosts:      1,
+		ProposerPrefs: seqPrefs(3, 1),
+		HostPrefs:     [][]int{{0, 1, 2}},
+		Load:          []float64{2, 2, 1},
+		Capacity:      []float64{3},
+	}
+	res := mustMatch(t, in)
+	// Favorite (0, load 2) plus third (2, load 1) fit exactly; 1 overflows.
+	if res.HostOf[0] != 0 {
+		t.Errorf("proposer 0 on %d, want host 0", res.HostOf[0])
+	}
+	if res.HostOf[1] != Unmatched {
+		t.Errorf("proposer 1 on %d, want unmatched (no room)", res.HostOf[1])
+	}
+	var used float64
+	for p, h := range res.HostOf {
+		if h == 0 {
+			used += in.Load[p]
+		}
+	}
+	if used > in.Capacity[0] {
+		t.Errorf("capacity violated: used %v > %v", used, in.Capacity[0])
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   Instance
+	}{
+		{"negative dims", Instance{NumProposers: -1}},
+		{"bad proposer rows", Instance{NumProposers: 2, ProposerPrefs: [][]int{{0}}, HostPrefs: [][]int{}}},
+		{"bad host rows", Instance{NumProposers: 0, NumHosts: 2, ProposerPrefs: [][]int{}, HostPrefs: [][]int{{}}}},
+		{"invalid host ref", Instance{NumProposers: 1, NumHosts: 1, ProposerPrefs: [][]int{{5}}, HostPrefs: [][]int{{}}}},
+		{"dup host ref", Instance{NumProposers: 1, NumHosts: 1, ProposerPrefs: [][]int{{0, 0}}, HostPrefs: [][]int{{}}}},
+		{"invalid proposer ref", Instance{NumProposers: 1, NumHosts: 1, ProposerPrefs: [][]int{{}}, HostPrefs: [][]int{{7}}}},
+		{"dup proposer ref", Instance{NumProposers: 1, NumHosts: 1, ProposerPrefs: [][]int{{}}, HostPrefs: [][]int{{0, 0}}}},
+		{"bad load len", Instance{NumProposers: 1, NumHosts: 1, ProposerPrefs: [][]int{{}}, HostPrefs: [][]int{{}}, Load: []float64{1, 1}}},
+		{"non-positive load", Instance{NumProposers: 1, NumHosts: 1, ProposerPrefs: [][]int{{}}, HostPrefs: [][]int{{}}, Load: []float64{0}}},
+		{"bad capacity len", Instance{NumProposers: 1, NumHosts: 1, ProposerPrefs: [][]int{{}}, HostPrefs: [][]int{{}}, Capacity: []float64{1, 2}}},
+		{"negative capacity", Instance{NumProposers: 1, NumHosts: 1, ProposerPrefs: [][]int{{}}, HostPrefs: [][]int{{}}, Capacity: []float64{-1}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Match(&tc.in); err == nil {
+				t.Errorf("Match accepted invalid instance")
+			}
+		})
+	}
+}
+
+func TestEmptyInstance(t *testing.T) {
+	res := mustMatch(t, &Instance{})
+	if len(res.HostOf) != 0 || len(res.TenantsOf) != 0 {
+		t.Errorf("non-empty result for empty instance: %+v", res)
+	}
+}
+
+func randInstance(rng *rand.Rand, nP, nH int, caps []float64) *Instance {
+	in := &Instance{
+		NumProposers:  nP,
+		NumHosts:      nH,
+		ProposerPrefs: make([][]int, nP),
+		HostPrefs:     make([][]int, nH),
+		Capacity:      caps,
+	}
+	for p := 0; p < nP; p++ {
+		in.ProposerPrefs[p] = rng.Perm(nH)
+	}
+	for h := 0; h < nH; h++ {
+		in.HostPrefs[h] = rng.Perm(nP)
+	}
+	return in
+}
+
+// TestQuickStabilityUnitLoads: with unit loads and integer capacities the
+// classical hospitals/residents guarantee holds: the result of deferred
+// acceptance has no blocking pairs.
+func TestQuickStabilityUnitLoads(t *testing.T) {
+	f := func(seed int64, pn, hn, capSeed uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nP := int(pn%10) + 1
+		nH := int(hn%6) + 1
+		caps := make([]float64, nH)
+		for h := range caps {
+			caps[h] = float64(int(capSeed)%3 + 1)
+		}
+		in := randInstance(rng, nP, nH, caps)
+		res, err := Match(in)
+		if err != nil {
+			return false
+		}
+		return IsStable(in, res)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCapacityNeverViolated: regardless of load heterogeneity the
+// matching never exceeds any host capacity.
+func TestQuickCapacityNeverViolated(t *testing.T) {
+	f := func(seed int64, pn, hn uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nP := int(pn%12) + 1
+		nH := int(hn%5) + 1
+		caps := make([]float64, nH)
+		for h := range caps {
+			caps[h] = 1 + rng.Float64()*4
+		}
+		in := randInstance(rng, nP, nH, caps)
+		in.Load = make([]float64, nP)
+		for p := range in.Load {
+			in.Load[p] = 0.5 + rng.Float64()*2
+		}
+		res, err := Match(in)
+		if err != nil {
+			return false
+		}
+		used := make([]float64, nH)
+		for p, h := range res.HostOf {
+			if h != Unmatched {
+				used[h] += in.Load[p]
+			}
+		}
+		for h := range used {
+			if used[h] > caps[h]+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickEveryoneMatchedWhenRoomAndFullLists: with unit loads, full
+// preference lists, and total capacity >= proposers, nobody stays unmatched.
+func TestQuickEveryoneMatchedWhenRoomAndFullLists(t *testing.T) {
+	f := func(seed int64, pn uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nP := int(pn%10) + 1
+		nH := 3
+		caps := make([]float64, nH)
+		per := float64((nP + nH - 1) / nH)
+		for h := range caps {
+			caps[h] = per + 1
+		}
+		in := randInstance(rng, nP, nH, caps)
+		res, err := Match(in)
+		if err != nil {
+			return false
+		}
+		for _, h := range res.HostOf {
+			if h == Unmatched {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickTenantsOfConsistent: TenantsOf and HostOf agree exactly.
+func TestQuickTenantsOfConsistent(t *testing.T) {
+	f := func(seed int64, pn, hn uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := randInstance(rng, int(pn%8)+1, int(hn%4)+1, nil)
+		res, err := Match(in)
+		if err != nil {
+			return false
+		}
+		count := 0
+		for h, tens := range res.TenantsOf {
+			for _, p := range tens {
+				if res.HostOf[p] != h {
+					return false
+				}
+				count++
+			}
+		}
+		matched := 0
+		for _, h := range res.HostOf {
+			if h != Unmatched {
+				matched++
+			}
+		}
+		return count == matched
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRoundsBounded(t *testing.T) {
+	// Proposal rounds are bounded by proposers x hosts plus the initial pass.
+	rng := rand.New(rand.NewSource(7))
+	in := randInstance(rng, 40, 10, nil)
+	res := mustMatch(t, in)
+	if res.Rounds > 40*10+40 {
+		t.Errorf("rounds = %d, want <= %d", res.Rounds, 40*10+40)
+	}
+}
+
+func BenchmarkMatch100x20(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	caps := make([]float64, 20)
+	for i := range caps {
+		caps[i] = 5
+	}
+	in := randInstance(rng, 100, 20, caps)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Match(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

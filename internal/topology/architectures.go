@@ -1,0 +1,338 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+)
+
+// LinkParams carries the per-tier link characteristics used by the
+// architecture constructors.
+type LinkParams struct {
+	// Bandwidth of every constructed link, in data units per time unit.
+	Bandwidth float64
+	// Latency contribution of every link, in delay units T. The per-switch
+	// delay of 1 T is accounted separately by PathLatency.
+	Latency float64
+	// SwitchCapacity is the aggregate rate each switch can carry
+	// (w.capacity). Use math.Inf(1) for unconstrained switches.
+	SwitchCapacity float64
+	// Oversubscription thins the tree's switch-to-switch uplinks the way
+	// production data centers do: an uplink carries Bandwidth x fanout /
+	// Oversubscription, so with 8 servers per rack and 4:1 oversubscription
+	// the rack uplink offers a quarter of the rack's aggregate edge
+	// bandwidth. Zero (the default) keeps every link at Bandwidth
+	// (non-blocking). Applies to NewTree, NewPaperTree and NewCaseStudyTree;
+	// Fat-Tree, VL2 and BCube are rearrangeably non-blocking by construction
+	// and ignore it.
+	Oversubscription float64
+}
+
+// DefaultLinkParams returns the parameters used throughout the evaluation
+// unless an experiment overrides them: 1.0 data units per time unit per link,
+// zero extra link latency (all delay comes from switch traversals), and
+// switch capacity equal to 8x the link bandwidth (a modest oversubscription,
+// so that hot switches can actually saturate).
+func DefaultLinkParams() LinkParams {
+	return LinkParams{Bandwidth: 1.0, Latency: 0, SwitchCapacity: 8.0}
+}
+
+func (p LinkParams) orDefault() LinkParams {
+	d := DefaultLinkParams()
+	if p.Bandwidth <= 0 {
+		p.Bandwidth = d.Bandwidth
+	}
+	if p.SwitchCapacity == 0 {
+		p.SwitchCapacity = d.SwitchCapacity
+	}
+	if p.Latency < 0 {
+		p.Latency = 0
+	}
+	if p.Oversubscription < 0 {
+		p.Oversubscription = 0
+	}
+	return p
+}
+
+// uplinkBandwidth returns the switch-to-switch link bandwidth for a switch
+// with the given downstream fanout under the configured oversubscription.
+func (p LinkParams) uplinkBandwidth(fanout int) float64 {
+	if p.Oversubscription <= 0 {
+		return p.Bandwidth
+	}
+	bw := p.Bandwidth * float64(fanout) / p.Oversubscription
+	if bw <= 0 {
+		return p.Bandwidth
+	}
+	return bw
+}
+
+// NewTree builds a classic single-rooted multi-tier tree: one core switch at
+// the top, `fanout` children per switch for `depth` switch tiers, and
+// `fanout` servers under each access (lowest-tier) switch.
+//
+// depth counts switch tiers: depth=1 is a single access switch with fanout
+// servers; depth=3 with fanout=2 is core -> 2 aggregation -> 4 access -> 8
+// servers. Switch types are "core" for the root, "aggregation" for every
+// middle tier, and "access" for the lowest tier (with depth==1 the single
+// switch is typed "access").
+func NewTree(depth, fanout int, p LinkParams) (*Topology, error) {
+	if depth < 1 {
+		return nil, fmt.Errorf("topology: tree depth must be >= 1, got %d", depth)
+	}
+	if fanout < 1 {
+		return nil, fmt.Errorf("topology: tree fanout must be >= 1, got %d", fanout)
+	}
+	p = p.orDefault()
+	b := NewBuilder("tree")
+
+	// Tier numbering: access = 0 ... root = depth-1.
+	typeFor := func(tier int) string {
+		switch {
+		case tier == 0:
+			return TypeAccess
+		case tier == depth-1:
+			return TypeCore
+		default:
+			return TypeAggregation
+		}
+	}
+
+	prev := []NodeID{b.AddSwitch("core0", typeFor(depth-1), depth-1, p.SwitchCapacity)}
+	for tier := depth - 2; tier >= 0; tier-- {
+		var cur []NodeID
+		for pi, parent := range prev {
+			for c := 0; c < fanout; c++ {
+				name := fmt.Sprintf("%s%d_%d", typeFor(tier), tier, pi*fanout+c)
+				sw := b.AddSwitch(name, typeFor(tier), tier, p.SwitchCapacity)
+				b.Connect(parent, sw, p.uplinkBandwidth(fanout), p.Latency)
+				cur = append(cur, sw)
+			}
+		}
+		prev = cur
+	}
+	for ai, access := range prev {
+		for s := 0; s < fanout; s++ {
+			srv := b.AddServer(fmt.Sprintf("s%d", ai*fanout+s))
+			b.Connect(access, srv, p.Bandwidth, p.Latency)
+		}
+	}
+	return b.Build()
+}
+
+// NewPaperTree builds the testbed network of §7.1: a tree of depth 3 with
+// fanout 8 at the access tier — 64 hosts behind 8 access switches, one
+// aggregation switch and one core switch (10 switches total, matching the
+// paper's "64 hosts connected to 10 switches").
+func NewPaperTree(p LinkParams) (*Topology, error) {
+	p = p.orDefault()
+	b := NewBuilder("tree")
+	core := b.AddSwitch("core0", TypeCore, 2, p.SwitchCapacity)
+	agg := b.AddSwitch("aggregation1_0", TypeAggregation, 1, p.SwitchCapacity)
+	b.Connect(core, agg, p.uplinkBandwidth(8), p.Latency)
+	for a := 0; a < 8; a++ {
+		acc := b.AddSwitch(fmt.Sprintf("access0_%d", a), TypeAccess, 0, p.SwitchCapacity)
+		b.Connect(agg, acc, p.uplinkBandwidth(8), p.Latency)
+		for s := 0; s < 8; s++ {
+			srv := b.AddServer(fmt.Sprintf("s%d", a*8+s))
+			b.Connect(acc, srv, p.Bandwidth, p.Latency)
+		}
+	}
+	return b.Build()
+}
+
+// NewCaseStudyTree builds the 4-slave topology of the §2.3 case study
+// (Figure 3): servers S1,S2 under one access switch, S3,S4 under another,
+// both access switches under a single root. Server IDs are returned in
+// S1..S4 order.
+func NewCaseStudyTree(p LinkParams) (*Topology, [4]NodeID, error) {
+	p = p.orDefault()
+	b := NewBuilder("tree")
+	root := b.AddSwitch("core0", TypeCore, 1, p.SwitchCapacity)
+	accL := b.AddSwitch("access0_0", TypeAccess, 0, p.SwitchCapacity)
+	accR := b.AddSwitch("access0_1", TypeAccess, 0, p.SwitchCapacity)
+	b.Connect(root, accL, p.uplinkBandwidth(2), p.Latency)
+	b.Connect(root, accR, p.uplinkBandwidth(2), p.Latency)
+	var servers [4]NodeID
+	for i := 0; i < 2; i++ {
+		servers[i] = b.AddServer(fmt.Sprintf("s%d", i+1))
+		b.Connect(accL, servers[i], p.Bandwidth, p.Latency)
+	}
+	for i := 2; i < 4; i++ {
+		servers[i] = b.AddServer(fmt.Sprintf("s%d", i+1))
+		b.Connect(accR, servers[i], p.Bandwidth, p.Latency)
+	}
+	t, err := b.Build()
+	return t, servers, err
+}
+
+// NewFatTree builds a k-ary fat-tree [Leiserson'85 / Al-Fares'08 form]:
+// (k/2)^2 core switches, k pods each holding k/2 aggregation and k/2 edge
+// (access) switches, and k/2 servers per edge switch — k^3/4 servers total.
+// k must be even and >= 2.
+func NewFatTree(k int, p LinkParams) (*Topology, error) {
+	if k < 2 || k%2 != 0 {
+		return nil, fmt.Errorf("topology: fat-tree k must be even and >= 2, got %d", k)
+	}
+	p = p.orDefault()
+	b := NewBuilder("fattree")
+	half := k / 2
+
+	cores := make([]NodeID, half*half)
+	for i := range cores {
+		cores[i] = b.AddSwitch(fmt.Sprintf("core%d", i), TypeCore, 2, p.SwitchCapacity)
+	}
+	for pod := 0; pod < k; pod++ {
+		aggs := make([]NodeID, half)
+		for a := 0; a < half; a++ {
+			aggs[a] = b.AddSwitch(fmt.Sprintf("aggregation_p%d_%d", pod, a), TypeAggregation, 1, p.SwitchCapacity)
+			// Aggregation switch a in each pod connects to core group a.
+			for c := 0; c < half; c++ {
+				b.Connect(aggs[a], cores[a*half+c], p.Bandwidth, p.Latency)
+			}
+		}
+		for e := 0; e < half; e++ {
+			edge := b.AddSwitch(fmt.Sprintf("access_p%d_%d", pod, e), TypeAccess, 0, p.SwitchCapacity)
+			for _, agg := range aggs {
+				b.Connect(edge, agg, p.Bandwidth, p.Latency)
+			}
+			for s := 0; s < half; s++ {
+				srv := b.AddServer(fmt.Sprintf("s_p%d_%d_%d", pod, e, s))
+				b.Connect(edge, srv, p.Bandwidth, p.Latency)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// NewVL2 builds a VL2-style Clos network [Greenberg'09]: dI intermediate
+// switches at the top, dA aggregation switches each connected to every
+// intermediate switch, and dA*tPerAgg top-of-rack (access) switches, each
+// ToR dual-homed to two aggregation switches, with serversPerToR servers
+// per rack.
+func NewVL2(dA, dI, tPerAgg, serversPerToR int, p LinkParams) (*Topology, error) {
+	if dA < 2 || dI < 1 || tPerAgg < 1 || serversPerToR < 1 {
+		return nil, fmt.Errorf("topology: invalid VL2 parameters dA=%d dI=%d tPerAgg=%d servers=%d",
+			dA, dI, tPerAgg, serversPerToR)
+	}
+	p = p.orDefault()
+	b := NewBuilder("vl2")
+
+	inters := make([]NodeID, dI)
+	for i := range inters {
+		inters[i] = b.AddSwitch(fmt.Sprintf("intermediate%d", i), TypeIntermediate, 2, p.SwitchCapacity)
+	}
+	aggs := make([]NodeID, dA)
+	for a := range aggs {
+		aggs[a] = b.AddSwitch(fmt.Sprintf("aggregation%d", a), TypeAggregation, 1, p.SwitchCapacity)
+		for _, in := range inters {
+			b.Connect(aggs[a], in, p.Bandwidth, p.Latency)
+		}
+	}
+	nToR := dA * tPerAgg
+	for r := 0; r < nToR; r++ {
+		tor := b.AddSwitch(fmt.Sprintf("access%d", r), TypeAccess, 0, p.SwitchCapacity)
+		// Dual-home to two consecutive aggregation switches.
+		b.Connect(tor, aggs[r%dA], p.Bandwidth, p.Latency)
+		b.Connect(tor, aggs[(r+1)%dA], p.Bandwidth, p.Latency)
+		for s := 0; s < serversPerToR; s++ {
+			srv := b.AddServer(fmt.Sprintf("s_r%d_%d", r, s))
+			b.Connect(tor, srv, p.Bandwidth, p.Latency)
+		}
+	}
+	return b.Build()
+}
+
+// NewBCube builds a BCube(n, k) server-centric network [Guo'09]: n^(k+1)
+// servers, with k+1 levels of switches; level l holds n^k switches of type
+// "level<l>" and each connects n servers that differ only in digit l of
+// their base-n address. Servers participate in forwarding (they have
+// multiple switch attachments), which the generic path machinery handles
+// naturally.
+func NewBCube(n, k int, p LinkParams) (*Topology, error) {
+	if n < 2 || k < 0 {
+		return nil, fmt.Errorf("topology: BCube needs n >= 2, k >= 0; got n=%d k=%d", n, k)
+	}
+	nServers := 1
+	for i := 0; i <= k; i++ {
+		nServers *= n
+		if nServers > 1<<20 {
+			return nil, fmt.Errorf("topology: BCube(%d,%d) too large", n, k)
+		}
+	}
+	p = p.orDefault()
+	b := NewBuilder("bcube")
+
+	servers := make([]NodeID, nServers)
+	for i := range servers {
+		servers[i] = b.AddServer(fmt.Sprintf("s%d", i))
+	}
+	// Level l: n^k switches; switch j at level l connects servers whose
+	// address with digit l removed equals j.
+	nPerLevel := nServers / n
+	for l := 0; l <= k; l++ {
+		digit := 1
+		for i := 0; i < l; i++ {
+			digit *= n
+		}
+		for j := 0; j < nPerLevel; j++ {
+			sw := b.AddSwitch(fmt.Sprintf("level%d_%d", l, j), fmt.Sprintf("%s%d", TypeLevel, l), l, p.SwitchCapacity)
+			// Reconstruct the n member servers: insert each value of digit l
+			// into position l of j's mixed-radix representation.
+			low := j % digit
+			high := j / digit
+			for v := 0; v < n; v++ {
+				addr := high*digit*n + v*digit + low
+				b.Connect(sw, servers[addr], p.Bandwidth, p.Latency)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// ArchitectureNames lists the built-in architecture constructors in the
+// order the paper's Figure 8(b) presents them.
+func ArchitectureNames() []string { return []string{"tree", "fattree", "bcube", "vl2"} }
+
+// NewArchitecture builds one of the four evaluated architectures by name,
+// sized to hold at least minServers servers. The concrete sizes follow the
+// evaluation setup: trees grow fanout, fat-trees grow k, VL2 grows racks,
+// BCube grows n.
+func NewArchitecture(name string, minServers int, p LinkParams) (*Topology, error) {
+	if minServers < 1 {
+		return nil, fmt.Errorf("topology: minServers must be >= 1, got %d", minServers)
+	}
+	switch name {
+	case "tree":
+		// depth 3; pick the smallest fanout with fanout^3 >= minServers.
+		f := 2
+		for f*f*f < minServers {
+			f++
+		}
+		return NewTree(3, f, p)
+	case "fattree":
+		k := 2
+		for k*k*k/4 < minServers {
+			k += 2
+		}
+		return NewFatTree(k, p)
+	case "vl2":
+		dA, dI := 4, 2
+		tPerAgg := 1
+		perToR := 4
+		for dA*tPerAgg*perToR < minServers {
+			tPerAgg++
+		}
+		return NewVL2(dA, dI, tPerAgg, perToR, p)
+	case "bcube":
+		n := 2
+		for n*n < minServers {
+			n++
+		}
+		return NewBCube(n, 1, p)
+	default:
+		return nil, fmt.Errorf("topology: unknown architecture %q", name)
+	}
+}
+
+// InfiniteCapacity is a convenience alias for an unconstrained switch.
+var InfiniteCapacity = math.Inf(1)

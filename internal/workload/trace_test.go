@@ -1,0 +1,112 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTraceSaveLoadRoundTrip(t *testing.T) {
+	g, err := NewGenerator(DefaultConfig(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := NewTrace("mix", g, 4, 0.1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Jobs) != 4 || len(tr.Arrivals) != 4 {
+		t.Fatalf("trace sized %d/%d", len(tr.Jobs), len(tr.Arrivals))
+	}
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "mix" || len(got.Jobs) != 4 {
+		t.Fatalf("loaded %q with %d jobs", got.Name, len(got.Jobs))
+	}
+	for i := range tr.Jobs {
+		if got.Jobs[i].Benchmark != tr.Jobs[i].Benchmark ||
+			got.Jobs[i].TotalShuffleGB() != tr.Jobs[i].TotalShuffleGB() {
+			t.Errorf("job %d differs after round trip", i)
+		}
+		if got.Arrivals[i] != tr.Arrivals[i] {
+			t.Errorf("arrival %d differs", i)
+		}
+	}
+	if got.TotalShuffleGB() != tr.TotalShuffleGB() {
+		t.Error("total shuffle differs")
+	}
+}
+
+func TestTraceBatchMode(t *testing.T) {
+	g, _ := NewGenerator(DefaultConfig(), 5)
+	tr, err := NewTrace("batch", g, 3, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Arrivals != nil {
+		t.Errorf("batch trace has arrivals %v", tr.Arrivals)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTraceValidateErrors(t *testing.T) {
+	var nilTrace *Trace
+	if nilTrace.Validate() == nil {
+		t.Error("nil trace accepted")
+	}
+	g, _ := NewGenerator(DefaultConfig(), 5)
+	tr, _ := NewTrace("x", g, 2, 0, 1)
+	tr.Jobs = append(tr.Jobs, nil)
+	if tr.Validate() == nil {
+		t.Error("nil job accepted")
+	}
+	tr, _ = NewTrace("x", g, 2, 0.5, 1)
+	tr.Arrivals = tr.Arrivals[:1]
+	if tr.Validate() == nil {
+		t.Error("short arrivals accepted")
+	}
+	tr, _ = NewTrace("x", g, 2, 0.5, 1)
+	tr.Arrivals[0], tr.Arrivals[1] = tr.Arrivals[1], tr.Arrivals[0]
+	if tr.Validate() == nil {
+		t.Error("unsorted arrivals accepted")
+	}
+	tr, _ = NewTrace("x", g, 1, 0.5, 1)
+	tr.Arrivals[0] = -1
+	if tr.Validate() == nil {
+		t.Error("negative arrival accepted")
+	}
+	bad := &Trace{Jobs: []*Job{{NumMaps: 0, NumReduces: 1}}}
+	if bad.Validate() == nil {
+		t.Error("invalid job accepted")
+	}
+	if err := bad.Save(&bytes.Buffer{}); err == nil {
+		t.Error("Save accepted invalid trace")
+	}
+}
+
+func TestNewTraceErrors(t *testing.T) {
+	if _, err := NewTrace("x", nil, 1, 0, 1); err == nil {
+		t.Error("nil generator accepted")
+	}
+	g, _ := NewGenerator(DefaultConfig(), 5)
+	if _, err := NewTrace("x", g, -1, 0, 1); err == nil {
+		t.Error("negative count accepted")
+	}
+}
+
+func TestLoadTraceErrors(t *testing.T) {
+	if _, err := LoadTrace(strings.NewReader("nope")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := LoadTrace(strings.NewReader(`{"jobs":[{"NumMaps":0}]}`)); err == nil {
+		t.Error("invalid job accepted")
+	}
+}

@@ -1,0 +1,86 @@
+package yarn
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/scheduler"
+	"repro/internal/topology"
+)
+
+// Plan is a scheduler's placement decision: each planned container's
+// preferred server. The bridge converts it into Hit-ResourceRequests and
+// realizes it through the ResourceManager, exactly the §6.3 flow: "we
+// assign resource by calling getContainer(Hit-ResourceRequest, node) if the
+// task preferred container matches the current node with available
+// resource".
+type Plan struct {
+	// Preferred maps each planned task index to its preferred server.
+	Preferred []topology.NodeID
+	// Capability is the per-container ask.
+	Capability cluster.Resources
+}
+
+// Realize submits one Hit-ResourceRequest per planned task and drives
+// heartbeats until every container is granted. It returns the granted
+// allocations, index-aligned with the plan (matching each grant to the
+// request's preferred host; grants on fallback nodes are matched after
+// preferred ones).
+func Realize(rm *ResourceManager, app *Application, plan Plan) ([]Allocation, error) {
+	if rm == nil || app == nil {
+		return nil, fmt.Errorf("yarn: nil ResourceManager or Application")
+	}
+	if len(plan.Preferred) == 0 {
+		return nil, nil
+	}
+	// One request per task, priority = task index so grants are attributable.
+	for i, pref := range plan.Preferred {
+		name := rm.HostName(pref)
+		if name == "" {
+			return nil, fmt.Errorf("yarn: plan task %d prefers invalid node %d", i, pref)
+		}
+		if err := app.Ask(ResourceRequest{
+			Priority:      i,
+			ResourceName:  name,
+			Capability:    plan.Capability,
+			NumContainers: 1,
+			RelaxLocality: true,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	if err := rm.RunUntilSatisfied(0); err != nil {
+		return nil, err
+	}
+	allocs := app.TakeAllocations()
+	if len(allocs) != len(plan.Preferred) {
+		return nil, fmt.Errorf("yarn: %d grants for %d planned tasks", len(allocs), len(plan.Preferred))
+	}
+	// Priority identifies the originating task.
+	out := make([]Allocation, len(plan.Preferred))
+	seen := make([]bool, len(plan.Preferred))
+	for _, a := range allocs {
+		if a.Priority < 0 || a.Priority >= len(out) || seen[a.Priority] {
+			return nil, fmt.Errorf("yarn: grant with unexpected priority %d", a.Priority)
+		}
+		out[a.Priority] = a
+		seen[a.Priority] = true
+	}
+	return out, nil
+}
+
+// PlanFromSchedule extracts a Plan from an already-scheduled request: the
+// placement each task's container received becomes its preferred host. This
+// is how the Hit-Scheduler's TAA solution (computed on a scratch cluster)
+// turns into the Hit-ResourceRequests the live ResourceManager serves.
+func PlanFromSchedule(req *scheduler.Request, capability cluster.Resources) (Plan, error) {
+	plan := Plan{Capability: capability}
+	for _, t := range req.Tasks {
+		ct := req.Cluster.Container(t.Container)
+		if ct == nil || !ct.Placed() {
+			return Plan{}, fmt.Errorf("yarn: task container %d unplaced; schedule first", t.Container)
+		}
+		plan.Preferred = append(plan.Preferred, ct.Server())
+	}
+	return plan, nil
+}

@@ -1,0 +1,172 @@
+package yarn
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/controller"
+	"repro/internal/core"
+	"repro/internal/scheduler"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// uniformJob builds an m x r job with `cell` GB per shuffle pair.
+func uniformJob(t *testing.T, m, r int, cell float64) *workload.Job {
+	t.Helper()
+	j := &workload.Job{ID: 0, NumMaps: m, NumReduces: r, InputGB: float64(m)}
+	j.Shuffle = make([][]float64, m)
+	for i := range j.Shuffle {
+		j.Shuffle[i] = make([]float64, r)
+		for k := range j.Shuffle[i] {
+			j.Shuffle[i][k] = cell
+		}
+	}
+	j.MapComputeSec = make([]float64, m)
+	j.ReduceComputeSec = make([]float64, r)
+	return j
+}
+
+// TestHitThroughYARN runs the full §6 pipeline: Hit-Scheduler solves TAA on
+// a scratch cluster, the solution becomes Hit-ResourceRequests, and the live
+// ResourceManager grants containers on exactly the preferred hosts (the
+// cluster being idle).
+func TestHitThroughYARN(t *testing.T) {
+	topo, err := topology.NewTree(2, 4, topology.LinkParams{Bandwidth: 1, SwitchCapacity: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scratch cluster for planning.
+	scratch, err := cluster.New(topo, cluster.Resources{CPU: 4, Memory: 8192})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl := controller.New(topo)
+	job := uniformJob(t, 6, 3, 2)
+	req, _, err := scheduler.NewJobRequest(scratch, ctl, []*workload.Job{job},
+		cluster.Resources{CPU: 1, Memory: 512}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := (&core.HitScheduler{}).Schedule(req); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := PlanFromSchedule(req, cluster.Resources{CPU: 1, Memory: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Preferred) != 9 {
+		t.Fatalf("plan has %d tasks, want 9", len(plan.Preferred))
+	}
+
+	// Live cluster served by YARN.
+	live, err := cluster.New(topo, cluster.Resources{CPU: 4, Memory: 8192})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, err := NewResourceManager(live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := rm.Submit("hit-job")
+	allocs, err := Realize(rm, app, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range allocs {
+		if a.Node != plan.Preferred[i] {
+			t.Errorf("task %d granted on %d, want preferred %d", i, a.Node, plan.Preferred[i])
+		}
+		if !a.Preferred {
+			t.Errorf("task %d grant not marked preferred", i)
+		}
+	}
+	if err := live.Validate(); err != nil {
+		t.Errorf("live cluster: %v", err)
+	}
+}
+
+// TestRealizeFallsBackUnderPressure fills the preferred hosts on the live
+// cluster; RelaxLocality lets the grants land elsewhere yet all tasks run.
+func TestRealizeFallsBackUnderPressure(t *testing.T) {
+	topo, err := topology.NewTree(2, 2, topology.LinkParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := cluster.New(topo, cluster.Resources{CPU: 2, Memory: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, err := NewResourceManager(live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := live.Servers()[0]
+	// Fill the preferred host.
+	for i := 0; i < 2; i++ {
+		ct, _ := live.NewContainer(cluster.Resources{CPU: 1, Memory: 1})
+		if err := live.Place(ct.ID, target); err != nil {
+			t.Fatal(err)
+		}
+	}
+	app := rm.Submit("pressured")
+	allocs, err := Realize(rm, app, Plan{
+		Preferred:  []topology.NodeID{target, target},
+		Capability: cluster.Resources{CPU: 1, Memory: 256},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range allocs {
+		if a.Node == target {
+			t.Errorf("task %d landed on the full preferred host", i)
+		}
+		if a.Preferred {
+			t.Errorf("task %d fallback grant marked preferred", i)
+		}
+	}
+}
+
+func TestRealizeErrors(t *testing.T) {
+	topo, _ := topology.NewTree(1, 2, topology.LinkParams{})
+	live, _ := cluster.New(topo, cluster.Resources{CPU: 1, Memory: 1024})
+	rm, _ := NewResourceManager(live)
+	app := rm.Submit("bad")
+	if _, err := Realize(nil, app, Plan{}); err == nil {
+		t.Error("nil RM accepted")
+	}
+	if got, err := Realize(rm, app, Plan{}); err != nil || got != nil {
+		t.Error("empty plan should be a successful no-op")
+	}
+	if _, err := Realize(rm, app, Plan{
+		Preferred:  []topology.NodeID{topo.Switches()[0]},
+		Capability: cluster.Resources{CPU: 1},
+	}); err == nil {
+		t.Error("switch as preferred host accepted")
+	}
+	// Unsatisfiable: more tasks than cluster slots.
+	app2 := rm.Submit("big")
+	var prefs []topology.NodeID
+	for i := 0; i < 5; i++ {
+		prefs = append(prefs, live.Servers()[0])
+	}
+	if _, err := Realize(rm, app2, Plan{Preferred: prefs, Capability: cluster.Resources{CPU: 1}}); err == nil {
+		t.Error("oversubscribed plan accepted")
+	}
+}
+
+func TestPlanFromScheduleUnplaced(t *testing.T) {
+	topo, _ := topology.NewTree(1, 2, topology.LinkParams{})
+	cl, _ := cluster.New(topo, cluster.Resources{CPU: 2, Memory: 2048})
+	ctl := controller.New(topo)
+	job := uniformJob(t, 1, 1, 1)
+	req, _, err := scheduler.NewJobRequest(cl, ctl, []*workload.Job{job},
+		cluster.Resources{CPU: 1, Memory: 1}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PlanFromSchedule(req, cluster.Resources{CPU: 1}); err == nil {
+		t.Error("unscheduled request accepted")
+	}
+}

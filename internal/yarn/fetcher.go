@@ -1,0 +1,66 @@
+package yarn
+
+import (
+	"fmt"
+
+	"repro/internal/topology"
+)
+
+// DelayFetcher models the paper's modified shuffle Fetcher (§6.1): the
+// transfer delay between two machines is the shuffle cost over the path
+// divided by the path's bandwidth, Delay = C(s_i, s_j) / B_ij, plus the
+// per-switch forwarding delay. It is the fast closed-form estimator the
+// Hadoop-side implementation sleeps on to mimic hierarchical-network
+// latency; the flow-level simulator is the ground truth it approximates.
+type DelayFetcher struct {
+	topo *topology.Topology
+	// UnitCost is c_s, the per-hop cost multiplier (default 1).
+	UnitCost float64
+}
+
+// NewDelayFetcher builds a fetcher over the topology.
+func NewDelayFetcher(topo *topology.Topology) *DelayFetcher {
+	return &DelayFetcher{topo: topo, UnitCost: 1}
+}
+
+// PathBandwidth returns the bottleneck link bandwidth on the shortest path
+// between two servers (B_ij), or an error when disconnected.
+func (d *DelayFetcher) PathBandwidth(src, dst topology.NodeID) (float64, error) {
+	if src == dst {
+		return 0, fmt.Errorf("yarn: same-server fetch has no path bandwidth")
+	}
+	path := d.topo.ShortestPath(src, dst)
+	if path == nil {
+		return 0, fmt.Errorf("yarn: no path between %d and %d", src, dst)
+	}
+	min := -1.0
+	for i := 1; i < len(path); i++ {
+		l, ok := d.topo.Link(path[i-1], path[i])
+		if !ok {
+			return 0, fmt.Errorf("yarn: missing link %d-%d", path[i-1], path[i])
+		}
+		if min < 0 || l.Bandwidth < min {
+			min = l.Bandwidth
+		}
+	}
+	return min, nil
+}
+
+// FetchDelay estimates the delay of pulling sizeGB of map output from src
+// to dst: transfer time at the bottleneck bandwidth plus the route's
+// propagation latency in T units. Same-server fetches are free.
+func (d *DelayFetcher) FetchDelay(src, dst topology.NodeID, sizeGB float64) (float64, error) {
+	if sizeGB < 0 {
+		return 0, fmt.Errorf("yarn: negative fetch size %v", sizeGB)
+	}
+	if src == dst {
+		return 0, nil
+	}
+	bw, err := d.PathBandwidth(src, dst)
+	if err != nil {
+		return 0, err
+	}
+	path := d.topo.ShortestPath(src, dst)
+	cost := sizeGB * d.UnitCost
+	return cost/bw + d.topo.PathLatency(path), nil
+}

@@ -1,0 +1,106 @@
+package yarn
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Queue shares implement the multi-tenant side of the paper's setting: the
+// Capacity scheduler's defining feature is named queues with guaranteed
+// cluster fractions. Applications submit into a queue; when multiple
+// queues compete, the ResourceManager serves the most under-served queue
+// first (used CPU relative to its share), falling back to FIFO within a
+// queue. An absent queue configuration degrades to plain FIFO across all
+// applications.
+
+// ConfigureQueues installs leaf queues with relative shares (normalized
+// internally; they need not sum to 1). It fails on duplicate or empty
+// names and non-positive shares, and may only be called before any
+// application is submitted.
+func (rm *ResourceManager) ConfigureQueues(shares map[string]float64) error {
+	if len(rm.apps) > 0 {
+		return fmt.Errorf("yarn: queues must be configured before applications are submitted")
+	}
+	if len(shares) == 0 {
+		return fmt.Errorf("yarn: no queues given")
+	}
+	total := 0.0
+	for name, share := range shares {
+		if name == "" {
+			return fmt.Errorf("yarn: empty queue name")
+		}
+		if share <= 0 {
+			return fmt.Errorf("yarn: queue %q share %v must be positive", name, share)
+		}
+		total += share
+	}
+	rm.queueShare = make(map[string]float64, len(shares))
+	for name, share := range shares {
+		rm.queueShare[name] = share / total
+	}
+	return nil
+}
+
+// Queues lists configured queue names, sorted.
+func (rm *ResourceManager) Queues() []string {
+	out := make([]string, 0, len(rm.queueShare))
+	for q := range rm.queueShare {
+		out = append(out, q)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SubmitToQueue registers an application in a configured queue.
+func (rm *ResourceManager) SubmitToQueue(name, queue string) (*Application, error) {
+	if len(rm.queueShare) == 0 {
+		return nil, fmt.Errorf("yarn: no queues configured")
+	}
+	if _, ok := rm.queueShare[queue]; !ok {
+		return nil, fmt.Errorf("yarn: unknown queue %q", queue)
+	}
+	app := rm.Submit(name)
+	rm.apps[app.id].queue = queue
+	return app, nil
+}
+
+// QueueUsage returns the CPU currently held by a queue's applications.
+func (rm *ResourceManager) QueueUsage(queue string) int {
+	used := 0
+	for _, st := range rm.apps {
+		if st.queue != queue {
+			continue
+		}
+		for c := range st.containers {
+			if ct := rm.cl.Container(c); ct != nil && ct.Placed() {
+				used += ct.Demand.CPU
+			}
+		}
+	}
+	return used
+}
+
+// appOrder returns application IDs in scheduling order: with queues
+// configured, ascending by the owning queue's used-CPU/share ratio (most
+// under-served queue first), then submission order; without queues, plain
+// FIFO.
+func (rm *ResourceManager) appOrder() []AppID {
+	if len(rm.queueShare) == 0 {
+		return rm.order
+	}
+	usage := make(map[string]float64, len(rm.queueShare))
+	for q := range rm.queueShare {
+		usage[q] = float64(rm.QueueUsage(q))
+	}
+	out := append([]AppID(nil), rm.order...)
+	ratio := func(id AppID) float64 {
+		q := rm.apps[id].queue
+		share, ok := rm.queueShare[q]
+		if !ok || share <= 0 {
+			return 1e18 // unqueued apps go last when queues are configured
+		}
+		return usage[q] / share
+	}
+	sort.SliceStable(out, func(i, j int) bool { return ratio(out[i]) < ratio(out[j]) })
+	return out
+}

@@ -1,0 +1,129 @@
+package yarn
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+func TestConfigureQueuesValidation(t *testing.T) {
+	rm, _, _ := newRM(t, cluster.Resources{CPU: 1, Memory: 1024})
+	if err := rm.ConfigureQueues(nil); err == nil {
+		t.Error("empty config accepted")
+	}
+	if err := rm.ConfigureQueues(map[string]float64{"": 1}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := rm.ConfigureQueues(map[string]float64{"a": 0}); err == nil {
+		t.Error("zero share accepted")
+	}
+	if err := rm.ConfigureQueues(map[string]float64{"a": 3, "b": 1}); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	if got := rm.Queues(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("Queues = %v", got)
+	}
+	// After submission, reconfiguration is rejected.
+	if _, err := rm.SubmitToQueue("app", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := rm.ConfigureQueues(map[string]float64{"c": 1}); err == nil {
+		t.Error("late reconfiguration accepted")
+	}
+}
+
+func TestSubmitToQueueErrors(t *testing.T) {
+	rm, _, _ := newRM(t, cluster.Resources{CPU: 1, Memory: 1024})
+	if _, err := rm.SubmitToQueue("app", "a"); err == nil {
+		t.Error("submit without queues accepted")
+	}
+	if err := rm.ConfigureQueues(map[string]float64{"a": 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rm.SubmitToQueue("app", "nope"); err == nil {
+		t.Error("unknown queue accepted")
+	}
+}
+
+func TestQueueSharesGovernContention(t *testing.T) {
+	// 16 servers x 1 CPU = 16 slots. Queue "big" (share 3) and "small"
+	// (share 1) each want 16 containers; grants should split ~12:4.
+	rm, cl, _ := newRM(t, cluster.Resources{CPU: 1, Memory: 1024})
+	if err := rm.ConfigureQueues(map[string]float64{"big": 3, "small": 1}); err != nil {
+		t.Fatal(err)
+	}
+	big, err := rm.SubmitToQueue("big-app", "big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := rm.SubmitToQueue("small-app", "small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ask := ResourceRequest{ResourceName: AnyHost, NumContainers: 16,
+		Capability: cluster.Resources{CPU: 1, Memory: 64}}
+	if err := big.Ask(ask); err != nil {
+		t.Fatal(err)
+	}
+	if err := small.Ask(ask); err != nil {
+		t.Fatal(err)
+	}
+	// Heartbeat nodes one at a time: the under-served-queue-first rule
+	// alternates grants toward the 3:1 ratio.
+	for _, s := range cl.Servers() {
+		if _, err := rm.Heartbeat(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gotBig := len(big.TakeAllocations())
+	gotSmall := len(small.TakeAllocations())
+	if gotBig+gotSmall != 16 {
+		t.Fatalf("grants = %d + %d, want 16 total", gotBig, gotSmall)
+	}
+	// 3:1 of 16 is 12:4; allow one slot of slack.
+	if gotBig < 11 || gotBig > 13 {
+		t.Errorf("big queue got %d slots, want ~12", gotBig)
+	}
+	if got := rm.QueueUsage("big"); got != gotBig {
+		t.Errorf("QueueUsage(big) = %d, want %d", got, gotBig)
+	}
+}
+
+func TestQueueStarvationRecovers(t *testing.T) {
+	// Small queue's app arrives late; after the big app releases, the small
+	// queue is served first (most under-served).
+	rm, cl, _ := newRM(t, cluster.Resources{CPU: 1, Memory: 1024})
+	if err := rm.ConfigureQueues(map[string]float64{"big": 1, "small": 1}); err != nil {
+		t.Fatal(err)
+	}
+	big, _ := rm.SubmitToQueue("big-app", "big")
+	if err := big.Ask(ResourceRequest{ResourceName: AnyHost, NumContainers: 16,
+		Capability: cluster.Resources{CPU: 1, Memory: 64}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rm.RunUntilSatisfied(5); err != nil {
+		t.Fatal(err)
+	}
+	bigAllocs := big.TakeAllocations()
+	if len(bigAllocs) != 16 {
+		t.Fatalf("big got %d", len(bigAllocs))
+	}
+	small, _ := rm.SubmitToQueue("small-app", "small")
+	if err := small.Ask(ResourceRequest{ResourceName: AnyHost, NumContainers: 2,
+		Capability: cluster.Resources{CPU: 1, Memory: 64}}); err != nil {
+		t.Fatal(err)
+	}
+	// Release two big containers; the freed slots must go to small.
+	for i := 0; i < 2; i++ {
+		if err := big.Release(bigAllocs[i].Container); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rm.RunUntilSatisfied(5); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(small.TakeAllocations()); got != 2 {
+		t.Errorf("small got %d grants after release, want 2", got)
+	}
+	_ = cl
+}

@@ -1,0 +1,132 @@
+package repro
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/controller"
+	"repro/internal/core"
+	"repro/internal/scheduler"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// Scalability benchmarks back the paper's complexity claims: Algorithm 2's
+// stable matching runs in O(M×N) (servers × containers) and the
+// subsequent-wave greedy pass in O(n²). Each benchmark scales the cluster
+// and reports scheduling wall time via the standard ns/op metric.
+
+// benchJob builds a uniform job sized to the cluster.
+func benchJob(maps, reduces int) *workload.Job {
+	j := &workload.Job{ID: 0, NumMaps: maps, NumReduces: reduces, InputGB: float64(maps)}
+	j.Shuffle = make([][]float64, maps)
+	for m := range j.Shuffle {
+		j.Shuffle[m] = make([]float64, reduces)
+		for r := range j.Shuffle[m] {
+			j.Shuffle[m][r] = 0.5
+		}
+	}
+	j.MapComputeSec = make([]float64, maps)
+	j.ReduceComputeSec = make([]float64, reduces)
+	return j
+}
+
+func benchSchedule(b *testing.B, s scheduler.Scheduler, fanout, maps, reduces int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		topo, err := topology.NewTree(3, fanout, topology.LinkParams{Bandwidth: 1, SwitchCapacity: 1e9})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cl, err := cluster.New(topo, cluster.Resources{CPU: 2, Memory: 8192})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctl := controller.New(topo)
+		req, _, err := scheduler.NewJobRequest(cl, ctl, []*workload.Job{benchJob(maps, reduces)},
+			cluster.Resources{CPU: 1, Memory: 512}, rand.New(rand.NewSource(int64(i))))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if err := s.Schedule(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHitScalability scales the cluster (tree fanout 2/4/6 ->
+// 8/64/216 servers) with task counts proportional to servers.
+func BenchmarkHitScalability(b *testing.B) {
+	for _, fanout := range []int{2, 4, 6} {
+		servers := fanout * fanout * fanout
+		maps := servers / 2
+		reduces := servers / 4
+		if reduces < 1 {
+			reduces = 1
+		}
+		b.Run(fmt.Sprintf("servers=%d", servers), func(b *testing.B) {
+			benchSchedule(b, &core.HitScheduler{}, fanout, maps, reduces)
+		})
+	}
+}
+
+// BenchmarkCapacityScalability is the baseline's cost for the same sweep.
+func BenchmarkCapacityScalability(b *testing.B) {
+	for _, fanout := range []int{2, 4, 6} {
+		servers := fanout * fanout * fanout
+		maps := servers / 2
+		reduces := servers / 4
+		if reduces < 1 {
+			reduces = 1
+		}
+		b.Run(fmt.Sprintf("servers=%d", servers), func(b *testing.B) {
+			benchSchedule(b, scheduler.Capacity{}, fanout, maps, reduces)
+		})
+	}
+}
+
+// BenchmarkSubsequentWaveScalability measures §5.3.2's greedy map placement
+// with reduces fixed (the O(n²) path).
+func BenchmarkSubsequentWaveScalability(b *testing.B) {
+	for _, fanout := range []int{2, 4, 6} {
+		servers := fanout * fanout * fanout
+		maps := servers / 2
+		b.Run(fmt.Sprintf("servers=%d", servers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				topo, err := topology.NewTree(3, fanout, topology.LinkParams{Bandwidth: 1, SwitchCapacity: 1e9})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cl, err := cluster.New(topo, cluster.Resources{CPU: 2, Memory: 8192})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ctl := controller.New(topo)
+				job := benchJob(maps, servers/4+1)
+				req, jt, err := scheduler.NewJobRequest(cl, ctl, []*workload.Job{job},
+					cluster.Resources{CPU: 1, Memory: 512}, rand.New(rand.NewSource(int64(i))))
+				if err != nil {
+					b.Fatal(err)
+				}
+				// Fix every reduce on a server, making this a pure
+				// subsequent-wave request.
+				srv := cl.Servers()
+				for ri, c := range jt[0].Reduces {
+					if err := cl.Place(c, srv[ri%len(srv)]); err != nil {
+						b.Fatal(err)
+					}
+					req.Fixed[c] = true
+				}
+				b.StartTimer()
+				if err := (&core.HitScheduler{}).Schedule(req); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
