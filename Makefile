@@ -1,0 +1,27 @@
+# Developer entry points. CI and the roadmap's tier-1 gate are
+# `make verify`; `make race` is the concurrency gate for the parallel
+# preference-matrix build and the netstate oracle's concurrent readers.
+
+GO ?= go
+
+.PHONY: all build vet test race bench verify
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench regenerates the paper's tables/figures in Quick mode.
+bench:
+	$(GO) test -run XXX -bench . -benchtime 1x .
+
+verify: build vet test

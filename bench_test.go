@@ -4,6 +4,8 @@ import (
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/internal/netstate"
+	"repro/internal/topology"
 	"repro/internal/workload"
 )
 
@@ -252,4 +254,49 @@ func BenchmarkQualityGap(b *testing.B) {
 	b.ReportMetric(last.GapPct, "gap-%")
 	b.ReportMetric(last.HitCost, "hit-cost")
 	b.ReportMetric(last.AnnealCost, "anneal-cost")
+}
+
+// BenchmarkPathOracle measures the netstate oracle's memoized path/distance
+// queries against a fresh-BFS baseline (NewUncached), on the two evaluation
+// fabrics: the 512-server tree and the k=8 fat-tree. The query mix mirrors
+// the schedulers' hot loop: a distance probe, a nearest-candidate scan and a
+// path reconstruction per server pair.
+func BenchmarkPathOracle(b *testing.B) {
+	fabrics := []struct {
+		name  string
+		build func() (*topology.Topology, error)
+	}{
+		{"Tree512", func() (*topology.Topology, error) {
+			return topology.NewTree(3, 8, topology.LinkParams{Bandwidth: 10, SwitchCapacity: 100})
+		}},
+		{"FatTree8", func() (*topology.Topology, error) {
+			return topology.NewFatTree(8, topology.LinkParams{Bandwidth: 10, SwitchCapacity: 100})
+		}},
+	}
+	for _, f := range fabrics {
+		topo, err := f.build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		servers := topo.Servers()
+		cands := servers[:16]
+		run := func(b *testing.B, o *netstate.Oracle) {
+			b.Helper()
+			for i := 0; i < b.N; i++ {
+				src := servers[i%len(servers)]
+				dst := servers[(i*31+7)%len(servers)]
+				if o.Dist(src, dst) < 0 {
+					b.Fatal("disconnected fabric")
+				}
+				if o.NearestByDist(src, cands) == topology.None {
+					b.Fatal("no candidate")
+				}
+				if src != dst && o.ShortestPath(src, dst) == nil {
+					b.Fatal("no path")
+				}
+			}
+		}
+		b.Run(f.name+"/cached", func(b *testing.B) { run(b, netstate.New(topo)) })
+		b.Run(f.name+"/freshBFS", func(b *testing.B) { run(b, netstate.NewUncached(topo)) })
+	}
 }

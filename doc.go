@@ -9,6 +9,17 @@
 // max-min-fair network simulator, a discrete-event cluster simulator, and
 // the Capacity / Probabilistic Network-Aware baselines.
 //
+// Every placement layer (controller, Hit-Scheduler core, the baselines, the
+// YARN fetcher and the network simulator) queries one shared path/cost
+// oracle, internal/netstate, instead of re-running BFS per decision. The
+// oracle follows an epoch-invalidation contract: structure-derived caches
+// (distances, paths, type templates, candidate stages) never expire because
+// the graph is immutable after Build, while parameter-derived views (switch
+// headroom, bottleneck bandwidths) are valid only for the epoch — bumped by
+// controller Install/Uninstall/Reset and by topology capacity/bandwidth
+// changes — at which they were computed. See internal/netstate's package
+// documentation for the full contract.
+//
 // The library lives under internal/; executables under cmd/ (hitsim,
 // hitbench, topoviz) and runnable examples under examples/ exercise it. The
 // benchmarks in bench_test.go regenerate every table and figure of the

@@ -13,32 +13,51 @@ import (
 	"math/rand"
 
 	"repro/internal/flow"
+	"repro/internal/netstate"
 	"repro/internal/topology"
 )
 
-// Controller is the centralized policy manager. It is not safe for
-// concurrent use; the simulator drives it from a single goroutine.
+// Controller is the centralized policy manager. Mutations (Install,
+// Uninstall, Reset) are single-goroutine, as the simulator drives them;
+// read-only queries may run concurrently through the shared oracle.
 type Controller struct {
 	topo     *topology.Topology
+	oracle   *netstate.Oracle
 	cost     *flow.CostModel
 	policies map[flow.ID]*flow.Policy
 	rates    map[flow.ID]float64
 	load     map[topology.NodeID]float64
 }
 
-// New returns an empty controller over the topology.
+// New returns an empty controller over the topology, backed by a fresh
+// memoizing netstate oracle.
 func New(topo *topology.Topology) *Controller {
-	return &Controller{
+	return NewWithOracle(topo, netstate.New(topo))
+}
+
+// NewWithOracle returns an empty controller sharing the given oracle. The
+// controller binds its switch-load view to the oracle and bumps the
+// oracle's epoch on every state mutation, upholding the netstate
+// epoch-invalidation contract.
+func NewWithOracle(topo *topology.Topology, o *netstate.Oracle) *Controller {
+	c := &Controller{
 		topo:     topo,
+		oracle:   o,
 		cost:     flow.NewCostModel(topo),
 		policies: make(map[flow.ID]*flow.Policy),
 		rates:    make(map[flow.ID]float64),
 		load:     make(map[topology.NodeID]float64),
 	}
+	c.cost.Dist = o.Dist
+	o.BindLoad(func(w topology.NodeID) float64 { return c.load[w] })
+	return c
 }
 
 // Topology returns the managed topology.
 func (c *Controller) Topology() *topology.Topology { return c.topo }
+
+// Oracle returns the shared network-state oracle every scheduler queries.
+func (c *Controller) Oracle() *netstate.Oracle { return c.oracle }
 
 // CostModel returns the controller's cost model.
 func (c *Controller) CostModel() *flow.CostModel { return c.cost }
@@ -56,9 +75,10 @@ func (c *Controller) NumPolicies() int { return len(c.policies) }
 // (Σ_{p_k ∈ A(w)} f_k.rate).
 func (c *Controller) Load(w topology.NodeID) float64 { return c.load[w] }
 
-// Headroom returns a switch's remaining capacity.
+// Headroom returns a switch's remaining capacity, via the oracle's
+// epoch-cached headroom view.
 func (c *Controller) Headroom(w topology.NodeID) float64 {
-	return c.topo.Node(w).Capacity - c.load[w]
+	return c.oracle.Headroom(w)
 }
 
 // selfLoad returns the rate flow id already contributes to switch w, so
@@ -123,6 +143,7 @@ func (c *Controller) Install(f *flow.Flow, p *flow.Policy) error {
 	for _, w := range p.List {
 		c.load[w] += f.Rate
 	}
+	c.oracle.BumpEpoch()
 	return nil
 }
 
@@ -141,6 +162,7 @@ func (c *Controller) Uninstall(id flow.ID) {
 	}
 	delete(c.policies, id)
 	delete(c.rates, id)
+	c.oracle.BumpEpoch()
 }
 
 // Reset removes every policy.
@@ -148,6 +170,7 @@ func (c *Controller) Reset() {
 	c.policies = make(map[flow.ID]*flow.Policy)
 	c.rates = make(map[flow.ID]float64)
 	c.load = make(map[topology.NodeID]float64)
+	c.oracle.BumpEpoch()
 }
 
 // Candidates implements Eq. 4: the switches that could replace position i of
@@ -163,7 +186,7 @@ func (c *Controller) Candidates(id flow.ID, i int) ([]topology.NodeID, error) {
 	}
 	rate := c.rates[id]
 	var out []topology.NodeID
-	for _, w := range c.topo.SwitchesOfType(p.Types[i]) {
+	for _, w := range c.oracle.SwitchesOfType(p.Types[i]) {
 		if w == p.List[i] {
 			continue
 		}
@@ -174,27 +197,30 @@ func (c *Controller) Candidates(id flow.ID, i int) ([]topology.NodeID, error) {
 	return out, nil
 }
 
-// typeTemplate derives the required switch-type sequence for a flow from
-// the shortest path between its endpoint servers. It returns nil (and no
-// error) for same-server flows, which need no policy.
-func (c *Controller) typeTemplate(f *flow.Flow, loc flow.Locator) ([]string, error) {
-	src := loc.ServerOf(f.Src)
-	dst := loc.ServerOf(f.Dst)
+// endpointServers resolves a flow's endpoint containers to their hosting
+// servers, the one piece of locator plumbing every policy constructor
+// shares.
+func (c *Controller) endpointServers(f *flow.Flow, loc flow.Locator) (src, dst topology.NodeID, err error) {
+	src = loc.ServerOf(f.Src)
+	dst = loc.ServerOf(f.Dst)
 	if src == topology.None || dst == topology.None {
-		return nil, fmt.Errorf("controller: flow %d has unplaced endpoints", f.ID)
+		return topology.None, topology.None, fmt.Errorf("controller: flow %d has unplaced endpoints", f.ID)
 	}
-	if src == dst {
-		return nil, nil
+	return src, dst, nil
+}
+
+// typeTemplate derives the required switch-type sequence for a flow from
+// the shortest path between its endpoint servers, via the oracle's cached
+// per-pair template. It returns nil (and no error) for same-server flows,
+// which need no policy.
+func (c *Controller) typeTemplate(f *flow.Flow, loc flow.Locator) ([]string, error) {
+	src, dst, err := c.endpointServers(f, loc)
+	if err != nil {
+		return nil, err
 	}
-	path := c.topo.ShortestPath(src, dst)
-	if path == nil {
+	types, err := c.oracle.TypeTemplate(src, dst)
+	if err != nil {
 		return nil, fmt.Errorf("controller: no path between servers %d and %d", src, dst)
-	}
-	var types []string
-	for _, n := range path {
-		if c.topo.Node(n).IsSwitch() {
-			types = append(types, c.topo.Node(n).Type)
-		}
 	}
 	return types, nil
 }
@@ -209,9 +235,9 @@ func (c *Controller) RandomPolicy(f *flow.Flow, loc flow.Locator, rng *rand.Rand
 	if err != nil {
 		return nil, err
 	}
-	p := &flow.Policy{Flow: f.ID, Types: types}
+	p := &flow.Policy{Flow: f.ID, Types: append([]string(nil), types...)}
 	for _, typ := range types {
-		cands := c.topo.SwitchesOfType(typ)
+		cands := c.oracle.SwitchesOfType(typ)
 		var feasible []topology.NodeID
 		for _, w := range cands {
 			if c.fits(f.ID, w, f.Rate) {
@@ -230,15 +256,14 @@ func (c *Controller) RandomPolicy(f *flow.Flow, loc flow.Locator, rng *rand.Rand
 // flow's endpoint servers (no load awareness) — the baseline behavior of a
 // plain routing fabric.
 func (c *Controller) ShortestPolicy(f *flow.Flow, loc flow.Locator) (*flow.Policy, error) {
-	src := loc.ServerOf(f.Src)
-	dst := loc.ServerOf(f.Dst)
-	if src == topology.None || dst == topology.None {
-		return nil, fmt.Errorf("controller: flow %d has unplaced endpoints", f.ID)
+	src, dst, err := c.endpointServers(f, loc)
+	if err != nil {
+		return nil, err
 	}
 	if src == dst {
 		return &flow.Policy{Flow: f.ID}, nil
 	}
-	path := c.topo.ShortestPath(src, dst)
+	path := c.oracle.ShortestPath(src, dst)
 	if path == nil {
 		return nil, fmt.Errorf("controller: no path between servers %d and %d", src, dst)
 	}
@@ -264,10 +289,13 @@ func (c *Controller) OptimizePolicy(f *flow.Flow, loc flow.Locator) (*flow.Polic
 	src := loc.ServerOf(f.Src)
 	dst := loc.ServerOf(f.Dst)
 
-	// Layered DP over stage candidates.
+	// Layered DP over the oracle's cached stage candidates, filtered to the
+	// capacity-feasible switches at the current epoch.
+	full := c.oracle.StagesForTemplate(types)
 	stages := make([][]topology.NodeID, len(types))
 	for i, typ := range types {
-		for _, w := range c.topo.SwitchesOfType(typ) {
+		stages[i] = make([]topology.NodeID, 0, len(full[i]))
+		for _, w := range full[i] {
 			if c.fits(f.ID, w, f.Rate) {
 				stages[i] = append(stages[i], w)
 			}

@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/flow"
+	"repro/internal/parallel"
 	"repro/internal/scheduler"
 	"repro/internal/stablematch"
 	"repro/internal/topology"
@@ -260,6 +261,11 @@ func (h *HitScheduler) assign(req *scheduler.Request, movable []scheduler.Task, 
 	return nil
 }
 
+// parallelThreshold is the preference-matrix work size (containers ×
+// servers) above which assignGroup fans out across containers. Small groups
+// stay sequential: goroutine fan-out costs more than the loops it saves.
+const parallelThreshold = 4096
+
 // assignGroup matches one kind-homogeneous container group onto servers.
 func (h *HitScheduler) assignGroup(req *scheduler.Request, group []scheduler.Task, loc flow.Locator) error {
 	servers := req.Cluster.Servers()
@@ -271,7 +277,7 @@ func (h *HitScheduler) assignGroup(req *scheduler.Request, group []scheduler.Tas
 	for i, t := range group {
 		containers[i] = t.Container
 	}
-	topo := req.Cluster.Topology()
+	oracle := req.Controller.Oracle()
 
 	// Incident flows and anchored peer servers per container.
 	incident := make([][]*flow.Flow, len(containers))
@@ -302,26 +308,14 @@ func (h *HitScheduler) assignGroup(req *scheduler.Request, group []scheduler.Tas
 		}
 	}
 
-	// Feasible servers per container with the group released.
-	feasible := make([][]int, len(containers))
-	for i, c := range containers {
-		for si, s := range servers {
-			if req.Cluster.CanHost(s, c) {
-				feasible[i] = append(feasible[i], si)
-			}
-		}
-		if len(feasible[i]) == 0 {
-			return fmt.Errorf("core: container %d has no feasible server", c)
-		}
-	}
-
 	// Anchored re-routed cost of hosting container ci on server s:
 	// Σ rate × dist(peer, s) — the flow cost after Algorithm 1 re-optimizes
-	// the route for the new endpoint.
+	// the route for the new endpoint. Distances come from the oracle's
+	// shared tables, which are safe under the concurrent fan-out below.
 	anchoredCost := func(ci int, s topology.NodeID) float64 {
 		var cost float64
 		for k, f := range incident[ci] {
-			d := topo.Dist(peerSrv[ci][k], s)
+			d := oracle.Dist(peerSrv[ci][k], s)
 			if d < 0 {
 				continue
 			}
@@ -330,10 +324,33 @@ func (h *HitScheduler) assignGroup(req *scheduler.Request, group []scheduler.Tas
 		return cost
 	}
 
-	// Proposer preferences: servers by utility (Eq. 10) = current cost minus
-	// candidate cost, descending.
+	// Per-container preference build (Algorithm 1's preference-matrix rows
+	// plus Eq. 10 proposer rankings). Every container's pass writes only its
+	// own index, so the fan-out is deterministic: results are identical to
+	// the sequential loop regardless of worker count, and the merge into the
+	// grade matrix below happens column-by-column with no shared writes.
+	// The cluster is only read (CanHost) between the Unplace above and the
+	// Place calls below, so concurrent reads are safe.
+	feasible := make([][]int, len(containers))
 	propPrefs := make([][]int, len(containers))
-	for ci, c := range containers {
+	votes := make([][]int, len(containers)) // per incident flow: voted server index, -1 = none
+	workers := 0
+	if len(containers)*len(servers) < parallelThreshold {
+		workers = 1
+	}
+	err := parallel.ForEach(len(containers), workers, func(ci int) error {
+		c := containers[ci]
+		for si, s := range servers {
+			if req.Cluster.CanHost(s, c) {
+				feasible[ci] = append(feasible[ci], si)
+			}
+		}
+		if len(feasible[ci]) == 0 {
+			return fmt.Errorf("core: container %d has no feasible server", c)
+		}
+
+		// Proposer preferences: servers by utility (Eq. 10) = current cost
+		// minus candidate cost, descending.
 		curCost := anchoredCost(ci, original[c])
 		entries := make([]prefEntry, 0, len(feasible[ci]))
 		for _, si := range feasible[ci] {
@@ -344,27 +361,41 @@ func (h *HitScheduler) assignGroup(req *scheduler.Request, group []scheduler.Tas
 		for k, e := range entries {
 			propPrefs[ci][k] = e.idx
 		}
+
+		// Preference-matrix votes (Algorithm 1 lines 11–13): every flow
+		// votes its rate onto the feasible server nearest its anchored peer
+		// — the endpoint of the flow's optimal path in Figure 5's layered
+		// graph. A cached distance-row lookup replaces the fresh BFS the
+		// seed ran per (container, flow) pair.
+		cands := make([]topology.NodeID, len(feasible[ci]))
+		for k, si := range feasible[ci] {
+			cands[k] = servers[si]
+		}
+		votes[ci] = make([]int, len(incident[ci]))
+		for k := range incident[ci] {
+			best := oracle.NearestByDist(peerSrv[ci][k], cands)
+			if best == topology.None {
+				votes[ci][k] = -1
+				continue
+			}
+			votes[ci][k] = serverIdx[best]
+		}
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 
-	// Host preferences: the preference matrix of Algorithm 1 (lines 11–13).
-	// Every flow votes its rate onto the feasible server nearest its anchored
-	// peer — the endpoint of the flow's optimal path in Figure 5's layered
-	// graph.
+	// Deterministic merge of the votes into the host-preference grades.
 	grades := make([][]float64, len(servers))
 	for i := range grades {
 		grades[i] = make([]float64, len(containers))
 	}
 	for ci := range containers {
-		cands := make([]topology.NodeID, len(feasible[ci]))
-		for k, si := range feasible[ci] {
-			cands[k] = servers[si]
-		}
 		for k, f := range incident[ci] {
-			_, best := minDistPair(topo, []topology.NodeID{peerSrv[ci][k]}, cands)
-			if best == topology.None {
-				continue
+			if si := votes[ci][k]; si >= 0 {
+				grades[si][ci] += f.Rate
 			}
-			grades[serverIdx[best]][ci] += f.Rate
 		}
 	}
 	hostPrefs := make([][]int, len(servers))
@@ -459,62 +490,6 @@ func (h *HitScheduler) assignGroup(req *scheduler.Request, group []scheduler.Tas
 	return nil
 }
 
-// minDistPair finds the (src, dst) server pair with the smallest hop
-// distance via a multi-source BFS from srcCands, breaking ties toward lower
-// node IDs. It returns (None, None) when no dst is reachable.
-func minDistPair(topo *topology.Topology, srcCands, dstCands []topology.NodeID) (topology.NodeID, topology.NodeID) {
-	// Sharing a server is distance zero (map and reduce co-located).
-	inSrc := make(map[topology.NodeID]bool, len(srcCands))
-	for _, s := range srcCands {
-		inSrc[s] = true
-	}
-	for _, d := range dstCands {
-		if inSrc[d] {
-			return d, d
-		}
-	}
-	dist := make([]int, topo.NumNodes())
-	origin := make([]topology.NodeID, topo.NumNodes())
-	for i := range dist {
-		dist[i] = -1
-		origin[i] = topology.None
-	}
-	queue := make([]topology.NodeID, 0, len(srcCands))
-	sorted := append([]topology.NodeID(nil), srcCands...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	for _, s := range sorted {
-		if dist[s] == -1 {
-			dist[s] = 0
-			origin[s] = s
-			queue = append(queue, s)
-		}
-	}
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
-		for _, v := range topo.Neighbors(u) {
-			if dist[v] == -1 {
-				dist[v] = dist[u] + 1
-				origin[v] = origin[u]
-				queue = append(queue, v)
-			}
-		}
-	}
-	bestDst, bestSrc := topology.None, topology.None
-	bestD := -1
-	for _, d := range dstCands {
-		if dist[d] < 0 {
-			continue
-		}
-		if bestD == -1 || dist[d] < bestD || (dist[d] == bestD && d < bestDst) {
-			bestD = dist[d]
-			bestDst = d
-			bestSrc = origin[d]
-		}
-	}
-	return bestSrc, bestDst
-}
-
 // scheduleSubsequentWave implements §5.3.2: reduce placements are fixed, so
 // each shuffle flow's destination is static; maps are placed greedily in
 // descending shuffle-output order onto the feasible server with the lowest
@@ -523,7 +498,7 @@ func (h *HitScheduler) scheduleSubsequentWave(req *scheduler.Request, movable []
 	loc := req.Locator()
 	tasks := append([]scheduler.Task(nil), movable...)
 	scheduler.SortTasksByShuffleOutput(tasks)
-	topo := req.Cluster.Topology()
+	oracle := req.Controller.Oracle()
 
 	for _, t := range tasks {
 		c := t.Container
@@ -543,7 +518,7 @@ func (h *HitScheduler) scheduleSubsequentWave(req *scheduler.Request, movable []
 				if ps == topology.None {
 					continue
 				}
-				d := topo.Dist(s, ps)
+				d := oracle.Dist(s, ps)
 				if d < 0 {
 					continue
 				}

@@ -132,11 +132,24 @@ func ClusterLocator(cl *cluster.Cluster) Locator {
 type CostModel struct {
 	Topo     *topology.Topology
 	UnitCost float64
+	// Dist optionally overrides the hop-distance source. The controller
+	// binds the shared netstate oracle here so every segment-cost query hits
+	// the memoized distance tables; nil falls back to the topology's own
+	// (single-goroutine) BFS cache.
+	Dist func(a, b topology.NodeID) int
 }
 
 // NewCostModel returns a cost model with unit hop cost 1.
 func NewCostModel(topo *topology.Topology) *CostModel {
 	return &CostModel{Topo: topo, UnitCost: 1}
+}
+
+// dist resolves a hop distance through the bound provider.
+func (cm *CostModel) dist(a, b topology.NodeID) int {
+	if cm.Dist != nil {
+		return cm.Dist(a, b)
+	}
+	return cm.Topo.Dist(a, b)
 }
 
 // SegmentCost is C_k(a, b): the cost of carrying rate between two route
@@ -145,7 +158,7 @@ func NewCostModel(topo *topology.Topology) *CostModel {
 // guarded to a panic, which indicates a modeling bug rather than a runtime
 // condition.
 func (cm *CostModel) SegmentCost(rate float64, a, b topology.NodeID) float64 {
-	d := cm.Topo.Dist(a, b)
+	d := cm.dist(a, b)
 	if d < 0 {
 		panic(fmt.Sprintf("flow: segment %d-%d disconnected", a, b))
 	}
@@ -202,7 +215,7 @@ func (cm *CostModel) RouteHops(f *Flow, p *Policy, loc Locator) (int, error) {
 	}
 	hops := 0
 	for i := 1; i < len(route); i++ {
-		d := cm.Topo.Dist(route[i-1], route[i])
+		d := cm.dist(route[i-1], route[i])
 		if d < 0 {
 			return 0, fmt.Errorf("flow %d: disconnected route", f.ID)
 		}

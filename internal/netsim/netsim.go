@@ -5,14 +5,23 @@
 // processing capacities, and advances a fluid simulation to obtain per-flow
 // completion times, average shuffle delay and aggregate throughput — the
 // quantities Figures 6, 7 and 9 report.
+//
+// The simulator works on dense resource indices: every full-duplex link
+// direction and every capacity-limited switch gets a small integer ID, each
+// transfer's walk is expanded once per run into a (resource, multiplicity)
+// usage list via the netstate oracle's cached shortest paths, and each
+// progressive-filling step rebuilds only flat index slices — no maps, no
+// per-step route re-expansion. Capacities are read fresh at the start of
+// every run, so bandwidth/capacity changes (failure injection) between runs
+// are honored.
 package netsim
 
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"repro/internal/flow"
+	"repro/internal/netstate"
 	"repro/internal/topology"
 )
 
@@ -28,9 +37,37 @@ type Transfer struct {
 	Start float64
 }
 
+// Network is a simulator bound to a netstate oracle: route expansion reuses
+// the oracle's cached shortest paths, and resource tables are dense arrays
+// sized by the topology. A Network is cheap to build and may be reused
+// across Simulate runs; it is not safe for concurrent use.
+type Network struct {
+	oracle *netstate.Oracle
+}
+
+// NewNetwork builds a simulator over an oracle (typically the controller's,
+// so path caches are shared with scheduling).
+func NewNetwork(o *netstate.Oracle) *Network { return &Network{oracle: o} }
+
+// Oracle returns the underlying path/cost oracle.
+func (n *Network) Oracle() *netstate.Oracle { return n.oracle }
+
 // ExpandRoute turns a policy-level route (whose consecutive elements may be
 // several hops apart after switch rescheduling) into a concrete link walk by
 // splicing shortest paths between consecutive elements.
+func (n *Network) ExpandRoute(route []topology.NodeID) ([]topology.NodeID, error) {
+	if len(route) == 0 {
+		return nil, fmt.Errorf("netsim: empty route")
+	}
+	walk, err := n.oracle.ExpandRoute(route)
+	if err != nil {
+		return nil, fmt.Errorf("netsim: %w", err)
+	}
+	return walk, nil
+}
+
+// ExpandRoute is the topology-level variant of Network.ExpandRoute for
+// callers without an oracle at hand.
 func ExpandRoute(topo *topology.Topology, route []topology.NodeID) ([]topology.NodeID, error) {
 	if len(route) == 0 {
 		return nil, fmt.Errorf("netsim: empty route")
@@ -49,27 +86,134 @@ func ExpandRoute(topo *topology.Topology, route []topology.NodeID) ([]topology.N
 	return out, nil
 }
 
-// resource is a shared capacity: a link's bandwidth or a switch's processing
-// rate.
-type resource struct {
-	capacity float64
-	// members maps active transfer index -> multiplicity (a walk may cross a
-	// resource more than once).
-	members map[int]int
+// resUse is one (resource, multiplicity) pair on a transfer's walk: a walk
+// may cross the same link direction or switch more than once.
+type resUse struct {
+	res  int32
+	mult int32
 }
 
-// FairShare computes the max-min fair rate of each active transfer via
-// progressive filling. Transfers whose route stays on one server (no links)
-// receive +Inf (local copies are not network-bound). Rates are in data units
-// per time unit.
-func FairShare(topo *topology.Topology, transfers []*Transfer) ([]float64, error) {
-	resources, crossing, err := buildResources(topo, transfers)
-	if err != nil {
-		return nil, err
+// member is one transfer's stake in a resource during a fair-share step.
+type member struct {
+	idx  int32 // index into the active-transfer slice
+	mult int32
+}
+
+// session holds the dense resource tables of one simulation run. Resource
+// IDs: link l traversed low→high node ID is 2l, high→low is 2l+1 (full
+// duplex: each direction is its own resource with the link's full bandwidth,
+// as on real Ethernet fabrics); capacity-limited switch s is 2·NumLinks+s.
+// Capacities are captured from the topology when a walk first touches a
+// resource, freezing them for the run.
+type session struct {
+	topo *topology.Topology
+	caps []float64 // resource ID -> capacity, valid where filled
+	fill []bool
+
+	// Per-step scratch, reset after every fairShare call.
+	slot    []int32 // resource ID -> dense index this step, -1 when untouched
+	resIDs  []int32 // touched resources in first-seen order
+	offsets []int32 // prefix offsets into members, len(resIDs)+1
+	members []member
+}
+
+func (n *Network) newSession() *session {
+	topo := n.oracle.Topology()
+	nRes := 2*topo.NumLinks() + topo.NumNodes()
+	s := &session{
+		topo: topo,
+		caps: make([]float64, nRes),
+		fill: make([]bool, nRes),
+		slot: make([]int32, nRes),
 	}
-	rates := make([]float64, len(transfers))
-	frozen := make([]bool, len(transfers))
-	for i := range transfers {
+	for i := range s.slot {
+		s.slot[i] = -1
+	}
+	return s
+}
+
+// uses converts an expanded walk into its resource-usage list, registering
+// capacities on first touch. The linear multiplicity scan is fine: walks are
+// a handful of hops.
+func (s *session) uses(walk []topology.NodeID) ([]resUse, error) {
+	out := make([]resUse, 0, 2*len(walk))
+	add := func(id int32, capacity float64) {
+		for i := range out {
+			if out[i].res == id {
+				out[i].mult++
+				return
+			}
+		}
+		if !s.fill[id] {
+			s.caps[id] = capacity
+			s.fill[id] = true
+		}
+		out = append(out, resUse{res: id, mult: 1})
+	}
+	links := s.topo.Links()
+	base := int32(2 * s.topo.NumLinks())
+	for i := 1; i < len(walk); i++ {
+		a, b := walk[i-1], walk[i]
+		li, ok := s.topo.LinkIndex(a, b)
+		if !ok {
+			return nil, fmt.Errorf("netsim: walk uses missing link %d-%d", a, b)
+		}
+		dir := int32(0)
+		if a > b {
+			dir = 1
+		}
+		add(int32(2*li)+dir, links[li].Bandwidth)
+	}
+	for _, nd := range walk {
+		node := s.topo.Node(nd)
+		if !node.IsSwitch() || math.IsInf(node.Capacity, 1) {
+			continue
+		}
+		add(base+int32(nd), node.Capacity)
+	}
+	return out, nil
+}
+
+// fairShare computes max-min fair rates for the given usage lists via
+// progressive filling. crossing[i] is false for single-server walks, which
+// receive +Inf (local copies are not network-bound).
+func (s *session) fairShare(uses [][]resUse, crossing []bool) []float64 {
+	// Dense per-step resource build: first-seen order, flat member slices.
+	s.resIDs = s.resIDs[:0]
+	counts := make([]int32, 0, 64)
+	for _, u := range uses {
+		for _, e := range u {
+			if s.slot[e.res] == -1 {
+				s.slot[e.res] = int32(len(s.resIDs))
+				s.resIDs = append(s.resIDs, e.res)
+				counts = append(counts, 0)
+			}
+			counts[s.slot[e.res]]++
+		}
+	}
+	s.offsets = append(s.offsets[:0], 0)
+	total := int32(0)
+	for _, c := range counts {
+		total += c
+		s.offsets = append(s.offsets, total)
+	}
+	if cap(s.members) < int(total) {
+		s.members = make([]member, total)
+	} else {
+		s.members = s.members[:total]
+	}
+	next := append([]int32(nil), s.offsets[:len(counts)]...)
+	for ti, u := range uses {
+		for _, e := range u {
+			r := s.slot[e.res]
+			s.members[next[r]] = member{idx: int32(ti), mult: e.mult}
+			next[r]++
+		}
+	}
+
+	rates := make([]float64, len(uses))
+	frozen := make([]bool, len(uses))
+	for i := range uses {
 		if !crossing[i] {
 			rates[i] = math.Inf(1)
 			frozen[i] = true
@@ -81,21 +225,21 @@ func FairShare(topo *topology.Topology, transfers []*Transfer) ([]float64, error
 		// Remaining headroom per resource and active multiplicity.
 		bottleneck := math.Inf(1)
 		anyActive := false
-		for _, r := range resources {
+		for r := range s.resIDs {
 			used := 0.0
 			activeMult := 0
-			for idx, mult := range r.members {
-				if frozen[idx] {
-					used += rates[idx] * float64(mult)
+			for _, m := range s.members[s.offsets[r]:s.offsets[r+1]] {
+				if frozen[m.idx] {
+					used += rates[m.idx] * float64(m.mult)
 				} else {
-					activeMult += mult
+					activeMult += int(m.mult)
 				}
 			}
 			if activeMult == 0 {
 				continue
 			}
 			anyActive = true
-			grow := (r.capacity - used - level*float64(activeMult)) / float64(activeMult)
+			grow := (s.caps[s.resIDs[r]] - used - level*float64(activeMult)) / float64(activeMult)
 			if grow < bottleneck {
 				bottleneck = grow
 			}
@@ -109,24 +253,25 @@ func FairShare(topo *topology.Topology, transfers []*Transfer) ([]float64, error
 		level += bottleneck
 		// Freeze every unfrozen transfer on a saturated resource.
 		progressed := false
-		for _, r := range resources {
+		for r := range s.resIDs {
 			used := 0.0
 			activeMult := 0
-			for idx, mult := range r.members {
-				if frozen[idx] {
-					used += rates[idx] * float64(mult)
+			lo, hi := s.offsets[r], s.offsets[r+1]
+			for _, m := range s.members[lo:hi] {
+				if frozen[m.idx] {
+					used += rates[m.idx] * float64(m.mult)
 				} else {
-					activeMult += mult
+					activeMult += int(m.mult)
 				}
 			}
 			if activeMult == 0 {
 				continue
 			}
-			if used+level*float64(activeMult) >= r.capacity-1e-9 {
-				for idx := range r.members {
-					if !frozen[idx] {
-						frozen[idx] = true
-						rates[idx] = level
+			if used+level*float64(activeMult) >= s.caps[s.resIDs[r]]-1e-9 {
+				for _, m := range s.members[lo:hi] {
+					if !frozen[m.idx] {
+						frozen[m.idx] = true
+						rates[m.idx] = level
 						progressed = true
 					}
 				}
@@ -145,72 +290,39 @@ func FairShare(topo *topology.Topology, transfers []*Transfer) ([]float64, error
 			break
 		}
 	}
-	return rates, nil
+
+	// Reset the per-step slot table for the next call.
+	for _, id := range s.resIDs {
+		s.slot[id] = -1
+	}
+	return rates
 }
 
-func buildResources(topo *topology.Topology, transfers []*Transfer) ([]*resource, []bool, error) {
-	type key struct {
-		link bool
-		a, b topology.NodeID // canonical link endpoints, or (switch, switch)
-	}
-	table := make(map[key]*resource)
+// FairShare computes the max-min fair rate of each transfer (all treated as
+// simultaneously active) via progressive filling. Transfers whose route
+// stays on one server (no links) receive +Inf. Rates are in data units per
+// time unit.
+func (n *Network) FairShare(transfers []*Transfer) ([]float64, error) {
+	s := n.newSession()
+	uses := make([][]resUse, len(transfers))
 	crossing := make([]bool, len(transfers))
-
-	for idx, tr := range transfers {
-		walk, err := ExpandRoute(topo, tr.Route)
+	for i, tr := range transfers {
+		walk, err := n.ExpandRoute(tr.Route)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
-		if len(walk) > 1 {
-			crossing[idx] = true
-		}
-		for i := 1; i < len(walk); i++ {
-			l, ok := topo.Link(walk[i-1], walk[i])
-			if !ok {
-				return nil, nil, fmt.Errorf("netsim: walk uses missing link %d-%d", walk[i-1], walk[i])
-			}
-			// Links are full duplex: each direction is its own resource with
-			// the link's full bandwidth, as on real Ethernet fabrics.
-			k := key{link: true, a: walk[i-1], b: walk[i]}
-			r := table[k]
-			if r == nil {
-				r = &resource{capacity: l.Bandwidth, members: make(map[int]int)}
-				table[k] = r
-			}
-			r.members[idx]++
-		}
-		for _, n := range walk {
-			node := topo.Node(n)
-			if !node.IsSwitch() || math.IsInf(node.Capacity, 1) {
-				continue
-			}
-			k := key{a: n, b: n}
-			r := table[k]
-			if r == nil {
-				r = &resource{capacity: node.Capacity, members: make(map[int]int)}
-				table[k] = r
-			}
-			r.members[idx]++
+		crossing[i] = len(walk) > 1
+		if uses[i], err = s.uses(walk); err != nil {
+			return nil, err
 		}
 	}
-	out := make([]*resource, 0, len(table))
-	keys := make([]key, 0, len(table))
-	for k := range table {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].link != keys[j].link {
-			return keys[i].link
-		}
-		if keys[i].a != keys[j].a {
-			return keys[i].a < keys[j].a
-		}
-		return keys[i].b < keys[j].b
-	})
-	for _, k := range keys {
-		out = append(out, table[k])
-	}
-	return out, crossing, nil
+	return s.fairShare(uses, crossing), nil
+}
+
+// FairShare is the topology-level variant of Network.FairShare for callers
+// without an oracle at hand.
+func FairShare(topo *topology.Topology, transfers []*Transfer) ([]float64, error) {
+	return NewNetwork(netstate.New(topo)).FairShare(transfers)
 }
 
 // FlowStats summarizes one transfer's outcome.
@@ -284,15 +396,18 @@ func (r *Result) AvgHops() float64 {
 
 // Simulate runs the fluid simulation to completion: at each step it computes
 // the max-min fair shares of the transfers active at the current time,
-// advances to the next completion or arrival, and repeats. It returns an
-// error when any route is invalid. Transfers with zero bytes complete at
-// their start instant.
-func Simulate(topo *topology.Topology, transfers []*Transfer) (*Result, error) {
+// advances to the next completion or arrival, and repeats. Routes are
+// expanded and resource-indexed once up front; each step reuses the walks.
+// It returns an error when any route is invalid. Transfers with zero bytes
+// complete at their start instant.
+func (n *Network) Simulate(transfers []*Transfer) (*Result, error) {
+	sess := n.newSession()
 	res := &Result{Flows: make(map[flow.ID]*FlowStats, len(transfers))}
 	type state struct {
 		tr        *Transfer
 		remaining float64
-		walk      []topology.NodeID
+		uses      []resUse
+		crossing  bool
 		done      bool
 	}
 	states := make([]*state, len(transfers))
@@ -305,19 +420,28 @@ func Simulate(topo *topology.Topology, transfers []*Transfer) (*Result, error) {
 		if tr.Bytes < 0 || tr.Start < 0 {
 			return nil, fmt.Errorf("netsim: transfer %d has negative bytes/start", tr.ID)
 		}
-		walk, err := ExpandRoute(topo, tr.Route)
+		walk, err := n.ExpandRoute(tr.Route)
 		if err != nil {
 			return nil, err
 		}
-		states[i] = &state{tr: tr, remaining: tr.Bytes, walk: walk}
+		uses, err := sess.uses(walk)
+		if err != nil {
+			return nil, err
+		}
+		states[i] = &state{tr: tr, remaining: tr.Bytes, uses: uses, crossing: len(walk) > 1}
 		res.Flows[tr.ID] = &FlowStats{
 			ID:               tr.ID,
 			Bytes:            tr.Bytes,
 			Hops:             len(walk) - 1,
-			PropagationDelay: topo.PathLatency(walk),
+			PropagationDelay: n.oracle.PathLatency(walk),
 		}
 		res.TotalBytes += tr.Bytes
 	}
+
+	// Reusable active-set buffers.
+	activeUses := make([][]resUse, 0, len(states))
+	activeCross := make([]bool, 0, len(states))
+	activeStates := make([]*state, 0, len(states))
 
 	now := 0.0
 	for step := 0; ; step++ {
@@ -325,8 +449,9 @@ func Simulate(topo *topology.Topology, transfers []*Transfer) (*Result, error) {
 			return nil, fmt.Errorf("netsim: simulation did not converge after %d steps", step)
 		}
 		// Active set at `now`; also find the next arrival.
-		var active []*Transfer
-		var activeStates []*state
+		activeUses = activeUses[:0]
+		activeCross = activeCross[:0]
+		activeStates = activeStates[:0]
 		nextArrival := math.Inf(1)
 		pendingWork := false
 		for _, st := range states {
@@ -349,13 +474,14 @@ func Simulate(topo *topology.Topology, transfers []*Transfer) (*Result, error) {
 				}
 				continue
 			}
-			active = append(active, &Transfer{ID: st.tr.ID, Route: st.walk, Bytes: st.remaining})
+			activeUses = append(activeUses, st.uses)
+			activeCross = append(activeCross, st.crossing)
 			activeStates = append(activeStates, st)
 		}
 		if !pendingWork {
 			break
 		}
-		if len(active) == 0 {
+		if len(activeStates) == 0 {
 			if math.IsInf(nextArrival, 1) {
 				break // only zero-byte stragglers, handled above
 			}
@@ -363,10 +489,7 @@ func Simulate(topo *topology.Topology, transfers []*Transfer) (*Result, error) {
 			continue
 		}
 
-		rates, err := FairShare(topo, active)
-		if err != nil {
-			return nil, err
-		}
+		rates := sess.fairShare(activeUses, activeCross)
 		// Time to the next completion.
 		dt := math.Inf(1)
 		for i, st := range activeStates {
@@ -397,4 +520,10 @@ func Simulate(topo *topology.Topology, transfers []*Transfer) (*Result, error) {
 		now += dt
 	}
 	return res, nil
+}
+
+// Simulate is the topology-level variant of Network.Simulate for callers
+// without an oracle at hand.
+func Simulate(topo *topology.Topology, transfers []*Transfer) (*Result, error) {
+	return NewNetwork(netstate.New(topo)).Simulate(transfers)
 }

@@ -1,0 +1,540 @@
+// Package netstate provides the shared, epoch-versioned view of the network
+// that every placement layer queries: a memoized path/cost oracle over one
+// topology plus the controller's switch-load state.
+//
+// Before this package existed, every consumer — Algorithm 1 in
+// internal/controller, the preference-matrix build in internal/core, the
+// PNA/CAM/DelayScheduling baselines, the YARN DelayFetcher and the
+// flow-level simulator — independently re-ran BFS and re-scanned the switch
+// inventory on every query, making the hot scheduling paths
+// O(containers × servers × flows × BFS). The Oracle computes each
+// per-source BFS distance table, shortest path, switch-type template,
+// layered-DAG candidate stage list and bottleneck path bandwidth at most
+// once and shares the result across all consumers.
+//
+// # Epoch-invalidation contract
+//
+// The oracle distinguishes two kinds of cached state:
+//
+//   - Structure-derived state (distances, shortest paths, path DAGs, type
+//     templates, per-type switch lists, access switches): the topology
+//     graph is immutable after Build, so these never invalidate.
+//   - Parameter-derived state (switch headroom, bottleneck path bandwidth):
+//     valid only for one epoch. Epoch() is the sum of the topology's
+//     mutation version (bumped by SetSwitchCapacity / SetLinkBandwidth) and
+//     the oracle's own counter, which the policy controller bumps on every
+//     Install / Uninstall / Reset via BumpEpoch(). Any cached view tagged
+//     with an older epoch is recomputed on next access.
+//
+// Writers (controller mutations, topology parameter changes) are expected
+// to run single-threaded, as throughout this repository; concurrent READERS
+// are fully supported — distance rows are published through atomic
+// pointers and the remaining caches take short locks — so the parallel
+// preference-matrix build in internal/core can fan out across containers.
+package netstate
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/topology"
+)
+
+// LoadFunc reports the aggregate flow rate currently routed through a
+// switch. The policy controller binds its own load view here.
+type LoadFunc func(topology.NodeID) float64
+
+// pairKey identifies an ordered (src, dst) node pair.
+type pairKey struct{ src, dst topology.NodeID }
+
+// bandEntry is a bottleneck-bandwidth cache entry, valid for one topology
+// version only (link bandwidths may change under failure injection).
+type bandEntry struct {
+	version   uint64
+	bandwidth float64
+}
+
+// Oracle is the shared path/cost oracle over one topology. Obtain one with
+// New (memoizing) or NewUncached (same API, every query computed fresh —
+// the reference implementation parity tests compare against).
+type Oracle struct {
+	topo   *topology.Topology
+	cached bool
+
+	// epoch counts controller-state mutations; Epoch() adds the topology's
+	// own version so either kind of mutation invalidates parameter caches.
+	epoch atomic.Uint64
+	load  LoadFunc
+
+	// distRows holds one BFS distance table per source node, published via
+	// atomic pointers so concurrent readers never lock. distMu serializes
+	// builders only.
+	distRows []atomic.Pointer[[]int32]
+	distMu   sync.Mutex
+
+	// pairMu guards the (src,dst)-keyed caches below.
+	pairMu    sync.RWMutex
+	paths     map[pairKey][]topology.NodeID
+	dags      map[pairKey]*topology.PathDAG
+	templates map[pairKey][]string
+	bands     map[pairKey]bandEntry
+
+	// typeMu guards the per-type and per-template candidate caches.
+	typeMu sync.RWMutex
+	byType map[string][]topology.NodeID
+	stages map[string][][]topology.NodeID
+
+	// access caches each server's access switch (None for non-servers).
+	accessOnce sync.Once
+	access     []topology.NodeID
+
+	// headMu guards the epoch-tagged headroom view.
+	headMu       sync.Mutex
+	headEpoch    uint64
+	headValid    bool
+	headroom     []float64
+	loadSnapshot []float64
+}
+
+// New returns a memoizing oracle over the topology.
+func New(topo *topology.Topology) *Oracle {
+	o := newOracle(topo)
+	o.cached = true
+	return o
+}
+
+// NewUncached returns an oracle with identical semantics but no
+// memoization: every query recomputes from scratch. It exists so parity and
+// property tests can assert that caching never changes an answer.
+func NewUncached(topo *topology.Topology) *Oracle {
+	return newOracle(topo)
+}
+
+func newOracle(topo *topology.Topology) *Oracle {
+	if topo == nil {
+		panic("netstate: nil topology")
+	}
+	return &Oracle{
+		topo:      topo,
+		distRows:  make([]atomic.Pointer[[]int32], topo.NumNodes()),
+		paths:     make(map[pairKey][]topology.NodeID),
+		dags:      make(map[pairKey]*topology.PathDAG),
+		templates: make(map[pairKey][]string),
+		bands:     make(map[pairKey]bandEntry),
+		byType:    make(map[string][]topology.NodeID),
+		stages:    make(map[string][][]topology.NodeID),
+	}
+}
+
+// Topology returns the underlying graph.
+func (o *Oracle) Topology() *topology.Topology { return o.topo }
+
+// Cached reports whether the oracle memoizes (false for NewUncached).
+func (o *Oracle) Cached() bool { return o.cached }
+
+// Epoch returns the snapshot version: the topology's parameter-mutation
+// version plus the controller-driven counter. Both only ever increase, so
+// the sum strictly increases on any mutation.
+func (o *Oracle) Epoch() uint64 { return o.epoch.Load() + o.topo.Version() }
+
+// BumpEpoch invalidates every parameter-derived cache. The policy
+// controller calls it whenever switch loads change (Install, Uninstall,
+// Reset).
+func (o *Oracle) BumpEpoch() { o.epoch.Add(1) }
+
+// BindLoad attaches the switch-load source (the controller's Load method).
+// An unbound oracle sees zero load everywhere.
+func (o *Oracle) BindLoad(fn LoadFunc) {
+	o.load = fn
+	o.BumpEpoch()
+}
+
+// ---------------------------------------------------------------------------
+// Distances and paths (structure-derived; never invalidated)
+// ---------------------------------------------------------------------------
+
+// computeDistRow runs a fresh BFS from src.
+func (o *Oracle) computeDistRow(src topology.NodeID) []int32 {
+	n := o.topo.NumNodes()
+	d := make([]int32, n)
+	for i := range d {
+		d[i] = -1
+	}
+	d[src] = 0
+	queue := make([]topology.NodeID, 0, n)
+	queue = append(queue, src)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		du := d[u]
+		for _, v := range o.topo.Neighbors(u) {
+			if d[v] == -1 {
+				d[v] = du + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return d
+}
+
+// DistRow returns the BFS distance table from src (unreachable nodes get
+// -1). The returned slice is shared; callers must not modify it.
+func (o *Oracle) DistRow(src topology.NodeID) []int32 {
+	if !o.cached {
+		return o.computeDistRow(src)
+	}
+	if row := o.distRows[src].Load(); row != nil {
+		return *row
+	}
+	o.distMu.Lock()
+	defer o.distMu.Unlock()
+	if row := o.distRows[src].Load(); row != nil {
+		return *row
+	}
+	d := o.computeDistRow(src)
+	o.distRows[src].Store(&d)
+	return d
+}
+
+// Dist returns the hop distance between a and b, or -1 if disconnected.
+func (o *Oracle) Dist(a, b topology.NodeID) int {
+	return int(o.DistRow(a)[b])
+}
+
+// ShortestPath returns one shortest path from src to dst inclusive,
+// preferring lower node IDs at ties — the same tie-break as
+// topology.ShortestPath. The returned slice is shared; callers must not
+// modify it. It returns nil when disconnected.
+func (o *Oracle) ShortestPath(src, dst topology.NodeID) []topology.NodeID {
+	if src == dst {
+		return []topology.NodeID{src}
+	}
+	key := pairKey{src, dst}
+	if o.cached {
+		o.pairMu.RLock()
+		p, ok := o.paths[key]
+		o.pairMu.RUnlock()
+		if ok {
+			return p
+		}
+	}
+	p := o.buildPath(src, dst)
+	if o.cached {
+		o.pairMu.Lock()
+		o.paths[key] = p
+		o.pairMu.Unlock()
+	}
+	return p
+}
+
+// buildPath reconstructs the lowest-ID shortest path using the distance
+// table of dst (mirroring topology.ShortestPath exactly).
+func (o *Oracle) buildPath(src, dst topology.NodeID) []topology.NodeID {
+	dd := o.DistRow(dst)
+	if dd[src] < 0 {
+		return nil
+	}
+	path := make([]topology.NodeID, 0, int(dd[src])+1)
+	path = append(path, src)
+	cur := src
+	for cur != dst {
+		next := topology.None
+		for _, nb := range o.topo.Neighbors(cur) {
+			if dd[nb] == dd[cur]-1 {
+				next = nb
+				break // adjacency is sorted: lowest-ID choice
+			}
+		}
+		if next == topology.None {
+			return nil // defensive; unreachable given dd[src] >= 0
+		}
+		path = append(path, next)
+		cur = next
+	}
+	return path
+}
+
+// PathDAG returns the all-shortest-paths DAG between src and dst (nil when
+// disconnected). The returned DAG is shared; callers must not modify it.
+func (o *Oracle) PathDAG(src, dst topology.NodeID) *topology.PathDAG {
+	key := pairKey{src, dst}
+	if o.cached {
+		o.pairMu.RLock()
+		d, ok := o.dags[key]
+		o.pairMu.RUnlock()
+		if ok {
+			return d
+		}
+	}
+	d := o.topo.ShortestPathDAG(src, dst)
+	if o.cached {
+		o.pairMu.Lock()
+		o.dags[key] = d
+		o.pairMu.Unlock()
+	}
+	return d
+}
+
+// NearestByDist returns the candidate closest to src by hop distance,
+// breaking ties toward lower node IDs; None when no candidate is reachable.
+// This is the single lookup that replaces the fresh per-query BFS the
+// preference-matrix build used to run.
+func (o *Oracle) NearestByDist(src topology.NodeID, cands []topology.NodeID) topology.NodeID {
+	row := o.DistRow(src)
+	best := topology.None
+	bestD := int32(-1)
+	for _, c := range cands {
+		d := row[c]
+		if d < 0 {
+			continue
+		}
+		if bestD == -1 || d < bestD || (d == bestD && c < best) {
+			bestD, best = d, c
+		}
+	}
+	return best
+}
+
+// PathLatency sums per-switch and per-link delay along a node path, in the
+// paper's T unit (delegates to the topology).
+func (o *Oracle) PathLatency(path []topology.NodeID) float64 {
+	return o.topo.PathLatency(path)
+}
+
+// ExpandRoute splices shortest sub-paths between consecutive route
+// elements, turning a policy-level route into a concrete link walk. Unlike
+// the topology-level helper it reuses cached path segments.
+func (o *Oracle) ExpandRoute(route []topology.NodeID) ([]topology.NodeID, error) {
+	if len(route) == 0 {
+		return nil, fmt.Errorf("netstate: empty route")
+	}
+	out := make([]topology.NodeID, 1, len(route)*2)
+	out[0] = route[0]
+	for i := 1; i < len(route); i++ {
+		if route[i] == route[i-1] {
+			continue
+		}
+		seg := o.ShortestPath(route[i-1], route[i])
+		if seg == nil {
+			return nil, fmt.Errorf("netstate: no path between %d and %d", route[i-1], route[i])
+		}
+		out = append(out, seg[1:]...)
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Type templates and candidate stages (structure-derived)
+// ---------------------------------------------------------------------------
+
+// TypeTemplate returns the switch-type sequence along the lowest-ID
+// shortest path between two nodes — the required policy template of a flow
+// between servers src and dst (w.type per hop). Empty (nil) for src == dst;
+// an error when disconnected. The returned slice is shared; callers must
+// not modify it.
+func (o *Oracle) TypeTemplate(src, dst topology.NodeID) ([]string, error) {
+	if src == dst {
+		return nil, nil
+	}
+	key := pairKey{src, dst}
+	if o.cached {
+		o.pairMu.RLock()
+		t, ok := o.templates[key]
+		o.pairMu.RUnlock()
+		if ok {
+			return t, nil
+		}
+	}
+	path := o.ShortestPath(src, dst)
+	if path == nil {
+		return nil, fmt.Errorf("netstate: no path between nodes %d and %d", src, dst)
+	}
+	types := make([]string, 0, len(path))
+	for _, n := range path {
+		if o.topo.Node(n).IsSwitch() {
+			types = append(types, o.topo.Node(n).Type)
+		}
+	}
+	if o.cached {
+		o.pairMu.Lock()
+		o.templates[key] = types
+		o.pairMu.Unlock()
+	}
+	return types, nil
+}
+
+// SwitchesOfType returns all switches of the given type, ascending. The
+// returned slice is shared; callers must not modify it.
+func (o *Oracle) SwitchesOfType(typ string) []topology.NodeID {
+	if !o.cached {
+		return o.topo.SwitchesOfType(typ)
+	}
+	o.typeMu.RLock()
+	s, ok := o.byType[typ]
+	o.typeMu.RUnlock()
+	if ok {
+		return s
+	}
+	o.typeMu.Lock()
+	defer o.typeMu.Unlock()
+	if s, ok := o.byType[typ]; ok {
+		return s
+	}
+	s = o.topo.SwitchesOfType(typ)
+	o.byType[typ] = s
+	return s
+}
+
+// StagesForTemplate returns the full (capacity-unfiltered) candidate stage
+// lists of a layered flow-path graph: stage i holds every switch whose type
+// matches types[i]. Both the outer and inner slices are shared; callers
+// must not modify them. Capacity feasibility is a per-query, per-flow
+// concern and is filtered by the caller against the current epoch's loads.
+func (o *Oracle) StagesForTemplate(types []string) [][]topology.NodeID {
+	if len(types) == 0 {
+		return nil
+	}
+	if !o.cached {
+		stages := make([][]topology.NodeID, len(types))
+		for i, typ := range types {
+			stages[i] = o.SwitchesOfType(typ)
+		}
+		return stages
+	}
+	key := strings.Join(types, "\x1f")
+	o.typeMu.RLock()
+	s, ok := o.stages[key]
+	o.typeMu.RUnlock()
+	if ok {
+		return s
+	}
+	stages := make([][]topology.NodeID, len(types))
+	for i, typ := range types {
+		stages[i] = o.SwitchesOfType(typ)
+	}
+	o.typeMu.Lock()
+	o.stages[key] = stages
+	o.typeMu.Unlock()
+	return stages
+}
+
+// AccessSwitch returns the access switch a server attaches to (cached; None
+// for non-servers).
+func (o *Oracle) AccessSwitch(server topology.NodeID) topology.NodeID {
+	if !o.cached {
+		return o.topo.AccessSwitch(server)
+	}
+	o.accessOnce.Do(func() {
+		acc := make([]topology.NodeID, o.topo.NumNodes())
+		for i := range acc {
+			acc[i] = o.topo.AccessSwitch(topology.NodeID(i))
+		}
+		o.access = acc
+	})
+	if !o.topo.Valid(server) {
+		return topology.None
+	}
+	return o.access[server]
+}
+
+// ---------------------------------------------------------------------------
+// Parameter-derived views (epoch-gated)
+// ---------------------------------------------------------------------------
+
+func (o *Oracle) loadOf(w topology.NodeID) float64 {
+	if o.load == nil {
+		return 0
+	}
+	return o.load(w)
+}
+
+// refreshHeadroomLocked rebuilds the per-switch load/headroom snapshot for
+// the current epoch. Caller holds headMu.
+func (o *Oracle) refreshHeadroomLocked(epoch uint64) {
+	n := o.topo.NumNodes()
+	if o.headroom == nil {
+		o.headroom = make([]float64, n)
+		o.loadSnapshot = make([]float64, n)
+	}
+	for _, w := range o.topo.Switches() {
+		l := o.loadOf(w)
+		o.loadSnapshot[w] = l
+		o.headroom[w] = o.topo.Node(w).Capacity - l
+	}
+	o.headEpoch = epoch
+	o.headValid = true
+}
+
+// Headroom returns a switch's remaining processing capacity
+// (capacity − load) as of the current epoch.
+func (o *Oracle) Headroom(w topology.NodeID) float64 {
+	if !o.cached {
+		return o.topo.Node(w).Capacity - o.loadOf(w)
+	}
+	epoch := o.Epoch()
+	o.headMu.Lock()
+	if !o.headValid || o.headEpoch != epoch {
+		o.refreshHeadroomLocked(epoch)
+	}
+	v := o.headroom[w]
+	o.headMu.Unlock()
+	return v
+}
+
+// Load returns the aggregate rate routed through switch w as of the current
+// epoch.
+func (o *Oracle) Load(w topology.NodeID) float64 {
+	if !o.cached {
+		return o.loadOf(w)
+	}
+	epoch := o.Epoch()
+	o.headMu.Lock()
+	if !o.headValid || o.headEpoch != epoch {
+		o.refreshHeadroomLocked(epoch)
+	}
+	v := o.loadSnapshot[w]
+	o.headMu.Unlock()
+	return v
+}
+
+// PathBandwidth returns the bottleneck link bandwidth along the lowest-ID
+// shortest path between src and dst (B_ij in §6.1), cached per topology
+// version so failure-injected bandwidth changes invalidate it. It returns
+// an error for same-node pairs and disconnected pairs.
+func (o *Oracle) PathBandwidth(src, dst topology.NodeID) (float64, error) {
+	if src == dst {
+		return 0, fmt.Errorf("netstate: same-node pair has no path bandwidth")
+	}
+	version := o.topo.Version()
+	key := pairKey{src, dst}
+	if o.cached {
+		o.pairMu.RLock()
+		e, ok := o.bands[key]
+		o.pairMu.RUnlock()
+		if ok && e.version == version {
+			return e.bandwidth, nil
+		}
+	}
+	path := o.ShortestPath(src, dst)
+	if path == nil {
+		return 0, fmt.Errorf("netstate: no path between %d and %d", src, dst)
+	}
+	min := -1.0
+	for i := 1; i < len(path); i++ {
+		l, ok := o.topo.Link(path[i-1], path[i])
+		if !ok {
+			return 0, fmt.Errorf("netstate: missing link %d-%d", path[i-1], path[i])
+		}
+		if min < 0 || l.Bandwidth < min {
+			min = l.Bandwidth
+		}
+	}
+	if o.cached {
+		o.pairMu.Lock()
+		o.bands[key] = bandEntry{version: version, bandwidth: min}
+		o.pairMu.Unlock()
+	}
+	return min, nil
+}

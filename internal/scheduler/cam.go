@@ -27,7 +27,7 @@ func (CAM) Schedule(req *Request) error {
 	if err := req.Validate(); err != nil {
 		return err
 	}
-	topo := req.Cluster.Topology()
+	oracle := req.Controller.Oracle()
 
 	// Maps first, Capacity-style.
 	var reduces []Task
@@ -70,7 +70,7 @@ func (CAM) Schedule(req *Request) error {
 					if ps == topology.None {
 						continue
 					}
-					d := topo.Dist(ps, s)
+					d := oracle.Dist(ps, s)
 					if d > 0 {
 						c += f.SizeGB * float64(d)
 					}

@@ -41,7 +41,7 @@ func (d DelayScheduling) Schedule(req *Request) error {
 	if d.NameNode == nil {
 		return fmt.Errorf("scheduler: delaysched: nil NameNode")
 	}
-	topo := req.Cluster.Topology()
+	oracle := req.Controller.Oracle()
 	for _, t := range unplacedTasks(req) {
 		if t.Kind != workload.MapTask {
 			continue // reduces below
@@ -70,10 +70,10 @@ func (d DelayScheduling) Schedule(req *Request) error {
 		if target == topology.None && d.SkipBudget > 0 {
 			racks := map[topology.NodeID]bool{}
 			for _, s := range d.NameNode.Replicas(block) {
-				racks[topo.AccessSwitch(s)] = true
+				racks[oracle.AccessSwitch(s)] = true
 			}
 			for _, s := range req.Cluster.Candidates(t.Container) {
-				if racks[topo.AccessSwitch(s)] {
+				if racks[oracle.AccessSwitch(s)] {
 					target = s
 					break
 				}

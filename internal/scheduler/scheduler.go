@@ -19,6 +19,7 @@ import (
 	"repro/internal/controller"
 	"repro/internal/flow"
 	"repro/internal/hdfs"
+	"repro/internal/netstate"
 	"repro/internal/topology"
 	"repro/internal/workload"
 )
@@ -254,7 +255,7 @@ func (p PNA) Schedule(req *Request) error {
 	if gamma == 0 {
 		gamma = 2
 	}
-	topo := req.Cluster.Topology()
+	oracle := req.Controller.Oracle()
 
 	// Maps first, Capacity-style.
 	var reduces []Task
@@ -289,8 +290,8 @@ func (p PNA) Schedule(req *Request) error {
 		inBytes := reduceInputBytes(t.Container, req.Flows)
 		costs := make([]float64, len(cands))
 		for i, s := range cands {
-			c := staticReduceCost(topo, t.Container, s, req.Flows, loc)
-			c += rackBytes[topo.AccessSwitch(s)] * contention
+			c := staticReduceCost(oracle, t.Container, s, req.Flows, loc)
+			c += rackBytes[oracle.AccessSwitch(s)] * contention
 			c += serverBytes[s] * contention * 2 // terminal downlink is the scarcest hop
 			costs[i] = c
 		}
@@ -333,7 +334,7 @@ func (p PNA) Schedule(req *Request) error {
 		if err := req.Cluster.Place(t.Container, chosen); err != nil {
 			return err
 		}
-		rackBytes[topo.AccessSwitch(chosen)] += inBytes
+		rackBytes[oracle.AccessSwitch(chosen)] += inBytes
 		serverBytes[chosen] += inBytes
 	}
 	return InstallShortestPolicies(req)
@@ -353,7 +354,9 @@ func reduceInputBytes(c cluster.ContainerID, flows []*flow.Flow) float64 {
 // staticReduceCost is PNA's view of placing reduce container c on server s:
 // Σ over incident flows of size × hop-distance from the (placed) peer.
 // Unplaced peers contribute nothing (they will be weighted when placed).
-func staticReduceCost(topo *topology.Topology, c cluster.ContainerID, s topology.NodeID, flows []*flow.Flow, loc flow.Locator) float64 {
+// Distances come from the oracle's memoized per-source tables, so repeated
+// candidate scans reuse one BFS per placed peer.
+func staticReduceCost(o *netstate.Oracle, c cluster.ContainerID, s topology.NodeID, flows []*flow.Flow, loc flow.Locator) float64 {
 	var cost float64
 	for _, f := range flows {
 		var peer cluster.ContainerID
@@ -369,7 +372,7 @@ func staticReduceCost(topo *topology.Topology, c cluster.ContainerID, s topology
 		if ps == topology.None {
 			continue
 		}
-		d := topo.Dist(ps, s)
+		d := o.Dist(ps, s)
 		if d < 0 {
 			continue
 		}

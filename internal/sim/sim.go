@@ -80,6 +80,7 @@ type Engine struct {
 	topo   *topology.Topology
 	cl     *cluster.Cluster
 	ctl    *controller.Controller
+	net    *netsim.Network
 	sched  scheduler.Scheduler
 	opts   Options
 	rng    *rand.Rand
@@ -99,10 +100,12 @@ func New(topo *topology.Topology, serverRes cluster.Resources, sched scheduler.S
 	if err != nil {
 		return nil, err
 	}
+	ctl := controller.New(topo)
 	return &Engine{
 		topo:  topo,
 		cl:    cl,
-		ctl:   controller.New(topo),
+		ctl:   ctl,
+		net:   netsim.NewNetwork(ctl.Oracle()),
 		sched: sched,
 		opts:  opts,
 		rng:   rand.New(rand.NewSource(opts.Seed)),
@@ -399,7 +402,7 @@ func (e *Engine) RunWithArrivals(jobs []*workload.Job, arrivals []float64) (*Res
 				if err != nil {
 					return nil, err
 				}
-				walk, err := netsim.ExpandRoute(e.topo, route)
+				walk, err := e.net.ExpandRoute(route)
 				if err != nil {
 					return nil, err
 				}
@@ -520,7 +523,7 @@ func (e *Engine) RunWithArrivals(jobs []*workload.Job, arrivals []float64) (*Res
 			})
 		}
 	}
-	net, err := netsim.Simulate(e.topo, transfers)
+	net, err := e.net.Simulate(transfers)
 	if err != nil {
 		return nil, err
 	}

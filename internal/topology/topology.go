@@ -113,6 +113,11 @@ type Topology struct {
 	servers  []NodeID         // sorted
 	switches []NodeID         // sorted
 	dist     map[NodeID][]int // BFS distance cache, filled lazily per source
+	// version counts in-place mutations (switch capacity, link bandwidth).
+	// netstate snapshots fold it into their epoch so capacity-dependent
+	// caches invalidate; the graph structure itself never changes, so
+	// distance/path caches stay valid across versions.
+	version uint64
 }
 
 type linkKey struct{ a, b NodeID }
@@ -138,6 +143,13 @@ func (t *Topology) NumSwitches() int { return len(t.switches) }
 
 // NumLinks returns the link count.
 func (t *Topology) NumLinks() int { return len(t.links) }
+
+// Version returns the mutation counter: it increments on every in-place
+// parameter change (SetSwitchCapacity, SetLinkBandwidth). Snapshot layers
+// (internal/netstate) fold it into their epoch to invalidate
+// capacity-dependent caches. The graph structure is immutable after Build,
+// so hop distances and shortest paths are version-independent.
+func (t *Topology) Version() uint64 { return t.version }
 
 // Node returns the node with the given ID. It panics on out-of-range IDs.
 func (t *Topology) Node(id NodeID) Node { return t.nodes[id] }
@@ -174,6 +186,7 @@ func (t *Topology) SetSwitchCapacity(id NodeID, capacity float64) error {
 		return fmt.Errorf("topology: negative capacity %v", capacity)
 	}
 	t.nodes[id].Capacity = capacity
+	t.version++
 	return nil
 }
 
@@ -188,7 +201,16 @@ func (t *Topology) SetLinkBandwidth(a, b NodeID, bandwidth float64) error {
 		return fmt.Errorf("topology: non-positive bandwidth %v", bandwidth)
 	}
 	t.links[i].Bandwidth = bandwidth
+	t.version++
 	return nil
+}
+
+// LinkIndex returns the dense index of the link between a and b in Links(),
+// if one exists. Dense link indices let flow-level simulators key per-link
+// state in slices instead of maps.
+func (t *Topology) LinkIndex(a, b NodeID) (int, bool) {
+	i, ok := t.linkIdx[canonicalKey(a, b)]
+	return i, ok
 }
 
 // Link returns the link between a and b, if one exists.

@@ -3,6 +3,7 @@ package yarn
 import (
 	"fmt"
 
+	"repro/internal/netstate"
 	"repro/internal/topology"
 )
 
@@ -12,15 +13,25 @@ import (
 // per-switch forwarding delay. It is the fast closed-form estimator the
 // Hadoop-side implementation sleeps on to mimic hierarchical-network
 // latency; the flow-level simulator is the ground truth it approximates.
+//
+// Paths and bottleneck bandwidths come from a netstate.Oracle, so repeated
+// fetches between the same server pair reuse one BFS and one bottleneck
+// scan (until a bandwidth change bumps the topology version).
 type DelayFetcher struct {
-	topo *topology.Topology
+	oracle *netstate.Oracle
 	// UnitCost is c_s, the per-hop cost multiplier (default 1).
 	UnitCost float64
 }
 
-// NewDelayFetcher builds a fetcher over the topology.
+// NewDelayFetcher builds a fetcher over the topology with a private oracle.
 func NewDelayFetcher(topo *topology.Topology) *DelayFetcher {
-	return &DelayFetcher{topo: topo, UnitCost: 1}
+	return NewDelayFetcherWithOracle(netstate.New(topo))
+}
+
+// NewDelayFetcherWithOracle builds a fetcher sharing an existing oracle (and
+// therefore its memoized path tables) with the rest of the system.
+func NewDelayFetcherWithOracle(o *netstate.Oracle) *DelayFetcher {
+	return &DelayFetcher{oracle: o, UnitCost: 1}
 }
 
 // PathBandwidth returns the bottleneck link bandwidth on the shortest path
@@ -29,21 +40,11 @@ func (d *DelayFetcher) PathBandwidth(src, dst topology.NodeID) (float64, error) 
 	if src == dst {
 		return 0, fmt.Errorf("yarn: same-server fetch has no path bandwidth")
 	}
-	path := d.topo.ShortestPath(src, dst)
-	if path == nil {
-		return 0, fmt.Errorf("yarn: no path between %d and %d", src, dst)
+	bw, err := d.oracle.PathBandwidth(src, dst)
+	if err != nil {
+		return 0, fmt.Errorf("yarn: %w", err)
 	}
-	min := -1.0
-	for i := 1; i < len(path); i++ {
-		l, ok := d.topo.Link(path[i-1], path[i])
-		if !ok {
-			return 0, fmt.Errorf("yarn: missing link %d-%d", path[i-1], path[i])
-		}
-		if min < 0 || l.Bandwidth < min {
-			min = l.Bandwidth
-		}
-	}
-	return min, nil
+	return bw, nil
 }
 
 // FetchDelay estimates the delay of pulling sizeGB of map output from src
@@ -60,7 +61,7 @@ func (d *DelayFetcher) FetchDelay(src, dst topology.NodeID, sizeGB float64) (flo
 	if err != nil {
 		return 0, err
 	}
-	path := d.topo.ShortestPath(src, dst)
+	path := d.oracle.ShortestPath(src, dst)
 	cost := sizeGB * d.UnitCost
-	return cost/bw + d.topo.PathLatency(path), nil
+	return cost/bw + d.oracle.PathLatency(path), nil
 }
