@@ -1,10 +1,13 @@
 # Developer entry points. CI and the roadmap's tier-1 gate are
 # `make verify`; `make race` is the concurrency gate for the parallel
-# preference-matrix build and the netstate oracle's concurrent readers.
+# preference-matrix build and the netstate oracle's concurrent readers;
+# `make lint` runs taalint, the repo's own determinism / oracle-usage
+# static analysis (also enforced by the selfscan test); `make shuffle`
+# re-runs the tests in random order to keep them state-independent.
 
 GO ?= go
 
-.PHONY: all build vet test race bench verify
+.PHONY: all build vet lint test race shuffle bench verify
 
 all: verify
 
@@ -14,14 +17,25 @@ build:
 vet:
 	$(GO) vet ./...
 
+# lint runs the five taalint checks (maporder, floateq, rngsource,
+# wallclock, oraclebypass) over every non-test package and fails on any
+# unsuppressed finding.
+lint:
+	$(GO) run ./cmd/taalint
+
 test:
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./...
 
+# shuffle randomizes test execution order within each package, surfacing
+# order-dependent tests (the dynamic twin of the maporder check).
+shuffle:
+	$(GO) test -shuffle=on ./...
+
 # bench regenerates the paper's tables/figures in Quick mode.
 bench:
 	$(GO) test -run XXX -bench . -benchtime 1x .
 
-verify: build vet test
+verify: build vet lint test

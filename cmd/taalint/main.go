@@ -1,0 +1,92 @@
+// Command taalint runs the repository's determinism and oracle-usage
+// checks (internal/analysis) over every non-test package in the module and
+// exits non-zero when any unsuppressed finding remains.
+//
+// Usage:
+//
+//	taalint [-checks maporder,floateq,...] [-suppressed] [-list] [dir]
+//
+// With no directory argument the module containing the current working
+// directory is scanned. `make lint` is the canonical invocation; the
+// selfscan test in internal/analysis keeps the gate even when make isn't
+// run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	checksFlag := flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	showSuppressed := flag.Bool("suppressed", false, "also print suppressed findings (marked, never fatal)")
+	list := flag.Bool("list", false, "list available checks and exit")
+	flag.Parse()
+
+	if *list {
+		for _, c := range analysis.All() {
+			fmt.Printf("%-12s %s\n", c.Name(), c.Doc())
+		}
+		return
+	}
+
+	checks, err := analysis.ByName(*checksFlag)
+	if err != nil {
+		fatal(err)
+	}
+
+	start := "."
+	if flag.NArg() > 0 {
+		start = flag.Arg(0)
+	}
+	root, _, err := analysis.ModuleRoot(start)
+	if err != nil {
+		fatal(err)
+	}
+	// The source importer resolves module imports relative to the process
+	// working directory; anchor it at the module root so taalint works
+	// when invoked from anywhere.
+	if err := os.Chdir(root); err != nil {
+		fatal(err)
+	}
+
+	loader := analysis.NewLoader()
+	pkgs, err := loader.LoadModule(root)
+	if err != nil {
+		fatal(err)
+	}
+
+	findings := analysis.Run(pkgs, checks)
+	bad := 0
+	for _, f := range findings {
+		if f.Suppressed {
+			if *showSuppressed {
+				fmt.Printf("%s (suppressed)\n", rel(root, f))
+			}
+			continue
+		}
+		bad++
+		fmt.Println(rel(root, f))
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "taalint: %d finding(s) in %d package(s)\n", bad, len(pkgs))
+		os.Exit(1)
+	}
+}
+
+// rel shortens a finding's file name to be module-root relative.
+func rel(root string, f analysis.Finding) string {
+	if r, err := filepath.Rel(root, f.Pos.Filename); err == nil {
+		f.Pos.Filename = r
+	}
+	return f.String()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "taalint:", err)
+	os.Exit(2)
+}

@@ -14,6 +14,7 @@ import (
 	"sort"
 
 	"repro/internal/metrics"
+	"repro/internal/netstate"
 	"repro/internal/topology"
 )
 
@@ -36,6 +37,10 @@ func main() {
 }
 
 func emitSummary(topo *topology.Topology) {
+	// Inventory and distance queries go through a netstate oracle — the
+	// same access path every scheduler uses — so repeated Dist probes
+	// share one BFS table per source.
+	oracle := netstate.New(topo)
 	fmt.Printf("architecture=%s nodes=%d servers=%d switches=%d links=%d\n\n",
 		topo.Name(), topo.NumNodes(), topo.NumServers(), topo.NumSwitches(), topo.NumLinks())
 
@@ -51,7 +56,7 @@ func emitSummary(topo *topology.Topology) {
 	tb := metrics.NewTable("Switch inventory", "type", "count", "capacity")
 	for _, t := range types {
 		cap := 0.0
-		for _, w := range topo.SwitchesOfType(t) {
+		for _, w := range oracle.SwitchesOfType(t) {
 			cap = topo.Node(w).Capacity
 			break
 		}
@@ -65,7 +70,7 @@ func emitSummary(topo *topology.Topology) {
 	step := len(srv)/16 + 1
 	for i := 0; i < len(srv); i += step {
 		for j := i + 1; j < len(srv); j += step {
-			sample.Add(float64(topo.Dist(srv[i], srv[j])))
+			sample.Add(float64(oracle.Dist(srv[i], srv[j])))
 		}
 	}
 	if sample.N() > 0 {

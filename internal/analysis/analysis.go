@@ -1,0 +1,249 @@
+// Package analysis is taalint's stdlib-only static-analysis framework: a
+// small go/ast + go/types harness that enforces the repository's
+// determinism and oracle-usage invariants across every scheduler layer.
+//
+// The paper's evaluation (Figures 6-10) is reproducible only if every
+// placement and policy decision is bit-deterministic for a given seed, and
+// the netstate path/cost oracle is only a win if no consumer silently
+// reintroduces ad-hoc BFS or topology scans behind its back. Both were
+// unwritten invariants; this package makes them machine-checked. Five
+// checks ship today: maporder, floateq, rngsource, wallclock and
+// oraclebypass (see their files for the precise rules).
+//
+// A finding on a given line is suppressed by a comment of the form
+//
+//	//taalint:<check> <reason>
+//
+// placed either at the end of the offending line or on its own line
+// directly above it. Suppressions are deliberate, reviewable escape
+// hatches; the reason text is free-form but expected.
+//
+// The framework deliberately depends on nothing outside the standard
+// library: no golang.org/x/tools, no go/analysis. Packages are parsed with
+// go/parser and type-checked with go/types against the source importer, so
+// `go run ./cmd/taalint` works on a bare toolchain.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic produced by a check.
+type Finding struct {
+	Check      string         // check name, e.g. "maporder"
+	Pos        token.Position // file:line:col of the offending node
+	Msg        string         // human-readable diagnostic
+	Suppressed bool           // true when a //taalint:<check> comment covers the line
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Check, f.Msg)
+}
+
+// Package is one loaded, type-checked, non-test package.
+type Package struct {
+	Path  string // import path ("repro/internal/core")
+	Dir   string // absolute source directory
+	Fset  *token.FileSet
+	Files []*ast.File // sorted by file name
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// Base returns the last import-path element, the unit the per-package
+// scoping rules match on ("repro/internal/core" -> "core").
+func (p *Package) Base() string { return path.Base(p.Path) }
+
+// Pass carries one (check, package) run and collects findings.
+type Pass struct {
+	Pkg      *Package
+	check    string
+	findings *[]Finding
+}
+
+// Fset returns the pass's position set.
+func (p *Pass) Fset() *token.FileSet { return p.Pkg.Fset }
+
+// TypeOf returns the type of an expression, or nil when untypeable.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Pkg.Info.TypeOf(e) }
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.findings = append(*p.findings, Finding{
+		Check: p.check,
+		Pos:   p.Pkg.Fset.Position(pos),
+		Msg:   fmt.Sprintf(format, args...),
+	})
+}
+
+// Check is one lint rule. Run inspects a single package and reports
+// findings through the pass.
+type Check interface {
+	Name() string
+	Doc() string
+	Run(p *Pass)
+}
+
+// All returns the full check suite in stable order.
+func All() []Check {
+	return []Check{
+		MapOrder{},
+		FloatEq{},
+		RNGSource{},
+		WallClock{},
+		OracleBypass{},
+	}
+}
+
+// ByName resolves a comma-separated check list against the full suite.
+func ByName(names string) ([]Check, error) {
+	if names == "" {
+		return All(), nil
+	}
+	byName := make(map[string]Check)
+	for _, c := range All() {
+		byName[c.Name()] = c
+	}
+	var out []Check
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		c, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("unknown check %q", n)
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// Run applies every check to every package, resolves suppression comments
+// and returns all findings sorted by position. Suppressed findings are
+// included with Suppressed set so callers can audit the escape hatches.
+func Run(pkgs []*Package, checks []Check) []Finding {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		sup := suppressions(pkg)
+		for _, c := range checks {
+			pass := &Pass{Pkg: pkg, check: c.Name(), findings: &findings}
+			start := len(findings)
+			c.Run(pass)
+			for i := start; i < len(findings); i++ {
+				f := &findings[i]
+				if sup.covers(f.Pos.Filename, f.Pos.Line, f.Check) {
+					f.Suppressed = true
+				}
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Check < b.Check
+	})
+	return findings
+}
+
+// Unsuppressed filters a finding list down to the ones that still gate.
+func Unsuppressed(all []Finding) []Finding {
+	var out []Finding
+	for _, f := range all {
+		if !f.Suppressed {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// suppressionSet maps (file, line) to the set of check names suppressed
+// there. A //taalint:<check> comment covers its own line and the line
+// below it (so it can sit on the offending line or directly above).
+type suppressionSet map[string]map[int]map[string]bool
+
+func (s suppressionSet) covers(file string, line int, check string) bool {
+	lines := s[file]
+	if lines == nil {
+		return false
+	}
+	for _, l := range []int{line, line - 1} {
+		if cs := lines[l]; cs != nil && (cs[check] || cs["all"]) {
+			return true
+		}
+	}
+	return false
+}
+
+// suppressions scans a package's comments for //taalint: markers.
+func suppressions(pkg *Package) suppressionSet {
+	set := make(suppressionSet)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "taalint:") {
+					continue
+				}
+				text = strings.TrimPrefix(text, "taalint:")
+				// First field is the check list; the rest is the reason.
+				checks := text
+				if i := strings.IndexAny(text, " \t"); i >= 0 {
+					checks = text[:i]
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				lines := set[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]map[string]bool)
+					set[pos.Filename] = lines
+				}
+				cs := lines[pos.Line]
+				if cs == nil {
+					cs = make(map[string]bool)
+					lines[pos.Line] = cs
+				}
+				for _, name := range strings.Split(checks, ",") {
+					if name = strings.TrimSpace(name); name != "" {
+						cs[name] = true
+					}
+				}
+			}
+		}
+	}
+	return set
+}
+
+// decisionPackages are the import-path base names whose map iteration must
+// be deterministic: every package that makes or orders placement and
+// policy decisions.
+var decisionPackages = map[string]bool{
+	"core":        true,
+	"scheduler":   true,
+	"controller":  true,
+	"stablematch": true,
+	"sim":         true,
+	"yarn":        true,
+	"experiments": true,
+}
+
+// wallclockPackages are the import-path base names that must use the
+// simulated clock exclusively.
+var wallclockPackages = map[string]bool{
+	"sim":         true,
+	"scheduler":   true,
+	"core":        true,
+	"experiments": true,
+}

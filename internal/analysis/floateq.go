@@ -1,0 +1,63 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq flags == and != between float-typed operands anywhere in the
+// module. Cost and utility values are accumulated floats; exact equality
+// on them is either vacuously true (same expression) or a rounding-order
+// landmine that breaks cross-platform reproducibility of the paper's
+// figures. Compare with an epsilon helper (metrics.ApproxEqual) instead,
+// or annotate //taalint:floateq when exact semantics are intended (e.g.
+// comparing against a sentinel the code itself assigned).
+//
+// The x != x NaN idiom (both operands the same identifier) and fully
+// constant comparisons are exempt.
+type FloatEq struct{}
+
+// Name implements Check.
+func (FloatEq) Name() string { return "floateq" }
+
+// Doc implements Check.
+func (FloatEq) Doc() string {
+	return "==/!= on float operands; use an epsilon helper such as metrics.ApproxEqual"
+}
+
+// Run implements Check.
+func (FloatEq) Run(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloatExpr(p, be.X) && !isFloatExpr(p, be.Y) {
+				return true
+			}
+			// Constant-folded comparisons carry no runtime hazard.
+			if tv, ok := p.Pkg.Info.Types[be]; ok && tv.Value != nil {
+				return true
+			}
+			// x != x / x == x: the NaN self-comparison idiom.
+			if xa, xb := identObj(p, be.X), identObj(p, be.Y); xa != nil && xa == xb {
+				return true
+			}
+			p.Reportf(be.OpPos,
+				"float equality (%s); use metrics.ApproxEqual or an explicit epsilon, or annotate //taalint:floateq",
+				be.Op)
+			return true
+		})
+	}
+}
+
+func isFloatExpr(p *Pass, e ast.Expr) bool {
+	t := p.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,173 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Loader parses and type-checks packages with nothing but the standard
+// library: go/parser for syntax and go/types with the source importer for
+// type information. One Loader shares a FileSet and an importer across
+// every package it loads, so common dependencies (topology, netstate, the
+// stdlib) are type-checked once.
+//
+// The source importer resolves module import paths through the go command,
+// which requires the process working directory to be inside the module —
+// ModuleRoot/Chdir in cmd/taalint and the tests' natural cwd both satisfy
+// that.
+type Loader struct {
+	fset *token.FileSet
+	imp  types.Importer
+}
+
+// NewLoader returns a loader with a fresh FileSet and source importer.
+func NewLoader() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{fset: fset, imp: importer.ForCompiler(fset, "source", nil)}
+}
+
+// Fset exposes the loader's position set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// ModuleRoot walks up from dir to the enclosing go.mod and returns its
+// directory and module path.
+func ModuleRoot(dir string) (root, modPath string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module"); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("analysis: %s/go.mod has no module directive", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("analysis: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// LoadModule loads every non-test package under the module rooted at root,
+// skipping testdata, hidden and underscore-prefixed directories. Packages
+// are returned sorted by import path.
+func (l *Loader) LoadModule(root string) ([]*Package, error) {
+	root, modPath, err := ModuleRoot(root)
+	if err != nil {
+		return nil, err
+	}
+	var dirs []string
+	err = filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(p) {
+			dirs = append(dirs, p)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	var pkgs []*Package
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		importPath := modPath
+		if rel != "." {
+			importPath = modPath + "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := l.LoadDir(dir, importPath)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// LoadDir parses and type-checks the single package in dir under the given
+// import path. Test files are excluded; the import path is what the
+// per-package scoping rules (decision packages, netstate exemption) match
+// against, so fixtures can masquerade as any package.
+func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no non-test Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	cfg := types.Config{Importer: l.imp}
+	tpkg, err := cfg.Check(importPath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", importPath, err)
+	}
+	return &Package{
+		Path:  importPath,
+		Dir:   dir,
+		Fset:  l.fset,
+		Files: files,
+		Pkg:   tpkg,
+		Info:  info,
+	}, nil
+}
+
+// hasGoFiles reports whether dir directly contains at least one non-test
+// Go source file.
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}

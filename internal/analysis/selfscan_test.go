@@ -1,0 +1,48 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestRepoSelfScan runs all five checks over every non-test package in the
+// module and fails on any unsuppressed finding. This is the same gate as
+// `make lint`, but wired into `go test ./...` so it holds even when make
+// is never invoked.
+func TestRepoSelfScan(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short mode")
+	}
+	root, modPath, err := analysis.ModuleRoot(".")
+	if err != nil {
+		t.Fatalf("ModuleRoot: %v", err)
+	}
+	loader := analysis.NewLoader()
+	pkgs, err := loader.LoadModule(root)
+	if err != nil {
+		t.Fatalf("LoadModule(%s): %v", root, err)
+	}
+	// Sanity: the walk must have reached the decision packages, or a
+	// silently skipped directory would make this test pass vacuously.
+	seen := make(map[string]bool, len(pkgs))
+	for _, p := range pkgs {
+		seen[p.Path] = true
+	}
+	for _, want := range []string{
+		modPath + "/internal/core",
+		modPath + "/internal/scheduler",
+		modPath + "/internal/controller",
+		modPath + "/internal/netstate",
+		modPath + "/internal/experiments",
+	} {
+		if !seen[want] {
+			t.Errorf("self-scan did not load %s", want)
+		}
+	}
+
+	findings := analysis.Run(pkgs, analysis.All())
+	for _, f := range analysis.Unsuppressed(findings) {
+		t.Errorf("unsuppressed finding: %s", f)
+	}
+}

@@ -1,0 +1,30 @@
+// Package fixture exercises the floateq check.
+package fixture
+
+// SameCost compares accumulated costs exactly. Flagged.
+func SameCost(a, b float64) bool {
+	return a == b
+}
+
+// NotZero compares a float against an untyped zero. Flagged.
+func NotZero(a float64) bool {
+	return a != 0
+}
+
+// IsNaN uses the self-comparison idiom. Not flagged.
+func IsNaN(a float64) bool {
+	return a != a
+}
+
+// constCompare is fully constant-folded. Not flagged.
+const constCompare = 1.5 == 2.5
+
+// IntEqual is exact by nature. Not flagged.
+func IntEqual(a, b int) bool {
+	return a == b
+}
+
+// UnsetSentinel documents why exact zero is intended; suppressed.
+func UnsetSentinel(a float64) bool {
+	return a == 0 //taalint:floateq zero is the explicit "unset" sentinel
+}

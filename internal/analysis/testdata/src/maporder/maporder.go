@@ -1,0 +1,69 @@
+// Package fixture exercises the maporder check. It is loaded under the
+// synthetic import path "fixture/scheduler" so the decision-package rule
+// applies.
+package fixture
+
+import "sort"
+
+// FirstPositive observes iteration order: which key is returned depends on
+// the map's per-run randomization. Flagged.
+func FirstPositive(m map[string]int) string {
+	for k := range m {
+		if m[k] > 0 {
+			return k
+		}
+	}
+	return ""
+}
+
+// SumFloats accumulates floats in map order: the rounding of the result
+// depends on iteration order. Flagged.
+func SumFloats(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// SortedKeys is the idiomatic deterministic pattern: collect, then sort.
+// Not flagged.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// CountPositive only accumulates an integer; order-independent. Not
+// flagged.
+func CountPositive(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		if v > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Invert writes a map keyed by the loop variable; distinct keys commute.
+// Not flagged.
+func Invert(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k := range m {
+		out[k] = -m[k]
+	}
+	return out
+}
+
+// Dump is order-dependent but deliberately so; the suppression carries the
+// justification and the finding does not gate.
+func Dump(m map[string]int) {
+	//taalint:maporder debug dump; output order is explicitly don't-care
+	for k := range m {
+		println(k)
+	}
+}

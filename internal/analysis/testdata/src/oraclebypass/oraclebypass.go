@@ -1,0 +1,34 @@
+// Package fixture exercises the oraclebypass check: it plays the role of a
+// scheduler-layer consumer (import path "fixture/consumer") issuing
+// path/distance queries.
+package fixture
+
+import (
+	"repro/internal/netstate"
+	"repro/internal/topology"
+)
+
+// RawDist runs an uncached, epoch-blind BFS on the raw topology. Flagged.
+func RawDist(t *topology.Topology, a, b topology.NodeID) int {
+	return t.Dist(a, b)
+}
+
+// RawPath bypasses the shared path cache. Flagged.
+func RawPath(t *topology.Topology, a, b topology.NodeID) []topology.NodeID {
+	return t.ShortestPath(a, b)
+}
+
+// OracleDist routes the same query through the shared oracle. Not flagged.
+func OracleDist(o *netstate.Oracle, a, b topology.NodeID) int {
+	return o.Dist(a, b)
+}
+
+// Structural accessors are O(1) reads, not path computations. Not flagged.
+func Structural(t *topology.Topology) int {
+	return t.NumServers() + t.NumLinks()
+}
+
+// Probe is a deliberate one-shot diagnostic; suppressed.
+func Probe(t *topology.Topology, s topology.NodeID) topology.NodeID {
+	return t.AccessSwitch(s) //taalint:oraclebypass one-shot diagnostic probe, not on a decision path
+}

@@ -1,0 +1,30 @@
+// Package fixture exercises the rngsource check.
+package fixture
+
+import "math/rand"
+
+// GlobalDraw uses the process-wide source. Flagged.
+func GlobalDraw() int {
+	return rand.Intn(10)
+}
+
+// GlobalShuffle too. Flagged.
+func GlobalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+
+// Injected draws from a caller-provided seeded generator. Not flagged.
+func Injected(r *rand.Rand) int {
+	return r.Intn(10)
+}
+
+// Construct builds an isolated seeded generator; the constructors are the
+// allowed path. Not flagged.
+func Construct(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Demo is deliberate and carries a justification; suppressed.
+func Demo() float64 {
+	return rand.Float64() //taalint:rngsource throwaway demo value, never feeds a decision
+}

@@ -1,0 +1,26 @@
+// Package fixture exercises the wallclock check. It is loaded under the
+// synthetic import path "fixture/sim" so the simulated-layer rule applies.
+package fixture
+
+import "time"
+
+// ReadClock reads the machine clock inside a simulated layer. Flagged.
+func ReadClock() time.Time {
+	return time.Now()
+}
+
+// Elapsed measures host time, which no seed can reproduce. Flagged.
+func Elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0)
+}
+
+// Constant durations and arithmetic on time values are fine; only
+// Now/Since/Until read the wall clock. Not flagged.
+func Tick() time.Duration {
+	return 3 * time.Second
+}
+
+// Banner is outside the simulated path and says so; suppressed.
+func Banner() time.Time {
+	return time.Now() //taalint:wallclock startup banner timestamp, not simulation state
+}

@@ -1,0 +1,45 @@
+package analysis
+
+import (
+	"go/types"
+)
+
+// WallClock forbids time.Now, time.Since and time.Until in the simulated
+// layers (sim, scheduler, core, experiments). Those packages measure
+// makespan, delay and cost in simulated T units driven by the event
+// engine; reading the machine's wall clock there either leaks real time
+// into reported metrics or — worse — makes a placement decision depend on
+// host speed, which no seed can reproduce. Profiling belongs in
+// internal/profile and the benchmarks, which stay outside these packages.
+type WallClock struct{}
+
+var wallclockForbidden = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+// Name implements Check.
+func (WallClock) Name() string { return "wallclock" }
+
+// Doc implements Check.
+func (WallClock) Doc() string {
+	return "time.Now/Since/Until are forbidden in simulated layers; use the simulated clock"
+}
+
+// Run implements Check.
+func (WallClock) Run(p *Pass) {
+	if !wallclockPackages[p.Pkg.Base()] {
+		return
+	}
+	for id, obj := range p.Pkg.Info.Uses {
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+			continue
+		}
+		if !wallclockForbidden[fn.Name()] {
+			continue
+		}
+		p.reportIdent(id, "time.%s reads the wall clock inside a simulated layer; use the engine's simulated clock", fn.Name())
+	}
+}

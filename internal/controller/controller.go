@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"repro/internal/flow"
 	"repro/internal/netstate"
@@ -43,12 +44,11 @@ func NewWithOracle(topo *topology.Topology, o *netstate.Oracle) *Controller {
 	c := &Controller{
 		topo:     topo,
 		oracle:   o,
-		cost:     flow.NewCostModel(topo),
+		cost:     flow.NewCostModelWithOracle(o),
 		policies: make(map[flow.ID]*flow.Policy),
 		rates:    make(map[flow.ID]float64),
 		load:     make(map[topology.NodeID]float64),
 	}
-	c.cost.Dist = o.Dist
 	o.BindLoad(func(w topology.NodeID) float64 { return c.load[w] })
 	return c
 }
@@ -127,7 +127,15 @@ func (c *Controller) Install(f *flow.Flow, p *flow.Policy) error {
 	for _, w := range p.List {
 		need[w] += f.Rate
 	}
-	for w, n := range need {
+	// Check switches in ascending ID order so the reported violation (and
+	// therefore the caller's behavior) never depends on map iteration.
+	checkOrder := make([]topology.NodeID, 0, len(need))
+	for w := range need {
+		checkOrder = append(checkOrder, w)
+	}
+	sort.Slice(checkOrder, func(i, j int) bool { return checkOrder[i] < checkOrder[j] })
+	for _, w := range checkOrder {
+		n := need[w]
 		cap := c.topo.Node(w).Capacity
 		if math.IsInf(cap, 1) {
 			continue
@@ -305,7 +313,7 @@ func (c *Controller) OptimizePolicy(f *flow.Flow, loc flow.Locator) (*flow.Polic
 		}
 	}
 
-	const inf = math.MaxFloat64
+	inf := math.Inf(1)
 	costTo := make([]float64, len(stages[0]))
 	prev := make([][]int, len(types))
 	for i, w := range stages[0] {
@@ -317,7 +325,7 @@ func (c *Controller) OptimizePolicy(f *flow.Flow, loc flow.Locator) (*flow.Polic
 		for j, w := range stages[s] {
 			best, bestK := inf, -1
 			for k, v := range stages[s-1] {
-				if costTo[k] == inf {
+				if math.IsInf(costTo[k], 1) {
 					continue
 				}
 				cst := costTo[k] + c.cost.SegmentCost(f.Rate, v, w)
@@ -332,7 +340,7 @@ func (c *Controller) OptimizePolicy(f *flow.Flow, loc flow.Locator) (*flow.Polic
 	}
 	best, bestJ := inf, -1
 	for j, w := range stages[len(types)-1] {
-		if costTo[j] == inf {
+		if math.IsInf(costTo[j], 1) {
 			continue
 		}
 		cst := costTo[j] + c.cost.SegmentCost(f.Rate, w, dst)
@@ -419,9 +427,17 @@ func (c *Controller) RebalanceOverloaded(flows []*flow.Flow, loc flow.Locator) (
 			return moved, nil
 		}
 		w := over[0]
-		// Largest-rate movable flow through w.
+		// Largest-rate movable flow through w. Iterate policies in
+		// ascending flow-ID order so rate ties break toward the lowest ID
+		// instead of whatever the map yields this run.
+		ids := make([]flow.ID, 0, len(c.policies))
+		for id := range c.policies {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 		var victim *flow.Flow
-		for id, p := range c.policies {
+		for _, id := range ids {
+			p := c.policies[id]
 			f, ok := byID[id]
 			if !ok {
 				continue
@@ -508,7 +524,15 @@ func (c *Controller) UtilizationByType() map[string]UtilizationStats {
 		t := c.topo.Node(w).Type
 		byType[t] = append(byType[t], w)
 	}
-	for t, ws := range byType {
+	// Aggregate per type in name order: the float sums below must
+	// accumulate in a fixed order to stay bit-reproducible.
+	typeNames := make([]string, 0, len(byType))
+	for t := range byType {
+		typeNames = append(typeNames, t)
+	}
+	sort.Strings(typeNames)
+	for _, t := range typeNames {
+		ws := byType[t]
 		var st UtilizationStats
 		var loadSum, utilSum float64
 		capped := 0

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestFigure6DoubleRunDeterminism executes the Figure 6 pipeline twice with
+// the same seed and asserts the results are byte-identical down to the last
+// float bit. This is the dynamic twin of what the maporder and rngsource
+// taalint checks enforce statically: if any layer consults map iteration
+// order, the global RNG, or the wall clock, the two fingerprints diverge.
+func TestFigure6DoubleRunDeterminism(t *testing.T) {
+	first, err := Figure6(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Figure6(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp1, fp2 := fig6Fingerprint(first), fig6Fingerprint(second)
+	if fp1 != fp2 {
+		t.Fatalf("same-seed runs diverged:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", fp1, fp2)
+	}
+	// A different seed must actually change the fingerprint, or the
+	// fingerprint is too coarse to prove anything.
+	other, err := Figure6(Config{Seed: 2, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig6Fingerprint(other) == fp1 {
+		t.Fatal("fingerprint is seed-insensitive; it cannot witness determinism")
+	}
+}
+
+// fig6Fingerprint serializes every metric in a Fig6Result with exact float
+// bit patterns, so equality means bit-identical results.
+func fig6Fingerprint(r *Fig6Result) string {
+	var b strings.Builder
+	bits := func(v float64) string { return fmt.Sprintf("%016x", math.Float64bits(v)) }
+	for _, run := range r.Runs {
+		fmt.Fprintf(&b, "run=%s\n", run.Name)
+		for _, s := range []struct {
+			label  string
+			values []float64
+		}{
+			{"jct", run.JCT.Values()},
+			{"map", run.MapTime.Values()},
+			{"reduce", run.ReduceTime.Values()},
+		} {
+			fmt.Fprintf(&b, "  %s:", s.label)
+			for _, v := range s.values {
+				fmt.Fprintf(&b, " %s", bits(v))
+			}
+			fmt.Fprintln(&b)
+		}
+		fmt.Fprintf(&b, "  hops=%s delay=%s xfer=%s tput=%s cost=%s\n",
+			bits(run.AvgRouteHops), bits(run.AvgShuffleDelayT),
+			bits(run.AvgTransferTime), bits(run.Throughput), bits(run.TotalTrafficCost))
+	}
+	fmt.Fprintf(&b, "impCap=%s impPNA=%s\n",
+		bits(r.JCTImprovementVsCapacity), bits(r.JCTImprovementVsPNA))
+	return b.String()
+}

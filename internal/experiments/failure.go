@@ -86,12 +86,12 @@ func FailureRecovery(cfg Config) (*FailureResult, error) {
 	// Degrade the hottest aggregation switch to half its current load.
 	var hottest topology.NodeID = topology.None
 	var maxLoad float64
-	for _, w := range topo.SwitchesOfType(topology.TypeAggregation) {
+	for _, w := range ctl.Oracle().SwitchesOfType(topology.TypeAggregation) {
 		if l := ctl.Load(w); l > maxLoad {
 			hottest, maxLoad = w, l
 		}
 	}
-	if hottest == topology.None || maxLoad == 0 {
+	if hottest == topology.None || maxLoad <= 0 {
 		return nil, fmt.Errorf("experiments: no loaded aggregation switch to degrade")
 	}
 	if err := topo.SetSwitchCapacity(hottest, maxLoad/2); err != nil {

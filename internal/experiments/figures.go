@@ -429,7 +429,8 @@ func Figure9(cfg Config) (*Fig9Result, error) {
 
 // relGain returns (x - base) / base, or 0 when base is 0.
 func relGain(x, base float64) float64 {
-	if base == 0 {
+	if base == 0 { //taalint:floateq exact-zero division guard: a zero baseline means "absent", not "tiny"
+
 		return 0
 	}
 	return (x - base) / base

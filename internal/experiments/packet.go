@@ -7,7 +7,6 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/controller"
 	"repro/internal/metrics"
-	"repro/internal/netsim"
 	"repro/internal/packetsim"
 	"repro/internal/scheduler"
 	"repro/internal/workload"
@@ -93,7 +92,7 @@ func Figure7Packet(cfg Config) (*Fig7PacketResult, error) {
 				if err != nil {
 					return nil, err
 				}
-				walk, err := netsim.ExpandRoute(topo, route)
+				walk, err := ctl.Oracle().ExpandRoute(route)
 				if err != nil {
 					return nil, err
 				}
@@ -115,9 +114,11 @@ func Figure7Packet(cfg Config) (*Fig7PacketResult, error) {
 			row.AvgDelayT += pr.AvgDelay()
 			row.P99DelayT += pr.DelayPercentile(99)
 			row.LossRate += pr.LossRate()
+			// Iterate flows in ID order: hops/n are float accumulators
+			// whose rounding must not depend on map iteration.
 			var hops, n float64
-			for _, fr := range pr.Flows {
-				if fr.Sent > 0 {
+			for _, id := range pr.FlowIDs() {
+				if fr := pr.Flows[id]; fr.Sent > 0 {
 					hops += float64(fr.Hops)
 					n++
 				}

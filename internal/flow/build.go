@@ -30,7 +30,8 @@ func BuildJobFlows(job *workload.Job, mapContainers, reduceContainers []cluster.
 		return nil, fmt.Errorf("flow: %d reduce containers for %d reduce tasks", len(reduceContainers), job.NumReduces)
 	}
 	ratePerGB := opts.RatePerGB
-	if ratePerGB == 0 {
+	if ratePerGB == 0 { //taalint:floateq zero is the explicit "use default" sentinel; negatives are rejected below
+
 		ratePerGB = 1
 	}
 	if ratePerGB < 0 {

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"repro/internal/cluster"
+	"repro/internal/netstate"
 	"repro/internal/topology"
 )
 
@@ -129,27 +130,34 @@ func ClusterLocator(cl *cluster.Cluster) Locator {
 
 // CostModel computes route costs and rescheduling utilities over one
 // topology. UnitCost is c_s in Eq. 2 — the cost per unit rate per hop.
+// Every hop-distance and latency query goes through a netstate.Oracle —
+// never the raw topology — so all consumers share one set of memoized BFS
+// tables and one epoch-consistent view (the oraclebypass lint enforces
+// this repository-wide).
 type CostModel struct {
-	Topo     *topology.Topology
+	oracle   *netstate.Oracle
 	UnitCost float64
-	// Dist optionally overrides the hop-distance source. The controller
-	// binds the shared netstate oracle here so every segment-cost query hits
-	// the memoized distance tables; nil falls back to the topology's own
-	// (single-goroutine) BFS cache.
-	Dist func(a, b topology.NodeID) int
 }
 
-// NewCostModel returns a cost model with unit hop cost 1.
+// NewCostModel returns a cost model with unit hop cost 1 backed by a
+// private memoizing oracle over topo.
 func NewCostModel(topo *topology.Topology) *CostModel {
-	return &CostModel{Topo: topo, UnitCost: 1}
+	return NewCostModelWithOracle(netstate.New(topo))
 }
 
-// dist resolves a hop distance through the bound provider.
+// NewCostModelWithOracle returns a cost model sharing an existing oracle;
+// the controller binds its own here so cost queries and policy decisions
+// read the same distance tables.
+func NewCostModelWithOracle(o *netstate.Oracle) *CostModel {
+	return &CostModel{oracle: o, UnitCost: 1}
+}
+
+// Oracle returns the bound path/cost oracle.
+func (cm *CostModel) Oracle() *netstate.Oracle { return cm.oracle }
+
+// dist resolves a hop distance through the oracle's memoized tables.
 func (cm *CostModel) dist(a, b topology.NodeID) int {
-	if cm.Dist != nil {
-		return cm.Dist(a, b)
-	}
-	return cm.Topo.Dist(a, b)
+	return cm.oracle.Dist(a, b)
 }
 
 // SegmentCost is C_k(a, b): the cost of carrying rate between two route
@@ -203,7 +211,7 @@ func (cm *CostModel) FlowDelay(f *Flow, p *Policy, loc Locator) (float64, error)
 	if err != nil {
 		return 0, err
 	}
-	return f.SizeGB * cm.Topo.PathLatency(route), nil
+	return f.SizeGB * cm.oracle.PathLatency(route), nil
 }
 
 // RouteHops returns the number of links on the flow's actual route,

@@ -16,6 +16,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"repro/internal/netstate"
 	"repro/internal/topology"
 )
 
@@ -60,7 +61,10 @@ func (f *File) TotalGB() float64 { return float64(len(f.Blocks)) * f.BlockGB }
 
 // NameNode tracks block replica placements over a topology's servers.
 type NameNode struct {
-	topo        *topology.Topology
+	topo *topology.Topology
+	// oracle serves rack and hop-distance queries through the shared
+	// netstate caches instead of per-call BFS on the raw topology.
+	oracle      *netstate.Oracle
 	replication int
 	rng         *rand.Rand
 	files       map[string]*File
@@ -86,6 +90,7 @@ func NewNameNode(topo *topology.Topology, replication int, seed int64) (*NameNod
 	}
 	nn := &NameNode{
 		topo:        topo,
+		oracle:      netstate.New(topo),
 		replication: replication,
 		rng:         rand.New(rand.NewSource(seed)),
 		files:       make(map[string]*File),
@@ -95,7 +100,7 @@ func NewNameNode(topo *topology.Topology, replication int, seed int64) (*NameNod
 		racks:       make(map[topology.NodeID][]topology.NodeID),
 	}
 	for _, s := range topo.Servers() {
-		acc := topo.AccessSwitch(s)
+		acc := nn.oracle.AccessSwitch(s)
 		nn.rackOf[s] = acc
 		nn.racks[acc] = append(nn.racks[acc], s)
 	}
@@ -248,7 +253,7 @@ func (nn *NameNode) NearestReplica(b BlockID, reader topology.NodeID) (topology.
 	}
 	best, bestD := topology.None, -1
 	for _, s := range locs {
-		d := nn.topo.Dist(reader, s)
+		d := nn.oracle.Dist(reader, s)
 		if d < 0 {
 			continue
 		}

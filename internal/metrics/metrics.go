@@ -11,6 +11,25 @@ import (
 	"strings"
 )
 
+// ApproxTolerance is ApproxEqual's default relative/absolute tolerance:
+// generous enough to absorb summation-order rounding, far below any
+// meaningful cost or delay difference in the evaluation.
+const ApproxTolerance = 1e-9
+
+// ApproxEqual reports whether two floats are equal within a combined
+// absolute-plus-relative tolerance. This is the epsilon helper the
+// taalint floateq check points at: accumulated costs and utilities must
+// never be compared with == / !=, whose result depends on summation
+// order and platform rounding.
+func ApproxEqual(a, b float64) bool {
+	if a == b { //taalint:floateq fast path; the tolerance below decides near-misses
+		return true
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= ApproxTolerance+ApproxTolerance*scale
+}
+
 // Sample is an accumulating collection of float64 observations.
 type Sample struct {
 	values []float64
@@ -152,7 +171,8 @@ func (s *Sample) CDF(maxPoints int) []CDFPoint {
 // (baseline - got) / baseline. Positive means got is better (smaller).
 // It returns NaN when baseline is zero.
 func Improvement(baseline, got float64) float64 {
-	if baseline == 0 {
+	if baseline == 0 { //taalint:floateq exact-zero division guard; NaN for zero baseline is the documented contract
+
 		return math.NaN()
 	}
 	return (baseline - got) / baseline

@@ -67,23 +67,19 @@ func (n *Network) ExpandRoute(route []topology.NodeID) ([]topology.NodeID, error
 }
 
 // ExpandRoute is the topology-level variant of Network.ExpandRoute for
-// callers without an oracle at hand.
+// callers without an oracle at hand. It routes through a throwaway
+// uncached oracle so netstate stays the only package that runs BFS;
+// callers on a hot path should hold a memoizing oracle and use it
+// directly.
 func ExpandRoute(topo *topology.Topology, route []topology.NodeID) ([]topology.NodeID, error) {
 	if len(route) == 0 {
 		return nil, fmt.Errorf("netsim: empty route")
 	}
-	out := []topology.NodeID{route[0]}
-	for i := 1; i < len(route); i++ {
-		if route[i] == route[i-1] {
-			continue
-		}
-		seg := topo.ShortestPath(route[i-1], route[i])
-		if seg == nil {
-			return nil, fmt.Errorf("netsim: no path between %d and %d", route[i-1], route[i])
-		}
-		out = append(out, seg[1:]...)
+	walk, err := netstate.NewUncached(topo).ExpandRoute(route)
+	if err != nil {
+		return nil, fmt.Errorf("netsim: %w", err)
 	}
-	return out, nil
+	return walk, nil
 }
 
 // resUse is one (resource, multiplicity) pair on a transfer's walk: a walk

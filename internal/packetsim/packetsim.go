@@ -129,7 +129,8 @@ type eventHeap []event
 
 func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
+	if h[i].t != h[j].t { //taalint:floateq total-order comparator: exact compare required for heap consistency
+
 		return h[i].t < h[j].t
 	}
 	return h[i].seq < h[j].seq

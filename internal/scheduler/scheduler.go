@@ -252,7 +252,8 @@ func (p PNA) Schedule(req *Request) error {
 		return err
 	}
 	gamma := p.Gamma
-	if gamma == 0 {
+	if gamma == 0 { //taalint:floateq zero is the explicit "use default" sentinel on the config field
+
 		gamma = 2
 	}
 	oracle := req.Controller.Oracle()
@@ -276,7 +277,8 @@ func (p PNA) Schedule(req *Request) error {
 	// Reduces: probabilistic placement by inverse cost (static hop distance
 	// plus the rack-contention term).
 	contention := p.ContentionHops
-	if contention == 0 {
+	if contention == 0 { //taalint:floateq zero is the explicit "use default" sentinel on the config field
+
 		contention = 2
 	}
 	rackBytes := make(map[topology.NodeID]float64)

@@ -31,7 +31,8 @@ func RenderGantt(res *Result, width int) string {
 
 	jobs := append([]*JobStats(nil), res.Jobs...)
 	sort.SliceStable(jobs, func(i, j int) bool {
-		if jobs[i].Arrival != jobs[j].Arrival {
+		if jobs[i].Arrival != jobs[j].Arrival { //taalint:floateq sort comparator: exact compare keeps the order total and stable
+
 			return jobs[i].Arrival < jobs[j].Arrival
 		}
 		return jobs[i].JobID < jobs[j].JobID

@@ -406,7 +406,7 @@ func (e *Engine) RunWithArrivals(jobs []*workload.Job, arrivals []float64) (*Res
 				if err != nil {
 					return nil, err
 				}
-				latT := e.topo.PathLatency(walk)
+				latT := e.ctl.Oracle().PathLatency(walk)
 				st.flows = append(st.flows, &flowRecord{
 					flow: fl, job: st.job,
 					route: route, hops: hops, cost: cost,

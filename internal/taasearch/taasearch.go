@@ -63,7 +63,7 @@ func (a *Annealer) Schedule(req *scheduler.Request) error {
 	if err := req.Validate(); err != nil {
 		return err
 	}
-	topo := req.Cluster.Topology()
+	oracle := req.Controller.Oracle()
 
 	// Movable containers and their demands.
 	var movable []cluster.ContainerID
@@ -158,7 +158,7 @@ func (a *Annealer) Schedule(req *scheduler.Request) error {
 			if e.peer == c {
 				continue
 			}
-			d := topo.Dist(s, ps)
+			d := oracle.Dist(s, ps)
 			if d > 0 {
 				sum += e.rate * float64(d)
 			}

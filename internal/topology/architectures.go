@@ -41,7 +41,8 @@ func (p LinkParams) orDefault() LinkParams {
 	if p.Bandwidth <= 0 {
 		p.Bandwidth = d.Bandwidth
 	}
-	if p.SwitchCapacity == 0 {
+	if p.SwitchCapacity == 0 { //taalint:floateq zero means "unset, use default"; negative means explicitly uncapacitated
+
 		p.SwitchCapacity = d.SwitchCapacity
 	}
 	if p.Latency < 0 {

@@ -24,8 +24,16 @@ func (rm *ResourceManager) ConfigureQueues(shares map[string]float64) error {
 	if len(shares) == 0 {
 		return fmt.Errorf("yarn: no queues given")
 	}
+	// Validate and total in name order: the share normalization below is a
+	// float sum, and its rounding must not depend on map iteration.
+	names := make([]string, 0, len(shares))
+	for name := range shares {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	total := 0.0
-	for name, share := range shares {
+	for _, name := range names {
+		share := shares[name]
 		if name == "" {
 			return fmt.Errorf("yarn: empty queue name")
 		}
@@ -35,8 +43,8 @@ func (rm *ResourceManager) ConfigureQueues(shares map[string]float64) error {
 		total += share
 	}
 	rm.queueShare = make(map[string]float64, len(shares))
-	for name, share := range shares {
-		rm.queueShare[name] = share / total
+	for _, name := range names {
+		rm.queueShare[name] = shares[name] / total
 	}
 	return nil
 }

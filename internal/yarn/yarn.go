@@ -17,6 +17,7 @@ import (
 	"sort"
 
 	"repro/internal/cluster"
+	"repro/internal/netstate"
 	"repro/internal/topology"
 )
 
@@ -95,8 +96,11 @@ type appState struct {
 // accepting rack-mates of its preferred host and twice that before
 // accepting any node (YARN's locality delay).
 type ResourceManager struct {
-	cl     *cluster.Cluster
-	topo   *topology.Topology
+	cl   *cluster.Cluster
+	topo *topology.Topology
+	// oracle answers rack (access-switch) queries; all path/distance
+	// lookups go through netstate rather than the raw topology.
+	oracle *netstate.Oracle
 	apps   map[AppID]*appState
 	order  []AppID // FIFO across applications
 	nextID AppID
@@ -117,6 +121,7 @@ func NewResourceManager(cl *cluster.Cluster) (*ResourceManager, error) {
 	rm := &ResourceManager{
 		cl:         cl,
 		topo:       cl.Topology(),
+		oracle:     netstate.New(cl.Topology()),
 		apps:       make(map[AppID]*appState),
 		hostByName: make(map[string]topology.NodeID),
 	}
@@ -130,7 +135,7 @@ func NewResourceManager(cl *cluster.Cluster) (*ResourceManager, error) {
 // RackOf returns the rack name of a server ("/rack-<accessSwitchID>"), or
 // "" for non-servers.
 func (rm *ResourceManager) RackOf(server topology.NodeID) string {
-	acc := rm.topo.AccessSwitch(server)
+	acc := rm.oracle.AccessSwitch(server)
 	if acc == topology.None {
 		return ""
 	}
