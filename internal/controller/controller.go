@@ -27,7 +27,15 @@ type Controller struct {
 	cost     *flow.CostModel
 	policies map[flow.ID]*flow.Policy
 	rates    map[flow.ID]float64
-	load     map[topology.NodeID]float64
+	// load is the aggregate installed rate per node, indexed by NodeID
+	// (dense: node IDs are compact). Only switch entries are ever nonzero.
+	load []float64
+
+	// fitsAll memoizes FitsEverywhere per rate-bit-pattern, valid for one
+	// oracle epoch (any Install/Uninstall/Reset/topology change bumps it).
+	fitsAllEpoch uint64
+	fitsAllValid bool
+	fitsAll      map[uint64]bool
 }
 
 // New returns an empty controller over the topology, backed by a fresh
@@ -47,9 +55,9 @@ func NewWithOracle(topo *topology.Topology, o *netstate.Oracle) *Controller {
 		cost:     flow.NewCostModelWithOracle(o),
 		policies: make(map[flow.ID]*flow.Policy),
 		rates:    make(map[flow.ID]float64),
-		load:     make(map[topology.NodeID]float64),
+		load:     make([]float64, topo.NumNodes()),
 	}
-	o.BindLoad(func(w topology.NodeID) float64 { return c.load[w] })
+	o.BindLoad(c.loadAt)
 	return c
 }
 
@@ -73,7 +81,16 @@ func (c *Controller) NumPolicies() int { return len(c.policies) }
 
 // Load returns the aggregate rate currently routed through switch w
 // (Σ_{p_k ∈ A(w)} f_k.rate).
-func (c *Controller) Load(w topology.NodeID) float64 { return c.load[w] }
+func (c *Controller) Load(w topology.NodeID) float64 { return c.loadAt(w) }
+
+// loadAt is Load with a bounds guard, so unknown node IDs read as zero
+// (matching the historical map semantics).
+func (c *Controller) loadAt(w topology.NodeID) float64 {
+	if w < 0 || int(w) >= len(c.load) {
+		return 0
+	}
+	return c.load[w]
+}
 
 // Headroom returns a switch's remaining capacity, via the oracle's
 // epoch-cached headroom view.
@@ -107,6 +124,67 @@ func (c *Controller) fits(id flow.ID, w topology.NodeID, rate float64) bool {
 	return c.load[w]-c.selfLoad(id, w)+rate <= cap+1e-9
 }
 
+// fitsFn returns fits(id, ·, rate) with the flow's policy and rate looked
+// up once instead of per switch — the feasibility scans in OptimizePolicy
+// and RandomPolicy call it across every candidate switch. The arithmetic
+// (and therefore every accept/reject decision) is identical to fits.
+func (c *Controller) fitsFn(id flow.ID, rate float64) func(w topology.NodeID) bool {
+	var selfList []topology.NodeID
+	var selfRate float64
+	if p, ok := c.policies[id]; ok {
+		selfList = p.List
+		selfRate = c.rates[id]
+	}
+	return func(w topology.NodeID) bool {
+		cap := c.topo.Node(w).Capacity
+		if math.IsInf(cap, 1) {
+			return true
+		}
+		var self float64
+		for _, sw := range selfList {
+			if sw == w {
+				self += selfRate
+			}
+		}
+		return c.load[w]-self+rate <= cap+1e-9
+	}
+}
+
+// FitsEverywhere reports whether a flow of the given rate fits every
+// capacity-limited switch in the fabric with no self-contribution
+// discounted — the condition under which Algorithm 1's feasibility filter
+// provably keeps every candidate switch for any flow of that rate
+// (self-load only adds headroom, and float subtraction of a non-negative
+// self term is monotone, so fits() can only be more permissive). The scan
+// is memoized per rate bit-pattern and invalidated on every oracle epoch
+// bump. Core's dirty-set skip uses this to prove a re-solve would see the
+// same unfiltered stage lists as the cached solve.
+func (c *Controller) FitsEverywhere(rate float64) bool {
+	e := c.oracle.Epoch()
+	if !c.fitsAllValid || c.fitsAllEpoch != e {
+		c.fitsAll = make(map[uint64]bool)
+		c.fitsAllEpoch = e
+		c.fitsAllValid = true
+	}
+	bits := math.Float64bits(rate)
+	if v, ok := c.fitsAll[bits]; ok {
+		return v
+	}
+	fits := true
+	for _, w := range c.topo.Switches() {
+		cap := c.topo.Node(w).Capacity
+		if math.IsInf(cap, 1) {
+			continue
+		}
+		if c.load[w]+rate > cap+1e-9 {
+			fits = false
+			break
+		}
+	}
+	c.fitsAll[bits] = fits
+	return fits
+}
+
 // Install validates and installs a policy for f, replacing any previous
 // policy of the same flow and updating switch loads. Installation fails if
 // the policy is not satisfied (type/order check) or any switch lacks
@@ -122,20 +200,32 @@ func (c *Controller) Install(f *flow.Flow, p *flow.Policy) error {
 		return err
 	}
 	// Feasibility with the old policy's contribution removed. A switch
-	// appearing k times in the new list needs k*rate headroom.
-	need := make(map[topology.NodeID]float64, len(p.List))
+	// appearing k times in the new list needs k*rate headroom. Routes are a
+	// handful of switches, so the per-switch demand accumulates in a small
+	// slice (linear scan) rather than a map.
+	type needEntry struct {
+		w topology.NodeID
+		n float64
+	}
+	need := make([]needEntry, 0, len(p.List))
 	for _, w := range p.List {
-		need[w] += f.Rate
+		found := false
+		for i := range need {
+			if need[i].w == w {
+				need[i].n += f.Rate
+				found = true
+				break
+			}
+		}
+		if !found {
+			need = append(need, needEntry{w: w, n: f.Rate})
+		}
 	}
 	// Check switches in ascending ID order so the reported violation (and
-	// therefore the caller's behavior) never depends on map iteration.
-	checkOrder := make([]topology.NodeID, 0, len(need))
-	for w := range need {
-		checkOrder = append(checkOrder, w)
-	}
-	sort.Slice(checkOrder, func(i, j int) bool { return checkOrder[i] < checkOrder[j] })
-	for _, w := range checkOrder {
-		n := need[w]
+	// therefore the caller's behavior) never depends on discovery order.
+	sort.Slice(need, func(i, j int) bool { return need[i].w < need[j].w })
+	for _, e := range need {
+		w, n := e.w, e.n
 		cap := c.topo.Node(w).Capacity
 		if math.IsInf(cap, 1) {
 			continue
@@ -177,7 +267,7 @@ func (c *Controller) Uninstall(id flow.ID) {
 func (c *Controller) Reset() {
 	c.policies = make(map[flow.ID]*flow.Policy)
 	c.rates = make(map[flow.ID]float64)
-	c.load = make(map[topology.NodeID]float64)
+	c.load = make([]float64, c.topo.NumNodes())
 	c.oracle.BumpEpoch()
 }
 
@@ -244,11 +334,12 @@ func (c *Controller) RandomPolicy(f *flow.Flow, loc flow.Locator, rng *rand.Rand
 		return nil, err
 	}
 	p := &flow.Policy{Flow: f.ID, Types: append([]string(nil), types...)}
+	fits := c.fitsFn(f.ID, f.Rate)
 	for _, typ := range types {
 		cands := c.oracle.SwitchesOfType(typ)
 		var feasible []topology.NodeID
 		for _, w := range cands {
-			if c.fits(f.ID, w, f.Rate) {
+			if fits(w) {
 				feasible = append(feasible, w)
 			}
 		}
@@ -278,6 +369,21 @@ func (c *Controller) ShortestPolicy(f *flow.Flow, loc flow.Locator) (*flow.Polic
 	return flow.PolicyFromPath(c.topo, f.ID, path), nil
 }
 
+// SolveInfo describes how an Algorithm-1 solve was satisfied, for callers
+// (core's dirty-set loop) that reason about result reusability.
+type SolveInfo struct {
+	// FullStages reports that every candidate switch of every required
+	// type was capacity-feasible, so the solve ran over the unfiltered
+	// stage lists. Because segment cost is load-independent (Eq. 2), such
+	// a solve's result depends only on the endpoint pair, rate, and unit
+	// cost — it stays valid across any load change that keeps the fabric
+	// uncongested for that rate (see FitsEverywhere).
+	FullStages bool
+	// CacheHit reports the oracle answered from its pair-route cache
+	// instead of running the DP.
+	CacheHit bool
+}
+
 // OptimizePolicy is Algorithm 1 for one flow: construct the layered
 // candidate graph (source server → one switch of each required type →
 // destination server), keep only capacity-feasible switches, and return the
@@ -286,109 +392,118 @@ func (c *Controller) ShortestPolicy(f *flow.Flow, loc flow.Locator) (*flow.Polic
 // result coincides with a shortest path, and under load it routes around
 // saturated switches exactly as Figure 2 illustrates. The optimized policy
 // is NOT installed; callers install it when adopting the result.
+//
+// The DP itself runs in the oracle's server-pair route cache
+// (netstate.BestRoute), so flows sharing an endpoint pair solve once.
 func (c *Controller) OptimizePolicy(f *flow.Flow, loc flow.Locator) (*flow.Policy, error) {
+	p, _, err := c.OptimizePolicyDetailed(f, loc)
+	return p, err
+}
+
+// OptimizePolicyDetailed is OptimizePolicy plus solve metadata.
+func (c *Controller) OptimizePolicyDetailed(f *flow.Flow, loc flow.Locator) (*flow.Policy, SolveInfo, error) {
+	var info SolveInfo
 	types, err := c.typeTemplate(f, loc)
 	if err != nil {
-		return nil, err
+		return nil, info, err
 	}
 	if len(types) == 0 {
-		return &flow.Policy{Flow: f.ID}, nil
+		info.FullStages = true
+		return &flow.Policy{Flow: f.ID}, info, nil
 	}
 	src := loc.ServerOf(f.Src)
 	dst := loc.ServerOf(f.Dst)
 
-	// Layered DP over the oracle's cached stage candidates, filtered to the
-	// capacity-feasible switches at the current epoch.
+	// One feasibility pass over the oracle's cached stage candidates
+	// decides whether the capacity filter bites at all. In the common
+	// uncongested case it does not, and the solve runs over the shared
+	// unfiltered lists — which the oracle answers from its pair cache
+	// after the first flow between these servers pays for the DP.
 	full := c.oracle.StagesForTemplate(types)
-	stages := make([][]topology.NodeID, len(types))
+	fits := c.fitsFn(f.ID, f.Rate)
+	allFit := true
 	for i, typ := range types {
-		stages[i] = make([]topology.NodeID, 0, len(full[i]))
+		n := 0
 		for _, w := range full[i] {
-			if c.fits(f.ID, w, f.Rate) {
-				stages[i] = append(stages[i], w)
+			if fits(w) {
+				n++
 			}
 		}
-		if len(stages[i]) == 0 {
-			return nil, fmt.Errorf("controller: no feasible %q switch for flow %d", typ, f.ID)
+		if n == 0 {
+			return nil, info, fmt.Errorf("controller: no feasible %q switch for flow %d", typ, f.ID)
+		}
+		if n < len(full[i]) {
+			allFit = false
 		}
 	}
-
-	inf := math.Inf(1)
-	costTo := make([]float64, len(stages[0]))
-	prev := make([][]int, len(types))
-	for i, w := range stages[0] {
-		costTo[i] = c.cost.SegmentCost(f.Rate, src, w)
-	}
-	for s := 1; s < len(types); s++ {
-		next := make([]float64, len(stages[s]))
-		prev[s] = make([]int, len(stages[s]))
-		for j, w := range stages[s] {
-			best, bestK := inf, -1
-			for k, v := range stages[s-1] {
-				if math.IsInf(costTo[k], 1) {
-					continue
-				}
-				cst := costTo[k] + c.cost.SegmentCost(f.Rate, v, w)
-				if cst < best {
-					best, bestK = cst, k
+	stages := full
+	if !allFit {
+		stages = make([][]topology.NodeID, len(types))
+		for i := range full {
+			kept := make([]topology.NodeID, 0, len(full[i]))
+			for _, w := range full[i] {
+				if fits(w) {
+					kept = append(kept, w)
 				}
 			}
-			next[j] = best
-			prev[s][j] = bestK
-		}
-		costTo = next
-	}
-	best, bestJ := inf, -1
-	for j, w := range stages[len(types)-1] {
-		if math.IsInf(costTo[j], 1) {
-			continue
-		}
-		cst := costTo[j] + c.cost.SegmentCost(f.Rate, w, dst)
-		if cst < best {
-			best, bestJ = cst, j
+			stages[i] = kept
 		}
 	}
-	if bestJ < 0 {
-		return nil, fmt.Errorf("controller: no feasible route for flow %d", f.ID)
+	info.FullStages = allFit
+	list, _, hit, ok := c.oracle.BestRoute(src, dst, netstate.RouteQuery{
+		Rate:     f.Rate,
+		UnitCost: c.cost.UnitCost,
+		Stages:   stages,
+		Full:     allFit,
+	})
+	info.CacheHit = hit
+	if !ok {
+		return nil, info, fmt.Errorf("controller: no feasible route for flow %d", f.ID)
 	}
-	list := make([]topology.NodeID, len(types))
-	j := bestJ
-	for s := len(types) - 1; s >= 0; s-- {
-		list[s] = stages[s][j]
-		if s > 0 {
-			j = prev[s][j]
-		}
-	}
-	return &flow.Policy{Flow: f.ID, List: list, Types: append([]string(nil), types...)}, nil
+	// The cached list is shared across flows; clone so callers may mutate
+	// the policy (e.g. flow.ApplySwap) without corrupting the cache.
+	return &flow.Policy{
+		Flow:  f.ID,
+		List:  append([]topology.NodeID(nil), list...),
+		Types: append([]string(nil), types...),
+	}, info, nil
 }
 
 // OptimizeInstalled reruns Algorithm 1 for an installed flow and reinstalls
 // the better policy if it strictly reduces the flow's cost. It returns the
 // achieved utility (cost reduction, >= 0).
 func (c *Controller) OptimizeInstalled(f *flow.Flow, loc flow.Locator) (float64, error) {
+	u, _, _, err := c.OptimizeInstalledDetailed(f, loc)
+	return u, err
+}
+
+// OptimizeInstalledDetailed is OptimizeInstalled plus the solve's output
+// policy (whether or not it was adopted) and metadata, so incremental
+// callers can replay the decision without re-solving.
+func (c *Controller) OptimizeInstalledDetailed(f *flow.Flow, loc flow.Locator) (float64, *flow.Policy, SolveInfo, error) {
 	old, ok := c.policies[f.ID]
 	if !ok {
-		return 0, fmt.Errorf("controller: flow %d has no installed policy", f.ID)
+		return 0, nil, SolveInfo{}, fmt.Errorf("controller: flow %d has no installed policy", f.ID)
 	}
 	oldCost, err := c.cost.FlowCost(f, old, loc)
 	if err != nil {
-		return 0, err
+		return 0, nil, SolveInfo{}, err
 	}
-	opt, err := c.OptimizePolicy(f, loc)
+	opt, info, err := c.OptimizePolicyDetailed(f, loc)
 	if err != nil {
-		return 0, err
+		return 0, nil, info, err
 	}
 	newCost, err := c.cost.FlowCost(f, opt, loc)
 	if err != nil {
-		return 0, err
+		return 0, opt, info, err
 	}
 	if newCost >= oldCost-1e-12 {
-		return 0, nil
+		return 0, opt, info, nil
 	}
 	if err := c.Install(f, opt); err != nil {
-		return 0, err
+		return 0, opt, info, err
 	}
-	return oldCost - newCost, nil
+	return oldCost - newCost, opt, info, nil
 }
 
 // TotalCost evaluates the TAA objective over the installed policies.

@@ -29,6 +29,7 @@ import (
 	"sort"
 
 	"repro/internal/cluster"
+	"repro/internal/controller"
 	"repro/internal/flow"
 	"repro/internal/parallel"
 	"repro/internal/scheduler"
@@ -41,10 +42,12 @@ import (
 // optimization. The zero value uses the defaults below; the ablation fields
 // turn individual mechanisms off for the design-choice benchmarks.
 type HitScheduler struct {
-	// MaxIterations bounds the joint policy/assignment rounds (default 4).
+	// MaxIterations bounds the joint policy/assignment rounds. Zero selects
+	// the default of 4; negative values are rejected by Schedule.
 	MaxIterations int
 	// Epsilon is the relative cost-improvement threshold below which the
-	// loop stops (default 1e-6).
+	// loop stops. Zero selects the default of 1e-6; negative values are
+	// rejected by Schedule.
 	Epsilon float64
 	// DisablePolicyOpt skips Algorithm 1's per-flow route optimization
 	// (policies stay on their initial random routes). Ablation only.
@@ -52,6 +55,12 @@ type HitScheduler struct {
 	// DisableStableMatching replaces Algorithm 2 with per-container greedy
 	// best-utility moves. Ablation only.
 	DisableStableMatching bool
+	// DisableIncremental turns off the dirty-set reuse across joint
+	// iterations: every round then re-solves Algorithm 1 for every flow and
+	// rebuilds every preference row from scratch. Results are bit-identical
+	// either way (the incremental path only skips work it can prove is a
+	// no-op), so this switch exists for parity tests and perf comparison.
+	DisableIncremental bool
 }
 
 // Name implements scheduler.Scheduler.
@@ -71,8 +80,23 @@ func (h *HitScheduler) epsilon() float64 {
 	return h.Epsilon
 }
 
-// Schedule implements scheduler.Scheduler.
+// incremental reports whether the dirty-set reuse is active. It is off
+// under DisablePolicyOpt too: that ablation reinstalls random policies, and
+// skipping any of those draws would shift the shared RNG stream.
+func (h *HitScheduler) incremental() bool {
+	return !h.DisableIncremental && !h.DisablePolicyOpt
+}
+
+// Schedule implements scheduler.Scheduler. Negative MaxIterations or
+// Epsilon are configuration errors and are rejected up front; zero values
+// select the documented defaults (4 iterations, 1e-6).
 func (h *HitScheduler) Schedule(req *scheduler.Request) error {
+	if h.MaxIterations < 0 {
+		return fmt.Errorf("core: HitScheduler.MaxIterations must be non-negative, got %d (zero selects the default of 4)", h.MaxIterations)
+	}
+	if h.Epsilon < 0 {
+		return fmt.Errorf("core: HitScheduler.Epsilon must be non-negative, got %g (zero selects the default of 1e-6)", h.Epsilon)
+	}
 	if err := req.Validate(); err != nil {
 		return err
 	}
@@ -143,9 +167,83 @@ func (h *HitScheduler) isSubsequentWave(req *scheduler.Request, movable []schedu
 	return anyFixedDst
 }
 
+// flowSolve records one flow's most recent Algorithm-1 solve within a
+// Schedule call: the solve's output policy (whether or not it was adopted),
+// whether the solve ran over unfiltered stage lists, and the endpoint
+// servers it saw. These are exactly the inputs cleanFlow needs to prove a
+// re-solve would reproduce the same result bit for bit.
+type flowSolve struct {
+	policy   *flow.Policy
+	full     bool
+	src, dst topology.NodeID
+}
+
+// prefRow memoizes one container's preference build in assignGroup: the
+// inputs it was derived from (original server, feasible server set,
+// anchored peer servers per incident flow) and the derived outputs. When
+// the inputs recur unchanged in a later iteration, the outputs are reused
+// verbatim — containers untouched by the previous round's matching cost
+// nothing to re-rank.
+type prefRow struct {
+	orig      topology.NodeID
+	feasible  []int
+	peerSrv   []topology.NodeID
+	propPrefs []int
+	votes     []int
+}
+
+// runState is the dirty-set bookkeeping for ONE Schedule call. It lives on
+// the stack of the call, never on the HitScheduler, so a scheduler value
+// can be reused across requests (and concurrently) exactly as before.
+type runState struct {
+	solves map[flow.ID]*flowSolve
+	prefs  map[cluster.ContainerID]*prefRow
+}
+
+func newRunState() *runState {
+	return &runState{
+		solves: make(map[flow.ID]*flowSolve),
+		prefs:  make(map[cluster.ContainerID]*prefRow),
+	}
+}
+
+// record stores the outcome of an Algorithm-1 solve for f.
+func (st *runState) record(f *flow.Flow, loc flow.Locator, p *flow.Policy, info controller.SolveInfo) {
+	if p == nil {
+		return
+	}
+	st.solves[f.ID] = &flowSolve{
+		policy: p,
+		full:   info.FullStages,
+		src:    loc.ServerOf(f.Src),
+		dst:    loc.ServerOf(f.Dst),
+	}
+}
+
+// cleanFlow reports whether re-running Algorithm 1 for f is provably a
+// no-op this instant: the last solve this run used unfiltered stage lists,
+// both endpoints still sit on the servers that solve saw, and the fabric
+// currently has headroom for f.Rate on every switch — so a fresh solve
+// would see identical unfiltered stages and return the identical route,
+// and OptimizeInstalled would decline to act exactly as it did before.
+// Segment cost being load-independent (Eq. 2) is what makes the proof go
+// through: load changes can only alter a solve through the feasibility
+// filter, which FitsEverywhere shows is inert for this rate.
+func (st *runState) cleanFlow(req *scheduler.Request, f *flow.Flow, loc flow.Locator) bool {
+	rec := st.solves[f.ID]
+	if rec == nil || !rec.full {
+		return false
+	}
+	if loc.ServerOf(f.Src) != rec.src || loc.ServerOf(f.Dst) != rec.dst {
+		return false
+	}
+	return req.Controller.FitsEverywhere(f.Rate)
+}
+
 // scheduleInitialWave runs the full joint optimization loop.
 func (h *HitScheduler) scheduleInitialWave(req *scheduler.Request, movable []scheduler.Task) error {
 	loc := req.Locator()
+	st := newRunState()
 	best, err := req.Controller.TotalCost(req.Flows, loc)
 	if err != nil {
 		return err
@@ -154,23 +252,32 @@ func (h *HitScheduler) scheduleInitialWave(req *scheduler.Request, movable []sch
 
 	for iter := 0; iter < h.maxIterations(); iter++ {
 		// Phase 1 — network policy optimization (Algorithm 1 per flow).
+		// From iteration 2 on, flows whose endpoints the matching did not
+		// move (and whose last solve was over unfiltered stages, still
+		// unfiltered now) are clean: re-solving is a proven no-op, so the
+		// sweep touches only the dirty set.
 		if !h.DisablePolicyOpt {
 			for _, f := range req.Flows {
-				if _, err := req.Controller.OptimizeInstalled(f, loc); err != nil {
+				if h.incremental() && st.cleanFlow(req, f, loc) {
+					continue
+				}
+				_, opt, info, err := req.Controller.OptimizeInstalledDetailed(f, loc)
+				if err != nil {
 					return err
 				}
+				st.record(f, loc, opt, info)
 			}
 		}
 
 		// Phase 2 — task assignment via preference matrix + stable matching
 		// (Algorithm 2).
-		if err := h.assign(req, movable, loc); err != nil {
+		if err := h.assign(req, movable, loc, st); err != nil {
 			return err
 		}
 
 		// Phase 3 — policies must follow the new placement (type templates
 		// change when endpoints move racks).
-		if err := h.reinstallPolicies(req, loc); err != nil {
+		if err := h.reinstallPolicies(req, loc, st); err != nil {
 			return err
 		}
 
@@ -184,11 +291,13 @@ func (h *HitScheduler) scheduleInitialWave(req *scheduler.Request, movable []sch
 			continue
 		}
 		// No material improvement: restore the best placement seen and stop.
+		// Restoring moves endpoints, which cleanFlow detects per flow by
+		// comparing servers — no explicit invalidation needed.
 		if cost > best {
 			if err := req.Cluster.Restore(bestSnap); err != nil {
 				return err
 			}
-			if err := h.reinstallPolicies(req, loc); err != nil {
+			if err := h.reinstallPolicies(req, loc, st); err != nil {
 				return err
 			}
 		}
@@ -199,8 +308,11 @@ func (h *HitScheduler) scheduleInitialWave(req *scheduler.Request, movable []sch
 
 // reinstallPolicies recomputes and installs the best policy for every flow
 // under the current placement. With policy optimization disabled it installs
-// fresh random policies matching the (possibly new) type templates.
-func (h *HitScheduler) reinstallPolicies(req *scheduler.Request, loc flow.Locator) error {
+// fresh random policies matching the (possibly new) type templates. Clean
+// flows (cleanFlow) reinstall their recorded solve output without paying
+// for the DP again; the uninstall/install sequence itself always runs in
+// full flow order, so switch loads accumulate in the historical order.
+func (h *HitScheduler) reinstallPolicies(req *scheduler.Request, loc flow.Locator, st *runState) error {
 	// Release the old routes first: stale switch loads from pre-move policies
 	// must not make the post-move optimum look infeasible.
 	for _, f := range req.Flows {
@@ -209,10 +321,17 @@ func (h *HitScheduler) reinstallPolicies(req *scheduler.Request, loc flow.Locato
 	for _, f := range req.Flows {
 		var p *flow.Policy
 		var err error
-		if h.DisablePolicyOpt {
+		switch {
+		case h.DisablePolicyOpt:
 			p, err = req.Controller.RandomPolicy(f, loc, req.Rand)
-		} else {
-			p, err = req.Controller.OptimizePolicy(f, loc)
+		case h.incremental() && st.cleanFlow(req, f, loc):
+			p = st.solves[f.ID].policy
+		default:
+			var info controller.SolveInfo
+			p, info, err = req.Controller.OptimizePolicyDetailed(f, loc)
+			if err == nil {
+				st.record(f, loc, p, info)
+			}
 		}
 		if err != nil {
 			return err
@@ -230,6 +349,30 @@ type prefEntry struct {
 	grade float64
 }
 
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalNodeIDs(a, b []topology.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // assign performs one round of the Tasks Assignment Algorithm (Algorithm 2).
 //
 // Map and Reduce containers are matched in alternating sub-rounds — reduces
@@ -241,7 +384,7 @@ type prefEntry struct {
 // route is re-optimized after the move (the paper's grades "will be updated
 // when rescheduling a new routing path"), so they reduce to rate ×
 // hop-distance deltas against the anchored peer.
-func (h *HitScheduler) assign(req *scheduler.Request, movable []scheduler.Task, loc flow.Locator) error {
+func (h *HitScheduler) assign(req *scheduler.Request, movable []scheduler.Task, loc flow.Locator, st *runState) error {
 	var reduces, maps []scheduler.Task
 	for _, t := range movable {
 		if t.Kind == workload.ReduceTask {
@@ -254,7 +397,7 @@ func (h *HitScheduler) assign(req *scheduler.Request, movable []scheduler.Task, 
 		if len(group) == 0 {
 			continue
 		}
-		if err := h.assignGroup(req, group, loc); err != nil {
+		if err := h.assignGroup(req, group, loc, st); err != nil {
 			return err
 		}
 	}
@@ -267,7 +410,7 @@ func (h *HitScheduler) assign(req *scheduler.Request, movable []scheduler.Task, 
 const parallelThreshold = 4096
 
 // assignGroup matches one kind-homogeneous container group onto servers.
-func (h *HitScheduler) assignGroup(req *scheduler.Request, group []scheduler.Task, loc flow.Locator) error {
+func (h *HitScheduler) assignGroup(req *scheduler.Request, group []scheduler.Task, loc flow.Locator, st *runState) error {
 	servers := req.Cluster.Servers()
 	serverIdx := make(map[topology.NodeID]int, len(servers))
 	for i, s := range servers {
@@ -308,82 +451,149 @@ func (h *HitScheduler) assignGroup(req *scheduler.Request, group []scheduler.Tas
 		}
 	}
 
-	// Anchored re-routed cost of hosting container ci on server s:
-	// Σ rate × dist(peer, s) — the flow cost after Algorithm 1 re-optimizes
-	// the route for the new endpoint. Distances come from the oracle's
-	// shared tables, which are safe under the concurrent fan-out below.
-	anchoredCost := func(ci int, s topology.NodeID) float64 {
-		var cost float64
-		for k, f := range incident[ci] {
-			d := oracle.Dist(peerSrv[ci][k], s)
-			if d < 0 {
-				continue
-			}
-			cost += f.Rate * float64(d)
-		}
-		return cost
-	}
-
 	// Per-container preference build (Algorithm 1's preference-matrix rows
 	// plus Eq. 10 proposer rankings). Every container's pass writes only its
 	// own index, so the fan-out is deterministic: results are identical to
 	// the sequential loop regardless of worker count, and the merge into the
 	// grade matrix below happens column-by-column with no shared writes.
 	// The cluster is only read (CanHost) between the Unplace above and the
-	// Place calls below, so concurrent reads are safe.
+	// Place calls below, so concurrent reads are safe. st.prefs is read
+	// concurrently here and written only after the fan-out returns.
+	//
+	// Within a container's pass, incident flows are grouped by anchored peer
+	// server: one distance row and one nearest-feasible vote per DISTINCT
+	// peer server serves every flow anchored there, so the per-container
+	// work scales with distinct endpoint pairs rather than flows. Cost sums
+	// still accumulate in flow order, keeping the floats bit-identical to
+	// the ungrouped loop.
+	useMemo := h.incremental()
 	feasible := make([][]int, len(containers))
 	propPrefs := make([][]int, len(containers))
 	votes := make([][]int, len(containers)) // per incident flow: voted server index, -1 = none
+	rows := make([]*prefRow, len(containers))
 	workers := 0
 	if len(containers)*len(servers) < parallelThreshold {
 		workers = 1
 	}
 	err := parallel.ForEach(len(containers), workers, func(ci int) error {
 		c := containers[ci]
+		var feas []int
 		for si, s := range servers {
 			if req.Cluster.CanHost(s, c) {
-				feasible[ci] = append(feasible[ci], si)
+				feas = append(feas, si)
 			}
 		}
-		if len(feasible[ci]) == 0 {
+		if len(feas) == 0 {
 			return fmt.Errorf("core: container %d has no feasible server", c)
+		}
+		feasible[ci] = feas
+
+		// Dirty check: a container whose original server, feasible set, and
+		// anchored peers all recur from the previous round would rebuild the
+		// exact same row — reuse it.
+		if useMemo {
+			if prev := st.prefs[c]; prev != nil && prev.orig == original[c] &&
+				equalInts(prev.feasible, feas) && equalNodeIDs(prev.peerSrv, peerSrv[ci]) {
+				propPrefs[ci] = prev.propPrefs
+				votes[ci] = prev.votes
+				rows[ci] = prev
+				return nil
+			}
+		}
+
+		// Distinct anchored peer servers in first-appearance order;
+		// peerOf[k] indexes the per-peer tables for incident flow k.
+		distinct := make([]topology.NodeID, 0, len(peerSrv[ci]))
+		peerIdx := make(map[topology.NodeID]int, len(peerSrv[ci]))
+		peerOf := make([]int, len(peerSrv[ci]))
+		for k, ps := range peerSrv[ci] {
+			pi, ok := peerIdx[ps]
+			if !ok {
+				pi = len(distinct)
+				peerIdx[ps] = pi
+				distinct = append(distinct, ps)
+			}
+			peerOf[k] = pi
+		}
+		rowOf := make([][]int32, len(distinct))
+		for pi, ps := range distinct {
+			rowOf[pi] = oracle.DistRow(ps)
+		}
+
+		// Anchored re-routed cost of hosting this container on server s:
+		// Σ rate × dist(peer, s) — the flow cost after Algorithm 1
+		// re-optimizes the route for the new endpoint. Accumulated in flow
+		// order over the prefetched rows.
+		anchored := func(s topology.NodeID) float64 {
+			var cost float64
+			for k, f := range incident[ci] {
+				d := rowOf[peerOf[k]][s]
+				if d < 0 {
+					continue
+				}
+				cost += f.Rate * float64(d)
+			}
+			return cost
 		}
 
 		// Proposer preferences: servers by utility (Eq. 10) = current cost
 		// minus candidate cost, descending.
-		curCost := anchoredCost(ci, original[c])
-		entries := make([]prefEntry, 0, len(feasible[ci]))
-		for _, si := range feasible[ci] {
-			entries = append(entries, prefEntry{idx: si, grade: curCost - anchoredCost(ci, servers[si])})
+		curCost := anchored(original[c])
+		entries := make([]prefEntry, 0, len(feas))
+		for _, si := range feas {
+			entries = append(entries, prefEntry{idx: si, grade: curCost - anchored(servers[si])})
 		}
 		sort.SliceStable(entries, func(a, b int) bool { return entries[a].grade > entries[b].grade })
-		propPrefs[ci] = make([]int, len(entries))
+		prop := make([]int, len(entries))
 		for k, e := range entries {
-			propPrefs[ci][k] = e.idx
+			prop[k] = e.idx
 		}
+		propPrefs[ci] = prop
 
 		// Preference-matrix votes (Algorithm 1 lines 11–13): every flow
 		// votes its rate onto the feasible server nearest its anchored peer
 		// — the endpoint of the flow's optimal path in Figure 5's layered
-		// graph. A cached distance-row lookup replaces the fresh BFS the
-		// seed ran per (container, flow) pair.
-		cands := make([]topology.NodeID, len(feasible[ci]))
-		for k, si := range feasible[ci] {
+		// graph. The vote is a function of the peer server alone, so it is
+		// computed once per distinct peer and fanned out to the flows.
+		cands := make([]topology.NodeID, len(feas))
+		for k, si := range feas {
 			cands[k] = servers[si]
 		}
-		votes[ci] = make([]int, len(incident[ci]))
-		for k := range incident[ci] {
-			best := oracle.NearestByDist(peerSrv[ci][k], cands)
+		voteOf := make([]int, len(distinct))
+		for pi, ps := range distinct {
+			best := oracle.NearestByDist(ps, cands)
 			if best == topology.None {
-				votes[ci][k] = -1
+				voteOf[pi] = -1
 				continue
 			}
-			votes[ci][k] = serverIdx[best]
+			voteOf[pi] = serverIdx[best]
+		}
+		vts := make([]int, len(incident[ci]))
+		for k := range incident[ci] {
+			vts[k] = voteOf[peerOf[k]]
+		}
+		votes[ci] = vts
+
+		if useMemo {
+			rows[ci] = &prefRow{
+				orig:      original[c],
+				feasible:  feas,
+				peerSrv:   peerSrv[ci],
+				propPrefs: prop,
+				votes:     vts,
+			}
 		}
 		return nil
 	})
 	if err != nil {
 		return err
+	}
+	if useMemo {
+		for ci, c := range containers {
+			if rows[ci] != nil {
+				st.prefs[c] = rows[ci]
+			}
+		}
 	}
 
 	// Deterministic merge of the votes into the host-preference grades.
@@ -536,5 +746,5 @@ func (h *HitScheduler) scheduleSubsequentWave(req *scheduler.Request, movable []
 			return err
 		}
 	}
-	return h.reinstallPolicies(req, loc)
+	return h.reinstallPolicies(req, loc, newRunState())
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 
 	"repro/internal/cluster"
@@ -376,6 +377,34 @@ func TestHitRejectsInvalidRequest(t *testing.T) {
 	if err := (&HitScheduler{}).Schedule(&scheduler.Request{}); err == nil {
 		t.Error("invalid request accepted")
 	}
+}
+
+func TestHitRejectsNegativeConfig(t *testing.T) {
+	cl, ctl := testEnv(t, 2, 2, cluster.Resources{CPU: 4, Memory: 4096})
+	jobs := []*workload.Job{uniformJob(t, 0, 2, 1, 1)}
+
+	req, _ := buildRequest(t, cl, ctl, jobs, 1)
+	err := (&HitScheduler{MaxIterations: -1}).Schedule(req)
+	if err == nil {
+		t.Fatal("negative MaxIterations accepted")
+	}
+	if got := err.Error(); !strings.Contains(got, "MaxIterations") {
+		t.Errorf("error %q does not name MaxIterations", got)
+	}
+
+	err = (&HitScheduler{Epsilon: -0.5}).Schedule(req)
+	if err == nil {
+		t.Fatal("negative Epsilon accepted")
+	}
+	if got := err.Error(); !strings.Contains(got, "Epsilon") {
+		t.Errorf("error %q does not name Epsilon", got)
+	}
+
+	// Zero still selects the documented defaults and schedules fine.
+	if err := (&HitScheduler{}).Schedule(req); err != nil {
+		t.Fatalf("zero-value scheduler failed: %v", err)
+	}
+	checkScheduled(t, req)
 }
 
 func TestHitNoFeasibleServer(t *testing.T) {

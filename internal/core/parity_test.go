@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 
@@ -121,6 +122,126 @@ func TestSchedulerOracleParity(t *testing.T) {
 				if with.cost != without.cost {
 					t.Fatalf("seed %d: total cost cached %v, uncached %v",
 						seed, with.cost, without.cost)
+				}
+			}
+		})
+	}
+}
+
+// TestHitIncrementalParity asserts the dirty-set incremental joint loop is
+// invisible: with and without DisableIncremental, over multiple seeds and
+// both capacity regimes (tight caps exercise the filtered-stage path,
+// infinite caps the full-stage path), placements, routes, and total cost
+// are bit-identical (costs compared by Float64bits). The incremental run
+// must also issue strictly fewer pair-route queries than the full run —
+// clean flows skip the solver outright — otherwise this test would
+// vacuously compare two full recomputes.
+func TestHitIncrementalParity(t *testing.T) {
+	type outcome struct {
+		placements []topology.NodeID
+		routes     [][]topology.NodeID
+		cost       float64
+		queries    uint64
+	}
+
+	run := func(t *testing.T, incremental bool, seed int64, switchCap float64) outcome {
+		t.Helper()
+		topo, err := topology.NewTree(3, 3, topology.LinkParams{
+			Bandwidth: 10, Latency: 0.1, SwitchCapacity: switchCap,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl, err := cluster.New(topo, cluster.Resources{CPU: 4, Memory: 8192})
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := netstate.New(topo)
+		ctl := controller.NewWithOracle(topo, o)
+
+		job := &workload.Job{ID: 0, NumMaps: 6, NumReduces: 4, InputGB: 6}
+		job.Shuffle = make([][]float64, job.NumMaps)
+		rng := rand.New(rand.NewSource(seed))
+		for i := range job.Shuffle {
+			job.Shuffle[i] = make([]float64, job.NumReduces)
+			for k := range job.Shuffle[i] {
+				job.Shuffle[i][k] = rng.Float64() * 5
+			}
+		}
+		job.MapComputeSec = make([]float64, job.NumMaps)
+		job.ReduceComputeSec = make([]float64, job.NumReduces)
+
+		req, _, err := scheduler.NewJobRequest(cl, ctl, []*workload.Job{job},
+			cluster.Resources{CPU: 1, Memory: 1024}, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := &core.HitScheduler{DisableIncremental: !incremental}
+		if err := h.Schedule(req); err != nil {
+			t.Fatal(err)
+		}
+		var out outcome
+		for _, task := range req.Tasks {
+			out.placements = append(out.placements, cl.Container(task.Container).Server())
+		}
+		for _, f := range req.Flows {
+			if p := ctl.Policy(f.ID); p != nil {
+				out.routes = append(out.routes, append([]topology.NodeID{}, p.List...))
+			} else {
+				out.routes = append(out.routes, nil)
+			}
+		}
+		c, err := ctl.TotalCost(req.Flows, req.Locator())
+		if err != nil {
+			t.Fatal(err)
+		}
+		out.cost = c
+		hits, misses := o.PairRouteStats()
+		out.queries = hits + misses
+		return out
+	}
+
+	for _, caps := range []struct {
+		name string
+		cap  float64
+	}{
+		{"tight-caps", 200},
+		{"infinite-caps", topology.InfiniteCapacity},
+	} {
+		t.Run(caps.name, func(t *testing.T) {
+			for seed := int64(1); seed <= 4; seed++ {
+				inc := run(t, true, seed, caps.cap)
+				full := run(t, false, seed, caps.cap)
+				if len(inc.placements) != len(full.placements) {
+					t.Fatalf("seed %d: placement count %d vs %d",
+						seed, len(inc.placements), len(full.placements))
+				}
+				for i := range inc.placements {
+					if inc.placements[i] != full.placements[i] {
+						t.Fatalf("seed %d: placement %d differs: incremental %d, full %d",
+							seed, i, inc.placements[i], full.placements[i])
+					}
+				}
+				for i := range inc.routes {
+					a, b := inc.routes[i], full.routes[i]
+					if len(a) != len(b) {
+						t.Fatalf("seed %d: route %d length %d vs %d", seed, i, len(a), len(b))
+					}
+					for k := range a {
+						if a[k] != b[k] {
+							t.Fatalf("seed %d: route %d differs at hop %d: %v vs %v",
+								seed, i, k, a, b)
+						}
+					}
+				}
+				if math.Float64bits(inc.cost) != math.Float64bits(full.cost) {
+					t.Fatalf("seed %d: total cost incremental %v (bits %x), full %v (bits %x)",
+						seed, inc.cost, math.Float64bits(inc.cost),
+						full.cost, math.Float64bits(full.cost))
+				}
+				if inc.queries >= full.queries {
+					t.Fatalf("seed %d: incremental run issued %d pair-route queries, full run %d — dirty-set skipping never engaged",
+						seed, inc.queries, full.queries)
 				}
 			}
 		})

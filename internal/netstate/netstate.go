@@ -96,6 +96,16 @@ type Oracle struct {
 	headValid    bool
 	headroom     []float64
 	loadSnapshot []float64
+
+	// Server-pair route cache (pairroute.go): dense atomic table for small
+	// clusters, sharded maps above denseRouteLimit pair slots.
+	routeOnce       sync.Once
+	routeDense      []atomic.Pointer[PairRoute]
+	routeServerIdx  []int32
+	routeNumServers int
+	routeShards     []routeShard
+	routeHits       atomic.Uint64
+	routeMisses     atomic.Uint64
 }
 
 // New returns a memoizing oracle over the topology.

@@ -1,0 +1,55 @@
+package stablematch
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// benchInstance builds a deterministic many-to-one instance with full
+// shuffled preference lists — the worst case for rank-table construction,
+// which is what the allocation work in Match is dominated by.
+func benchInstance(numP, numH int) *Instance {
+	rng := rand.New(rand.NewSource(42))
+	pp := make([][]int, numP)
+	for p := range pp {
+		pp[p] = rng.Perm(numH)
+	}
+	hp := make([][]int, numH)
+	for h := range hp {
+		hp[h] = rng.Perm(numP)
+	}
+	loads := make([]float64, numP)
+	for p := range loads {
+		loads[p] = 1
+	}
+	capacity := make([]float64, numH)
+	for h := range capacity {
+		capacity[h] = float64(numP)/float64(numH) + 1
+	}
+	return &Instance{
+		NumProposers:  numP,
+		NumHosts:      numH,
+		ProposerPrefs: pp,
+		HostPrefs:     hp,
+		Load:          loads,
+		Capacity:      capacity,
+	}
+}
+
+// BenchmarkMatch measures a full deferred-acceptance run; run with
+// -benchmem to track the per-match allocation budget.
+func BenchmarkMatch(b *testing.B) {
+	sizes := []struct{ p, h int }{{64, 16}, {216, 54}, {512, 64}}
+	for _, size := range sizes {
+		in := benchInstance(size.p, size.h)
+		b.Run(fmt.Sprintf("p=%d/h=%d", size.p, size.h), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Match(in); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -61,28 +61,30 @@ func (in *Instance) Validate() error {
 	if len(in.HostPrefs) != in.NumHosts {
 		return fmt.Errorf("stablematch: HostPrefs has %d rows, want %d", len(in.HostPrefs), in.NumHosts)
 	}
+	// Duplicate detection via one stamp array per side (stamp = row index
+	// + 1), instead of allocating a set per row.
+	seenHosts := make([]int, in.NumHosts)
 	for p, prefs := range in.ProposerPrefs {
-		seen := make(map[int]bool, len(prefs))
 		for _, h := range prefs {
 			if h < 0 || h >= in.NumHosts {
 				return fmt.Errorf("stablematch: proposer %d ranks invalid host %d", p, h)
 			}
-			if seen[h] {
+			if seenHosts[h] == p+1 {
 				return fmt.Errorf("stablematch: proposer %d ranks host %d twice", p, h)
 			}
-			seen[h] = true
+			seenHosts[h] = p + 1
 		}
 	}
+	seenProps := make([]int, in.NumProposers)
 	for h, prefs := range in.HostPrefs {
-		seen := make(map[int]bool, len(prefs))
 		for _, p := range prefs {
 			if p < 0 || p >= in.NumProposers {
 				return fmt.Errorf("stablematch: host %d ranks invalid proposer %d", h, p)
 			}
-			if seen[p] {
+			if seenProps[p] == h+1 {
 				return fmt.Errorf("stablematch: host %d ranks proposer %d twice", h, p)
 			}
-			seen[p] = true
+			seenProps[p] = h + 1
 		}
 	}
 	if in.Load != nil {
@@ -134,19 +136,26 @@ func Match(in *Instance) (*Result, error) {
 	}
 
 	// hostRank[h][p] = rank of proposer p at host h (lower is better);
-	// missing = unacceptable.
-	hostRank := make([]map[int]int, in.NumHosts)
+	// -1 = unacceptable. Dense int32 rows over one backing array,
+	// preallocated once per match — no per-host maps, no per-round growth.
+	rankBack := make([]int32, in.NumHosts*in.NumProposers)
+	for i := range rankBack {
+		rankBack[i] = -1
+	}
+	hostRank := make([][]int32, in.NumHosts)
 	for h, prefs := range in.HostPrefs {
-		hostRank[h] = make(map[int]int, len(prefs))
+		hostRank[h] = rankBack[h*in.NumProposers : (h+1)*in.NumProposers]
 		for r, p := range prefs {
-			hostRank[h][p] = r
+			hostRank[h][p] = int32(r)
 		}
 	}
 
-	// blacklist[p][h]: p must not propose to h anymore.
-	blacklist := make([]map[int]bool, in.NumProposers)
+	// blacklist[p][h]: p must not propose to h anymore. Dense bool rows
+	// over one backing array.
+	blackBack := make([]bool, in.NumProposers*in.NumHosts)
+	blacklist := make([][]bool, in.NumProposers)
 	for p := range blacklist {
-		blacklist[p] = make(map[int]bool)
+		blacklist[p] = blackBack[p*in.NumHosts : (p+1)*in.NumHosts]
 	}
 	// rejectedTop[h] = worst (highest) rank the host has explicitly rejected;
 	// -1 if none. Once host h rejects the proposer it ranks at position r,
@@ -193,7 +202,7 @@ func Match(in *Instance) (*Result, error) {
 			if blacklist[p][cand] {
 				continue
 			}
-			if _, acceptable := hostRank[cand][p]; !acceptable {
+			if hostRank[cand][p] < 0 { // unacceptable to the host
 				continue
 			}
 			h = cand
@@ -213,7 +222,7 @@ func Match(in *Instance) (*Result, error) {
 		for used[h] > in.capacity(h) {
 			worstIdx, worstRank := -1, -1
 			for i, q := range tenants[h] {
-				if r := hostRank[h][q]; r > worstRank {
+				if r := int(hostRank[h][q]); r > worstRank {
 					worstIdx, worstRank = i, r
 				}
 			}
