@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race shuffle bench verify
+.PHONY: all build vet lint test race shuffle bench chaos verify
 
 all: verify
 
@@ -37,5 +37,12 @@ shuffle:
 # bench regenerates the paper's tables/figures in Quick mode.
 bench:
 	$(GO) test -run XXX -bench . -benchtime 1x .
+
+# chaos runs the fault-injection harness under the race detector: randomized
+# seeded fault schedules replayed bit-identically, with the run-time
+# invariants (no policy through a dead switch, zero overload after reaction)
+# enforced inside the simulator.
+chaos:
+	$(GO) test -race -run Chaos ./internal/faults/... ./internal/sim/...
 
 verify: build vet lint test

@@ -19,7 +19,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, table1, fig1, fig3, fig6, fig7, fig7p, fig8a, fig8b, fig9, fig10, baselines, online, quality, failure, ablation)")
+	exp := flag.String("exp", "all", "experiment to run (all, table1, fig1, fig3, fig6, fig7, fig7p, fig8a, fig8b, fig9, fig10, baselines, online, quality, failure, failsweep, ablation)")
 	seed := flag.Int64("seed", 1, "base random seed")
 	repeats := flag.Int("repeats", 0, "seeds averaged per data point (0 = default)")
 	quick := flag.Bool("quick", false, "shrink workloads and sweeps for a fast pass")
@@ -178,6 +178,14 @@ func run(w io.Writer, exp string, seed int64, repeats int, quick, cdf bool, csvD
 			fail("failure", err)
 		} else {
 			emit("failure", r)
+		}
+	}
+	if want("failsweep") {
+		r, err := experiments.FailureSweep(cfg)
+		if err != nil {
+			fail("failsweep", err)
+		} else {
+			emit("failsweep", r)
 		}
 	}
 	if want("ablation") {

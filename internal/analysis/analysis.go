@@ -237,6 +237,7 @@ var decisionPackages = map[string]bool{
 	"sim":         true,
 	"yarn":        true,
 	"experiments": true,
+	"faults":      true,
 }
 
 // wallclockPackages are the import-path base names that must use the
@@ -246,4 +247,5 @@ var wallclockPackages = map[string]bool{
 	"scheduler":   true,
 	"core":        true,
 	"experiments": true,
+	"faults":      true,
 }

@@ -8,6 +8,7 @@
 package controller
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -16,6 +17,18 @@ import (
 	"repro/internal/flow"
 	"repro/internal/netstate"
 	"repro/internal/topology"
+)
+
+// Sentinel errors for the two infeasibility classes Algorithm 1 can hit.
+// Every constructor wraps them with %w, so callers (core's degraded mode,
+// the fault reactor) branch with errors.Is instead of string matching.
+var (
+	// ErrNoFeasibleSwitch: some required switch type has no candidate with
+	// spare capacity (all saturated, or all of that type dead).
+	ErrNoFeasibleSwitch = errors.New("no feasible switch")
+	// ErrNoFeasibleRoute: no stage assignment yields a finite-cost route,
+	// or the endpoint servers are disconnected.
+	ErrNoFeasibleRoute = errors.New("no feasible route")
 )
 
 // Controller is the centralized policy manager. Mutations (Install,
@@ -199,6 +212,14 @@ func (c *Controller) Install(f *flow.Flow, p *flow.Policy) error {
 	if err := p.Satisfied(c.topo); err != nil {
 		return err
 	}
+	// A route through a crashed switch is never installable, regardless of
+	// capacity: the liveness-aware constructors can't produce one, but an
+	// externally-built or stale policy could.
+	for _, w := range p.List {
+		if !c.topo.Alive(w) {
+			return fmt.Errorf("controller: policy for flow %d routes through dead switch %d", f.ID, w)
+		}
+	}
 	// Feasibility with the old policy's contribution removed. A switch
 	// appearing k times in the new list needs k*rate headroom. Routes are a
 	// handful of switches, so the per-switch demand accumulates in a small
@@ -318,7 +339,7 @@ func (c *Controller) typeTemplate(f *flow.Flow, loc flow.Locator) ([]string, err
 	}
 	types, err := c.oracle.TypeTemplate(src, dst)
 	if err != nil {
-		return nil, fmt.Errorf("controller: no path between servers %d and %d", src, dst)
+		return nil, fmt.Errorf("controller: %w: no path between servers %d and %d", ErrNoFeasibleRoute, src, dst)
 	}
 	return types, nil
 }
@@ -344,7 +365,7 @@ func (c *Controller) RandomPolicy(f *flow.Flow, loc flow.Locator, rng *rand.Rand
 			}
 		}
 		if len(feasible) == 0 {
-			return nil, fmt.Errorf("controller: no feasible %q switch for flow %d", typ, f.ID)
+			return nil, fmt.Errorf("controller: %w of type %q for flow %d", ErrNoFeasibleSwitch, typ, f.ID)
 		}
 		p.List = append(p.List, feasible[rng.Intn(len(feasible))])
 	}
@@ -364,7 +385,7 @@ func (c *Controller) ShortestPolicy(f *flow.Flow, loc flow.Locator) (*flow.Polic
 	}
 	path := c.oracle.ShortestPath(src, dst)
 	if path == nil {
-		return nil, fmt.Errorf("controller: no path between servers %d and %d", src, dst)
+		return nil, fmt.Errorf("controller: %w: no path between servers %d and %d", ErrNoFeasibleRoute, src, dst)
 	}
 	return flow.PolicyFromPath(c.topo, f.ID, path), nil
 }
@@ -402,17 +423,42 @@ func (c *Controller) OptimizePolicy(f *flow.Flow, loc flow.Locator) (*flow.Polic
 
 // OptimizePolicyDetailed is OptimizePolicy plus solve metadata.
 func (c *Controller) OptimizePolicyDetailed(f *flow.Flow, loc flow.Locator) (*flow.Policy, SolveInfo, error) {
-	var info SolveInfo
-	types, err := c.typeTemplate(f, loc)
+	src, dst, err := c.endpointServers(f, loc)
 	if err != nil {
-		return nil, info, err
+		return nil, SolveInfo{}, err
+	}
+	return c.optimizeBetween(f, src, dst)
+}
+
+// OptimizeBetween runs Algorithm 1 for a flow whose endpoint servers are
+// already known — the locator-free form the fault reactor uses to re-solve
+// a flow recorded in an earlier wave (whose containers have since been
+// released) after its installed policy was found to traverse a dead switch.
+// The result is NOT installed.
+func (c *Controller) OptimizeBetween(f *flow.Flow, src, dst topology.NodeID) (*flow.Policy, error) {
+	p, _, err := c.optimizeBetween(f, src, dst)
+	return p, err
+}
+
+// optimizeBetween is the shared Algorithm-1 body behind
+// OptimizePolicyDetailed and OptimizeBetween.
+func (c *Controller) optimizeBetween(f *flow.Flow, src, dst topology.NodeID) (*flow.Policy, SolveInfo, error) {
+	var info SolveInfo
+	if src == topology.None || dst == topology.None || !c.topo.Valid(src) || !c.topo.Valid(dst) {
+		return nil, info, fmt.Errorf("controller: flow %d has invalid endpoint servers %d, %d", f.ID, src, dst)
+	}
+	if src == dst {
+		info.FullStages = true
+		return &flow.Policy{Flow: f.ID}, info, nil
+	}
+	types, err := c.oracle.TypeTemplate(src, dst)
+	if err != nil {
+		return nil, info, fmt.Errorf("controller: %w: no path between servers %d and %d", ErrNoFeasibleRoute, src, dst)
 	}
 	if len(types) == 0 {
 		info.FullStages = true
 		return &flow.Policy{Flow: f.ID}, info, nil
 	}
-	src := loc.ServerOf(f.Src)
-	dst := loc.ServerOf(f.Dst)
 
 	// One feasibility pass over the oracle's cached stage candidates
 	// decides whether the capacity filter bites at all. In the common
@@ -430,7 +476,7 @@ func (c *Controller) OptimizePolicyDetailed(f *flow.Flow, loc flow.Locator) (*fl
 			}
 		}
 		if n == 0 {
-			return nil, info, fmt.Errorf("controller: no feasible %q switch for flow %d", typ, f.ID)
+			return nil, info, fmt.Errorf("controller: %w of type %q for flow %d", ErrNoFeasibleSwitch, typ, f.ID)
 		}
 		if n < len(full[i]) {
 			allFit = false
@@ -458,7 +504,7 @@ func (c *Controller) OptimizePolicyDetailed(f *flow.Flow, loc flow.Locator) (*fl
 	})
 	info.CacheHit = hit
 	if !ok {
-		return nil, info, fmt.Errorf("controller: no feasible route for flow %d", f.ID)
+		return nil, info, fmt.Errorf("controller: %w for flow %d", ErrNoFeasibleRoute, f.ID)
 	}
 	// The cached list is shared across flows; clone so callers may mutate
 	// the policy (e.g. flow.ApplySwap) without corrupting the cache.

@@ -25,6 +25,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -101,37 +102,85 @@ func (h *HitScheduler) Schedule(req *scheduler.Request) error {
 		return err
 	}
 	movable := h.movableTasks(req)
+	flows := req.Flows
 
-	// §5.3.1: random initial assignment for every unplaced container.
+	var report *scheduler.ScheduleReport
+	if req.Degraded {
+		report = req.Report
+		if report == nil {
+			report = &scheduler.ScheduleReport{}
+			req.Report = report
+		}
+	}
+
+	// §5.3.1: random initial assignment for every unplaced container. In
+	// degraded mode a container with no feasible server is reported and
+	// skipped (with its flows) instead of aborting the wave.
+	dropped := make(map[cluster.ContainerID]bool)
 	for _, t := range movable {
 		if req.Cluster.Container(t.Container).Placed() {
 			continue
 		}
 		cands := req.Cluster.Candidates(t.Container)
 		if len(cands) == 0 {
-			return fmt.Errorf("core: no feasible server for container %d", t.Container)
+			if report != nil {
+				report.UnplacedContainers = append(report.UnplacedContainers, t.Container)
+				dropped[t.Container] = true
+				continue
+			}
+			return fmt.Errorf("core: %w for container %d", scheduler.ErrNoFeasibleServer, t.Container)
 		}
 		if err := req.Cluster.Place(t.Container, cands[req.Rand.Intn(len(cands))]); err != nil {
 			return err
 		}
 	}
+	if len(dropped) > 0 {
+		kept := movable[:0:0]
+		for _, t := range movable {
+			if !dropped[t.Container] {
+				kept = append(kept, t)
+			}
+		}
+		movable = kept
+	}
 
 	// Initial random policies (the paper's starting state for Algorithm 1).
+	// In degraded mode an unroutable flow — no feasible switch or route, or
+	// an endpoint left unplaced above — is reported and excluded from the
+	// round's working set.
 	loc := req.Locator()
-	for _, f := range req.Flows {
+	if report != nil {
+		kept := flows[:0:0]
+		for _, f := range flows {
+			if loc.ServerOf(f.Src) == topology.None || loc.ServerOf(f.Dst) == topology.None {
+				report.UnroutableFlows = append(report.UnroutableFlows, f.ID)
+				continue
+			}
+			kept = append(kept, f)
+		}
+		flows = kept
+	}
+	routable := flows[:0:0]
+	for _, f := range flows {
 		p, err := req.Controller.RandomPolicy(f, loc, req.Rand)
 		if err != nil {
+			if report != nil && (errors.Is(err, controller.ErrNoFeasibleSwitch) || errors.Is(err, controller.ErrNoFeasibleRoute)) {
+				report.UnroutableFlows = append(report.UnroutableFlows, f.ID)
+				continue
+			}
 			return err
 		}
 		if err := req.Controller.Install(f, p); err != nil {
 			return fmt.Errorf("core: initial policy for flow %d: %w", f.ID, err)
 		}
+		routable = append(routable, f)
 	}
+	flows = routable
 
-	if h.isSubsequentWave(req, movable) {
-		return h.scheduleSubsequentWave(req, movable)
+	if h.isSubsequentWave(req, movable, flows) {
+		return h.scheduleSubsequentWave(req, movable, flows)
 	}
-	return h.scheduleInitialWave(req, movable)
+	return h.scheduleInitialWave(req, movable, flows)
 }
 
 // movableTasks returns the tasks whose containers this round may move.
@@ -148,7 +197,7 @@ func (h *HitScheduler) movableTasks(req *scheduler.Request) []scheduler.Task {
 // isSubsequentWave reports whether this request matches §5.3.2: every
 // movable task is a Map, and at least one flow terminates at a fixed
 // (already placed) Reduce container.
-func (h *HitScheduler) isSubsequentWave(req *scheduler.Request, movable []scheduler.Task) bool {
+func (h *HitScheduler) isSubsequentWave(req *scheduler.Request, movable []scheduler.Task, flows []*flow.Flow) bool {
 	if len(movable) == 0 || len(req.Fixed) == 0 {
 		return false
 	}
@@ -158,7 +207,7 @@ func (h *HitScheduler) isSubsequentWave(req *scheduler.Request, movable []schedu
 		}
 	}
 	anyFixedDst := false
-	for _, f := range req.Flows {
+	for _, f := range flows {
 		if req.Fixed[f.Dst] {
 			anyFixedDst = true
 			break
@@ -240,11 +289,12 @@ func (st *runState) cleanFlow(req *scheduler.Request, f *flow.Flow, loc flow.Loc
 	return req.Controller.FitsEverywhere(f.Rate)
 }
 
-// scheduleInitialWave runs the full joint optimization loop.
-func (h *HitScheduler) scheduleInitialWave(req *scheduler.Request, movable []scheduler.Task) error {
+// scheduleInitialWave runs the full joint optimization loop over the
+// round's working flow set (req.Flows minus any degraded-mode exclusions).
+func (h *HitScheduler) scheduleInitialWave(req *scheduler.Request, movable []scheduler.Task, flows []*flow.Flow) error {
 	loc := req.Locator()
 	st := newRunState()
-	best, err := req.Controller.TotalCost(req.Flows, loc)
+	best, err := req.Controller.TotalCost(flows, loc)
 	if err != nil {
 		return err
 	}
@@ -257,7 +307,7 @@ func (h *HitScheduler) scheduleInitialWave(req *scheduler.Request, movable []sch
 		// unfiltered now) are clean: re-solving is a proven no-op, so the
 		// sweep touches only the dirty set.
 		if !h.DisablePolicyOpt {
-			for _, f := range req.Flows {
+			for _, f := range flows {
 				if h.incremental() && st.cleanFlow(req, f, loc) {
 					continue
 				}
@@ -271,17 +321,17 @@ func (h *HitScheduler) scheduleInitialWave(req *scheduler.Request, movable []sch
 
 		// Phase 2 — task assignment via preference matrix + stable matching
 		// (Algorithm 2).
-		if err := h.assign(req, movable, loc, st); err != nil {
+		if err := h.assign(req, movable, flows, loc, st); err != nil {
 			return err
 		}
 
 		// Phase 3 — policies must follow the new placement (type templates
 		// change when endpoints move racks).
-		if err := h.reinstallPolicies(req, loc, st); err != nil {
+		if err := h.reinstallPolicies(req, flows, loc, st); err != nil {
 			return err
 		}
 
-		cost, err := req.Controller.TotalCost(req.Flows, loc)
+		cost, err := req.Controller.TotalCost(flows, loc)
 		if err != nil {
 			return err
 		}
@@ -297,7 +347,7 @@ func (h *HitScheduler) scheduleInitialWave(req *scheduler.Request, movable []sch
 			if err := req.Cluster.Restore(bestSnap); err != nil {
 				return err
 			}
-			if err := h.reinstallPolicies(req, loc, st); err != nil {
+			if err := h.reinstallPolicies(req, flows, loc, st); err != nil {
 				return err
 			}
 		}
@@ -312,13 +362,13 @@ func (h *HitScheduler) scheduleInitialWave(req *scheduler.Request, movable []sch
 // flows (cleanFlow) reinstall their recorded solve output without paying
 // for the DP again; the uninstall/install sequence itself always runs in
 // full flow order, so switch loads accumulate in the historical order.
-func (h *HitScheduler) reinstallPolicies(req *scheduler.Request, loc flow.Locator, st *runState) error {
+func (h *HitScheduler) reinstallPolicies(req *scheduler.Request, flows []*flow.Flow, loc flow.Locator, st *runState) error {
 	// Release the old routes first: stale switch loads from pre-move policies
 	// must not make the post-move optimum look infeasible.
-	for _, f := range req.Flows {
+	for _, f := range flows {
 		req.Controller.Uninstall(f.ID)
 	}
-	for _, f := range req.Flows {
+	for _, f := range flows {
 		var p *flow.Policy
 		var err error
 		switch {
@@ -384,7 +434,7 @@ func equalNodeIDs(a, b []topology.NodeID) bool {
 // route is re-optimized after the move (the paper's grades "will be updated
 // when rescheduling a new routing path"), so they reduce to rate ×
 // hop-distance deltas against the anchored peer.
-func (h *HitScheduler) assign(req *scheduler.Request, movable []scheduler.Task, loc flow.Locator, st *runState) error {
+func (h *HitScheduler) assign(req *scheduler.Request, movable []scheduler.Task, flows []*flow.Flow, loc flow.Locator, st *runState) error {
 	var reduces, maps []scheduler.Task
 	for _, t := range movable {
 		if t.Kind == workload.ReduceTask {
@@ -397,7 +447,7 @@ func (h *HitScheduler) assign(req *scheduler.Request, movable []scheduler.Task, 
 		if len(group) == 0 {
 			continue
 		}
-		if err := h.assignGroup(req, group, loc, st); err != nil {
+		if err := h.assignGroup(req, group, flows, loc, st); err != nil {
 			return err
 		}
 	}
@@ -410,7 +460,7 @@ func (h *HitScheduler) assign(req *scheduler.Request, movable []scheduler.Task, 
 const parallelThreshold = 4096
 
 // assignGroup matches one kind-homogeneous container group onto servers.
-func (h *HitScheduler) assignGroup(req *scheduler.Request, group []scheduler.Task, loc flow.Locator, st *runState) error {
+func (h *HitScheduler) assignGroup(req *scheduler.Request, group []scheduler.Task, flows []*flow.Flow, loc flow.Locator, st *runState) error {
 	servers := req.Cluster.Servers()
 	serverIdx := make(map[topology.NodeID]int, len(servers))
 	for i, s := range servers {
@@ -426,7 +476,7 @@ func (h *HitScheduler) assignGroup(req *scheduler.Request, group []scheduler.Tas
 	incident := make([][]*flow.Flow, len(containers))
 	peerSrv := make([][]topology.NodeID, len(containers))
 	for i, c := range containers {
-		for _, f := range flow.IncidentFlows(c, req.Flows) {
+		for _, f := range flow.IncidentFlows(c, flows) {
 			peer := f.Src
 			if peer == c {
 				peer = f.Dst
@@ -484,7 +534,7 @@ func (h *HitScheduler) assignGroup(req *scheduler.Request, group []scheduler.Tas
 			}
 		}
 		if len(feas) == 0 {
-			return fmt.Errorf("core: container %d has no feasible server", c)
+			return fmt.Errorf("core: %w for container %d", scheduler.ErrNoFeasibleServer, c)
 		}
 		feasible[ci] = feas
 
@@ -652,7 +702,7 @@ func (h *HitScheduler) assignGroup(req *scheduler.Request, group []scheduler.Tas
 				return nil
 			}
 		}
-		return fmt.Errorf("core: container %d has no feasible server after matching", c)
+		return fmt.Errorf("core: %w for container %d after matching", scheduler.ErrNoFeasibleServer, c)
 	}
 
 	if h.DisableStableMatching {
@@ -704,7 +754,7 @@ func (h *HitScheduler) assignGroup(req *scheduler.Request, group []scheduler.Tas
 // each shuffle flow's destination is static; maps are placed greedily in
 // descending shuffle-output order onto the feasible server with the lowest
 // added communication delay, then policies are optimized.
-func (h *HitScheduler) scheduleSubsequentWave(req *scheduler.Request, movable []scheduler.Task) error {
+func (h *HitScheduler) scheduleSubsequentWave(req *scheduler.Request, movable []scheduler.Task, flows []*flow.Flow) error {
 	loc := req.Locator()
 	tasks := append([]scheduler.Task(nil), movable...)
 	scheduler.SortTasksByShuffleOutput(tasks)
@@ -712,7 +762,7 @@ func (h *HitScheduler) scheduleSubsequentWave(req *scheduler.Request, movable []
 
 	for _, t := range tasks {
 		c := t.Container
-		incident := flow.IncidentFlows(c, req.Flows)
+		incident := flow.IncidentFlows(c, flows)
 		best := topology.None
 		bestCost := 0.0
 		for _, s := range req.Cluster.Candidates(c) {
@@ -739,12 +789,12 @@ func (h *HitScheduler) scheduleSubsequentWave(req *scheduler.Request, movable []
 			}
 		}
 		if best == topology.None {
-			return fmt.Errorf("core: no feasible server for map container %d", c)
+			return fmt.Errorf("core: %w for map container %d", scheduler.ErrNoFeasibleServer, c)
 		}
 		// The container was randomly placed during initialization; move it.
 		if err := req.Cluster.Place(c, best); err != nil {
 			return err
 		}
 	}
-	return h.reinstallPolicies(req, loc, newRunState())
+	return h.reinstallPolicies(req, flows, loc, newRunState())
 }

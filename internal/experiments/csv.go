@@ -145,6 +145,23 @@ func (r *FailureResult) CSV() string {
 }
 
 // CSV implements CSVable.
+func (r *FailureSweepResult) CSV() string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			f(row.Rate), f(row.Severity), f(row.BaselineJCT), f(row.FaultyJCT),
+			f(row.Inflation), f(row.RecoveryLatency), f(row.Rerouted),
+			f(row.Dropped), f(row.Evictions), f(row.Retries), f(row.FailedJobs),
+		})
+	}
+	return writeCSV([]string{
+		"fault_rate", "severity", "baseline_jct", "faulty_jct", "jct_inflation",
+		"recovery_latency_t", "rerouted_flows", "dropped_flows", "evictions",
+		"retries", "failed_jobs",
+	}, rows)
+}
+
+// CSV implements CSVable.
 func (r *AblationResult) CSV() string {
 	rows := make([][]string, 0, len(r.Rows))
 	for _, row := range r.Rows {
@@ -168,5 +185,6 @@ var (
 	_ CSVable = (*BaselineResult)(nil)
 	_ CSVable = (*OnlineResult)(nil)
 	_ CSVable = (*FailureResult)(nil)
+	_ CSVable = (*FailureSweepResult)(nil)
 	_ CSVable = (*AblationResult)(nil)
 )

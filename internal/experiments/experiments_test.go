@@ -289,6 +289,41 @@ func TestFailureRecoveryShape(t *testing.T) {
 	}
 }
 
+func TestFailureSweepShape(t *testing.T) {
+	r, err := FailureSweep(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("quick sweep has %d rows, want 2", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.BaselineJCT <= 0 || row.FaultyJCT <= 0 {
+			t.Errorf("rate %g sev %g: non-positive JCT (base %v, faulty %v)",
+				row.Rate, row.Severity, row.BaselineJCT, row.FaultyJCT)
+		}
+		if row.Inflation < 1 {
+			t.Errorf("rate %g sev %g: faults sped the workload up (inflation %v)",
+				row.Rate, row.Severity, row.Inflation)
+		}
+		if row.RecoveryLatency < 0 {
+			t.Errorf("rate %g sev %g: negative recovery latency %v",
+				row.Rate, row.Severity, row.RecoveryLatency)
+		}
+	}
+	// The sweep is seeded end to end: rerunning it reproduces every cell.
+	again, err := FailureSweep(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CSV() != again.CSV() {
+		t.Error("fault sweep is not reproducible across reruns")
+	}
+	if !strings.Contains(r.Render(), "inflation") {
+		t.Error("render incomplete")
+	}
+}
+
 func TestBaselinesOrdering(t *testing.T) {
 	r, err := Baselines(quickCfg())
 	if err != nil {

@@ -1,0 +1,226 @@
+// Package faults is the deterministic fault-injection engine: a scripted
+// timeline of typed fabric events (switch crash / capacity degrade /
+// recover, link degradation, server crash / recover) plus a hash-seeded
+// task-level model (map attempt failures, straggler slowdowns). Timelines
+// are generated from an injected *rand.Rand or parsed from a declarative
+// text spec; either way the same inputs always produce the same schedule,
+// so a faulty run replays bit-identically from its seed.
+//
+// The package splits responsibilities three ways:
+//
+//   - Plan / GenerateTimeline / ParseTimeline: WHAT goes wrong and when.
+//   - Injector: applies a fabric event to the topology + cluster and
+//     remembers every nominal value it overwrote, so recovery events (and
+//     RestoreAll at end of run) put the fabric back exactly.
+//   - Reactor helpers (reactor.go): how the policy layer recovers —
+//     re-solving installed routes that traverse a dead switch and shedding
+//     load until no switch is over capacity.
+//
+// Task-level randomness (TaskModel) is hash-based rather than stream-based:
+// each (job, task, attempt) draw is a pure function of the model seed, so
+// the outcome does not depend on the order the simulator happens to ask —
+// retries and speculative backups cannot shift any other task's luck.
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/topology"
+)
+
+// Kind enumerates fabric event types.
+type Kind int
+
+const (
+	// SwitchCrash marks a switch dead: it leaves every routing structure
+	// (liveness mask) and its capacity drops to zero until recovery.
+	SwitchCrash Kind = iota
+	// SwitchDegrade multiplies a switch's processing capacity by Factor.
+	SwitchDegrade
+	// SwitchRecover restores a switch's liveness and nominal capacity.
+	SwitchRecover
+	// LinkDegrade multiplies a link's bandwidth by Factor.
+	LinkDegrade
+	// LinkRecover restores a link's nominal bandwidth.
+	LinkRecover
+	// ServerCrash kills a server: its containers are evicted, its capacity
+	// drops to zero and it leaves the liveness mask.
+	ServerCrash
+	// ServerRecover restores a server's liveness and nominal resources.
+	ServerRecover
+)
+
+var kindNames = map[Kind]string{
+	SwitchCrash:   "switch-crash",
+	SwitchDegrade: "switch-degrade",
+	SwitchRecover: "switch-recover",
+	LinkDegrade:   "link-degrade",
+	LinkRecover:   "link-recover",
+	ServerCrash:   "server-crash",
+	ServerRecover: "server-recover",
+}
+
+// String returns the declarative-spec name of the kind.
+func (k Kind) String() string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Event is one scheduled fabric fault or recovery.
+type Event struct {
+	// Time is when the event fires, in the simulator's T unit.
+	Time float64
+	// Kind selects the event type.
+	Kind Kind
+	// Node targets switch and server events.
+	Node topology.NodeID
+	// A, B target link events.
+	A, B topology.NodeID
+	// Factor is the degrade multiplier in (0, 1] for *Degrade events.
+	Factor float64
+	// Seq breaks time ties deterministically (generation order).
+	Seq int
+}
+
+// Plan is a complete fault schedule for one run: the fabric timeline plus
+// the task-level model. The zero value (and nil) injects nothing.
+type Plan struct {
+	// Events must be in timeline order (SortEvents).
+	Events []Event
+	// Tasks models per-attempt map failures and stragglers.
+	Tasks TaskModel
+}
+
+// Empty reports whether the plan injects no fabric events and no
+// task-level faults.
+func (p *Plan) Empty() bool {
+	return p == nil || (len(p.Events) == 0 && p.Tasks.Inert())
+}
+
+// SortEvents orders events by (Time, Seq) — the canonical timeline order.
+func SortEvents(evs []Event) {
+	sort.SliceStable(evs, func(i, j int) bool {
+		if evs[i].Time != evs[j].Time { //taalint:floateq exact-tie ordering; Seq breaks genuine ties deterministically
+
+			return evs[i].Time < evs[j].Time
+		}
+		return evs[i].Seq < evs[j].Seq
+	})
+}
+
+// Spec parameterizes GenerateTimeline.
+type Spec struct {
+	// Horizon is the timeline span: every fault fires in [0, Horizon).
+	Horizon float64
+	// Rate is the expected number of fabric faults per 100 T of horizon.
+	Rate float64
+	// Severity in (0, 1] scales degrade events: a degraded component keeps
+	// (1 − Severity) of its nominal capacity/bandwidth (floored at 5%).
+	Severity float64
+	// MTTR is the mean downtime; each fault's recovery fires MTTR × [0.5,
+	// 1.5) after it (uniform, from the generator's rng).
+	MTTR float64
+	// Mix weights for the four fault classes; all zero selects the default
+	// mix (2 switch-degrade : 1 switch-crash : 1 link-degrade : 1
+	// server-crash).
+	SwitchCrashW, SwitchDegradeW, LinkDegradeW, ServerCrashW float64
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.Horizon <= 0 {
+		s.Horizon = 100
+	}
+	if s.Severity <= 0 || s.Severity > 1 {
+		s.Severity = 0.5
+	}
+	if s.MTTR <= 0 {
+		s.MTTR = s.Horizon / 4
+	}
+	if s.SwitchCrashW == 0 && s.SwitchDegradeW == 0 && s.LinkDegradeW == 0 && s.ServerCrashW == 0 { //taalint:floateq zero weights are the explicit "use default mix" sentinel
+
+		s.SwitchCrashW, s.SwitchDegradeW, s.LinkDegradeW, s.ServerCrashW = 1, 2, 1, 1
+	}
+	return s
+}
+
+// degradeFactor converts severity to the surviving-capacity multiplier.
+func (s Spec) degradeFactor() float64 {
+	f := 1 - s.Severity
+	if f < 0.05 {
+		f = 0.05
+	}
+	return f
+}
+
+// crashableSwitches returns switches safe to crash outright: above the
+// access tier and with at least one live same-type sibling, so same-type
+// rerouting (the paper's Figure 2 scenario) stays possible.
+func crashableSwitches(topo *topology.Topology) []topology.NodeID {
+	byType := make(map[string]int)
+	for _, w := range topo.Switches() {
+		if topo.Alive(w) {
+			byType[topo.Node(w).Type]++
+		}
+	}
+	var out []topology.NodeID
+	for _, w := range topo.Switches() {
+		n := topo.Node(w)
+		if topo.Alive(w) && n.Tier > 0 && byType[n.Type] > 1 {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// GenerateTimeline draws a randomized fault schedule from rng: round(Rate ×
+// Horizon / 100) faults at uniform times, each paired with a recovery event
+// MTTR × [0.5, 1.5) later (clamped inside the horizon is NOT enforced —
+// recoveries may land past Horizon, which a run applies at its end). The
+// draw sequence is fixed, so one rng seed always yields one timeline.
+func GenerateTimeline(rng *rand.Rand, topo *topology.Topology, spec Spec) []Event {
+	spec = spec.withDefaults()
+	n := int(spec.Rate*spec.Horizon/100 + 0.5)
+	crashable := crashableSwitches(topo)
+	switches := topo.Switches()
+	servers := topo.Servers()
+	links := topo.Links()
+	total := spec.SwitchCrashW + spec.SwitchDegradeW + spec.LinkDegradeW + spec.ServerCrashW
+	factor := spec.degradeFactor()
+
+	var evs []Event
+	seq := 0
+	emit := func(ev Event) {
+		ev.Seq = seq
+		seq++
+		evs = append(evs, ev)
+	}
+	for i := 0; i < n; i++ {
+		t := rng.Float64() * spec.Horizon
+		up := t + spec.MTTR*(0.5+rng.Float64())
+		pick := rng.Float64() * total
+		switch {
+		case pick < spec.SwitchCrashW && len(crashable) > 0:
+			w := crashable[rng.Intn(len(crashable))]
+			emit(Event{Time: t, Kind: SwitchCrash, Node: w})
+			emit(Event{Time: up, Kind: SwitchRecover, Node: w})
+		case pick < spec.SwitchCrashW+spec.SwitchDegradeW && len(switches) > 0:
+			w := switches[rng.Intn(len(switches))]
+			emit(Event{Time: t, Kind: SwitchDegrade, Node: w, Factor: factor})
+			emit(Event{Time: up, Kind: SwitchRecover, Node: w})
+		case pick < spec.SwitchCrashW+spec.SwitchDegradeW+spec.LinkDegradeW && len(links) > 0:
+			l := links[rng.Intn(len(links))]
+			emit(Event{Time: t, Kind: LinkDegrade, A: l.A, B: l.B, Factor: factor})
+			emit(Event{Time: up, Kind: LinkRecover, A: l.A, B: l.B})
+		case len(servers) > 0:
+			s := servers[rng.Intn(len(servers))]
+			emit(Event{Time: t, Kind: ServerCrash, Node: s})
+			emit(Event{Time: up, Kind: ServerRecover, Node: s})
+		}
+	}
+	SortEvents(evs)
+	return evs
+}

@@ -1,0 +1,194 @@
+package faults
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/topology"
+)
+
+type linkKey struct{ a, b topology.NodeID }
+
+func canonLink(a, b topology.NodeID) linkKey {
+	if a > b {
+		a, b = b, a
+	}
+	return linkKey{a, b}
+}
+
+// Injector applies fabric events to a topology (+ optional cluster) and
+// remembers every nominal value it overwrites, so recovery events — and
+// RestoreAll at the end of a run — put the fabric back exactly as built.
+// Crash/degrade events are idempotent: re-crashing a dead component or
+// recovering a healthy one is a no-op on the remembered nominals.
+type Injector struct {
+	topo *topology.Topology
+	cl   *cluster.Cluster // may be nil for pure network scenarios
+
+	nominalCap map[topology.NodeID]float64
+	nominalBW  map[linkKey]float64
+	nominalRes map[topology.NodeID]cluster.Resources
+}
+
+// NewInjector builds an injector over the fabric. cl may be nil when no
+// server events will be applied.
+func NewInjector(topo *topology.Topology, cl *cluster.Cluster) *Injector {
+	return &Injector{
+		topo:       topo,
+		cl:         cl,
+		nominalCap: make(map[topology.NodeID]float64),
+		nominalBW:  make(map[linkKey]float64),
+		nominalRes: make(map[topology.NodeID]cluster.Resources),
+	}
+}
+
+func (in *Injector) rememberCap(w topology.NodeID) {
+	if _, ok := in.nominalCap[w]; !ok {
+		in.nominalCap[w] = in.topo.Node(w).Capacity
+	}
+}
+
+func (in *Injector) rememberBW(a, b topology.NodeID) error {
+	k := canonLink(a, b)
+	if _, ok := in.nominalBW[k]; ok {
+		return nil
+	}
+	l, ok := in.topo.Link(a, b)
+	if !ok {
+		return fmt.Errorf("faults: no link %d-%d", a, b)
+	}
+	in.nominalBW[k] = l.Bandwidth
+	return nil
+}
+
+// Apply executes one event. For ServerCrash it returns the evicted
+// containers (ascending ID); every other kind returns nil.
+func (in *Injector) Apply(ev Event) ([]cluster.ContainerID, error) {
+	switch ev.Kind {
+	case SwitchCrash:
+		if !in.topo.Alive(ev.Node) {
+			return nil, nil
+		}
+		in.rememberCap(ev.Node)
+		if err := in.topo.SetSwitchCapacity(ev.Node, 0); err != nil {
+			return nil, err
+		}
+		return nil, in.topo.SetNodeAlive(ev.Node, false)
+
+	case SwitchDegrade:
+		if ev.Factor <= 0 || ev.Factor > 1 {
+			return nil, fmt.Errorf("faults: switch-degrade factor %v out of (0,1]", ev.Factor)
+		}
+		in.rememberCap(ev.Node)
+		return nil, in.topo.SetSwitchCapacity(ev.Node, in.nominalCap[ev.Node]*ev.Factor)
+
+	case SwitchRecover:
+		if err := in.topo.SetNodeAlive(ev.Node, true); err != nil {
+			return nil, err
+		}
+		if nom, ok := in.nominalCap[ev.Node]; ok {
+			return nil, in.topo.SetSwitchCapacity(ev.Node, nom)
+		}
+		return nil, nil
+
+	case LinkDegrade:
+		if ev.Factor <= 0 || ev.Factor > 1 {
+			return nil, fmt.Errorf("faults: link-degrade factor %v out of (0,1]", ev.Factor)
+		}
+		if err := in.rememberBW(ev.A, ev.B); err != nil {
+			return nil, err
+		}
+		return nil, in.topo.SetLinkBandwidth(ev.A, ev.B, in.nominalBW[canonLink(ev.A, ev.B)]*ev.Factor)
+
+	case LinkRecover:
+		if nom, ok := in.nominalBW[canonLink(ev.A, ev.B)]; ok {
+			return nil, in.topo.SetLinkBandwidth(ev.A, ev.B, nom)
+		}
+		return nil, nil
+
+	case ServerCrash:
+		if !in.topo.Alive(ev.Node) {
+			return nil, nil
+		}
+		if in.cl == nil {
+			return nil, fmt.Errorf("faults: server event without a cluster")
+		}
+		evicted := append([]cluster.ContainerID(nil), in.cl.ContainersOn(ev.Node)...)
+		sort.Slice(evicted, func(i, j int) bool { return evicted[i] < evicted[j] })
+		for _, c := range evicted {
+			if err := in.cl.Unplace(c); err != nil {
+				return nil, err
+			}
+		}
+		if _, ok := in.nominalRes[ev.Node]; !ok {
+			in.nominalRes[ev.Node] = in.cl.Capacity(ev.Node)
+		}
+		if err := in.cl.SetServerCapacity(ev.Node, cluster.Resources{}); err != nil {
+			return nil, err
+		}
+		return evicted, in.topo.SetNodeAlive(ev.Node, false)
+
+	case ServerRecover:
+		if in.cl == nil {
+			return nil, fmt.Errorf("faults: server event without a cluster")
+		}
+		if err := in.topo.SetNodeAlive(ev.Node, true); err != nil {
+			return nil, err
+		}
+		if nom, ok := in.nominalRes[ev.Node]; ok {
+			return nil, in.cl.SetServerCapacity(ev.Node, nom)
+		}
+		return nil, nil
+
+	default:
+		return nil, fmt.Errorf("faults: unknown event kind %d", int(ev.Kind))
+	}
+}
+
+// RestoreAll revives every component and restores every remembered nominal
+// value — the end-of-run cleanup that keeps an engine reusable.
+func (in *Injector) RestoreAll() error {
+	caps := make([]topology.NodeID, 0, len(in.nominalCap))
+	for w := range in.nominalCap {
+		caps = append(caps, w)
+	}
+	sort.Slice(caps, func(i, j int) bool { return caps[i] < caps[j] })
+	for _, w := range caps {
+		if err := in.topo.SetNodeAlive(w, true); err != nil {
+			return err
+		}
+		if err := in.topo.SetSwitchCapacity(w, in.nominalCap[w]); err != nil {
+			return err
+		}
+	}
+	bws := make([]linkKey, 0, len(in.nominalBW))
+	for k := range in.nominalBW {
+		bws = append(bws, k)
+	}
+	sort.Slice(bws, func(i, j int) bool {
+		if bws[i].a != bws[j].a {
+			return bws[i].a < bws[j].a
+		}
+		return bws[i].b < bws[j].b
+	})
+	for _, k := range bws {
+		if err := in.topo.SetLinkBandwidth(k.a, k.b, in.nominalBW[k]); err != nil {
+			return err
+		}
+	}
+	srvs := make([]topology.NodeID, 0, len(in.nominalRes))
+	for s := range in.nominalRes {
+		srvs = append(srvs, s)
+	}
+	sort.Slice(srvs, func(i, j int) bool { return srvs[i] < srvs[j] })
+	for _, s := range srvs {
+		if err := in.topo.SetNodeAlive(s, true); err != nil {
+			return err
+		}
+		if err := in.cl.SetServerCapacity(s, in.nominalRes[s]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

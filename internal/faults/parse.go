@@ -1,0 +1,117 @@
+package faults
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/topology"
+)
+
+// ParseTimeline reads the declarative timeline format: one event per line,
+//
+//	t=<time> <kind> node=<id> [factor=<f>]
+//	t=<time> <kind> link=<a>-<b> [factor=<f>]
+//
+// with '#' comments and blank lines ignored. Kinds are the Kind.String
+// names (switch-crash, switch-degrade, switch-recover, link-degrade,
+// link-recover, server-crash, server-recover). Events may appear in any
+// order; the returned slice is in timeline order.
+func ParseTimeline(src string) ([]Event, error) {
+	kindOf := make(map[string]Kind, len(kindNames))
+	for k := SwitchCrash; k <= ServerRecover; k++ {
+		kindOf[k.String()] = k
+	}
+	var evs []Event
+	for ln, line := range strings.Split(src, "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("faults: line %d: want 't=<time> <kind> ...', got %q", ln+1, line)
+		}
+		ev := Event{Seq: len(evs), Factor: 1}
+		tv, ok := strings.CutPrefix(fields[0], "t=")
+		if !ok {
+			return nil, fmt.Errorf("faults: line %d: first field must be t=<time>", ln+1)
+		}
+		t, err := strconv.ParseFloat(tv, 64)
+		if err != nil || t < 0 {
+			return nil, fmt.Errorf("faults: line %d: bad time %q", ln+1, tv)
+		}
+		ev.Time = t
+		k, ok := kindOf[fields[1]]
+		if !ok {
+			return nil, fmt.Errorf("faults: line %d: unknown event kind %q", ln+1, fields[1])
+		}
+		ev.Kind = k
+		ev.Node = topology.None
+		ev.A, ev.B = topology.None, topology.None
+		for _, f := range fields[2:] {
+			switch {
+			case strings.HasPrefix(f, "node="):
+				id, err := strconv.Atoi(f[len("node="):])
+				if err != nil {
+					return nil, fmt.Errorf("faults: line %d: bad node %q", ln+1, f)
+				}
+				ev.Node = topology.NodeID(id)
+			case strings.HasPrefix(f, "link="):
+				a, b, ok := strings.Cut(f[len("link="):], "-")
+				if !ok {
+					return nil, fmt.Errorf("faults: line %d: link wants a-b, got %q", ln+1, f)
+				}
+				ai, errA := strconv.Atoi(a)
+				bi, errB := strconv.Atoi(b)
+				if errA != nil || errB != nil {
+					return nil, fmt.Errorf("faults: line %d: bad link endpoints %q", ln+1, f)
+				}
+				ev.A, ev.B = topology.NodeID(ai), topology.NodeID(bi)
+			case strings.HasPrefix(f, "factor="):
+				fv, err := strconv.ParseFloat(f[len("factor="):], 64)
+				if err != nil || fv <= 0 || fv > 1 {
+					return nil, fmt.Errorf("faults: line %d: factor must be in (0,1], got %q", ln+1, f)
+				}
+				ev.Factor = fv
+			default:
+				return nil, fmt.Errorf("faults: line %d: unknown field %q", ln+1, f)
+			}
+		}
+		switch ev.Kind {
+		case LinkDegrade, LinkRecover:
+			if ev.A == topology.None || ev.B == topology.None {
+				return nil, fmt.Errorf("faults: line %d: %s needs link=a-b", ln+1, ev.Kind)
+			}
+		default:
+			if ev.Node == topology.None {
+				return nil, fmt.Errorf("faults: line %d: %s needs node=<id>", ln+1, ev.Kind)
+			}
+		}
+		evs = append(evs, ev)
+	}
+	SortEvents(evs)
+	return evs, nil
+}
+
+// Format renders events back into the declarative format ParseTimeline
+// reads (round-trip stable for parsed input).
+func Format(evs []Event) string {
+	var b strings.Builder
+	for _, ev := range evs {
+		fmt.Fprintf(&b, "t=%g %s", ev.Time, ev.Kind)
+		switch ev.Kind {
+		case LinkDegrade, LinkRecover:
+			fmt.Fprintf(&b, " link=%d-%d", ev.A, ev.B)
+		default:
+			fmt.Fprintf(&b, " node=%d", ev.Node)
+		}
+		if ev.Kind == SwitchDegrade || ev.Kind == LinkDegrade {
+			fmt.Fprintf(&b, " factor=%g", ev.Factor)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -18,11 +18,18 @@
 //
 //   - Structure-derived state (distances, shortest paths, path DAGs, type
 //     templates, per-type switch lists, access switches): the topology
-//     graph is immutable after Build, so these never invalidate.
+//     graph is immutable after Build, so these invalidate only when node
+//     LIVENESS changes (fault injection crashing or recovering a switch).
+//     Every cached reader first calls ensureLive, which compares the
+//     topology's liveness version against the last one this oracle folded
+//     in and, on mismatch, drops every structure-derived cache — including
+//     the pair-route table (pairroute.go), whose full-stage solves would
+//     otherwise survive forever and could name a dead switch.
 //   - Parameter-derived state (switch headroom, bottleneck path bandwidth):
 //     valid only for one epoch. Epoch() is the sum of the topology's
-//     mutation version (bumped by SetSwitchCapacity / SetLinkBandwidth) and
-//     the oracle's own counter, which the policy controller bumps on every
+//     mutation version (bumped by SetSwitchCapacity / SetLinkBandwidth),
+//     the topology's liveness version (bumped by SetNodeAlive), and the
+//     oracle's own counter, which the policy controller bumps on every
 //     Install / Uninstall / Reset via BumpEpoch(). Any cached view tagged
 //     with an older epoch is recomputed on next access.
 //
@@ -68,6 +75,12 @@ type Oracle struct {
 	epoch atomic.Uint64
 	load  LoadFunc
 
+	// liveSeen is the topology liveness version the structure caches were
+	// built against; reviveMu serializes the (rare) cache teardown when a
+	// node crashes or recovers.
+	liveSeen atomic.Uint64
+	reviveMu sync.Mutex
+
 	// distRows holds one BFS distance table per source node, published via
 	// atomic pointers so concurrent readers never lock. distMu serializes
 	// builders only.
@@ -86,9 +99,9 @@ type Oracle struct {
 	byType map[string][]topology.NodeID
 	stages map[string][][]topology.NodeID
 
-	// access caches each server's access switch (None for non-servers).
-	accessOnce sync.Once
-	access     []topology.NodeID
+	// access caches each server's access switch (None for non-servers),
+	// published via an atomic pointer so revive can drop it.
+	access atomic.Pointer[[]topology.NodeID]
 
 	// headMu guards the epoch-tagged headroom view.
 	headMu       sync.Mutex
@@ -145,9 +158,46 @@ func (o *Oracle) Topology() *topology.Topology { return o.topo }
 func (o *Oracle) Cached() bool { return o.cached }
 
 // Epoch returns the snapshot version: the topology's parameter-mutation
-// version plus the controller-driven counter. Both only ever increase, so
-// the sum strictly increases on any mutation.
-func (o *Oracle) Epoch() uint64 { return o.epoch.Load() + o.topo.Version() }
+// version plus its liveness version plus the controller-driven counter.
+// All three only ever increase, so the sum strictly increases on any
+// mutation — including a node crash or recovery.
+func (o *Oracle) Epoch() uint64 {
+	return o.epoch.Load() + o.topo.Version() + o.topo.LivenessVersion()
+}
+
+// ensureLive folds the topology's current liveness version into the
+// structure caches: on the first query after a node crashed or recovered,
+// every structure-derived cache (distances, paths, DAGs, templates, type
+// lists, access switches, bottleneck bandwidths and the pair-route table)
+// is dropped and rebuilt lazily against the new alive-mask. Callers on
+// the steady-state path pay one atomic load.
+func (o *Oracle) ensureLive() {
+	lv := o.topo.LivenessVersion()
+	if o.liveSeen.Load() == lv {
+		return
+	}
+	o.reviveMu.Lock()
+	defer o.reviveMu.Unlock()
+	if o.liveSeen.Load() == lv {
+		return
+	}
+	for i := range o.distRows {
+		o.distRows[i].Store(nil)
+	}
+	o.pairMu.Lock()
+	o.paths = make(map[pairKey][]topology.NodeID)
+	o.dags = make(map[pairKey]*topology.PathDAG)
+	o.templates = make(map[pairKey][]string)
+	o.bands = make(map[pairKey]bandEntry)
+	o.pairMu.Unlock()
+	o.typeMu.Lock()
+	o.byType = make(map[string][]topology.NodeID)
+	o.stages = make(map[string][][]topology.NodeID)
+	o.typeMu.Unlock()
+	o.access.Store(nil)
+	o.clearPairRoutes()
+	o.liveSeen.Store(lv)
+}
 
 // BumpEpoch invalidates every parameter-derived cache. The policy
 // controller calls it whenever switch loads change (Install, Uninstall,
@@ -165,12 +215,16 @@ func (o *Oracle) BindLoad(fn LoadFunc) {
 // Distances and paths (structure-derived; never invalidated)
 // ---------------------------------------------------------------------------
 
-// computeDistRow runs a fresh BFS from src.
+// computeDistRow runs a fresh BFS from src, traversing only live nodes
+// (mirroring topology.bfs: a dead source reaches nothing).
 func (o *Oracle) computeDistRow(src topology.NodeID) []int32 {
 	n := o.topo.NumNodes()
 	d := make([]int32, n)
 	for i := range d {
 		d[i] = -1
+	}
+	if !o.topo.Alive(src) {
+		return d
 	}
 	d[src] = 0
 	queue := make([]topology.NodeID, 0, n)
@@ -180,7 +234,7 @@ func (o *Oracle) computeDistRow(src topology.NodeID) []int32 {
 		queue = queue[1:]
 		du := d[u]
 		for _, v := range o.topo.Neighbors(u) {
-			if d[v] == -1 {
+			if d[v] == -1 && o.topo.Alive(v) {
 				d[v] = du + 1
 				queue = append(queue, v)
 			}
@@ -195,6 +249,7 @@ func (o *Oracle) DistRow(src topology.NodeID) []int32 {
 	if !o.cached {
 		return o.computeDistRow(src)
 	}
+	o.ensureLive()
 	if row := o.distRows[src].Load(); row != nil {
 		return *row
 	}
@@ -223,6 +278,7 @@ func (o *Oracle) ShortestPath(src, dst topology.NodeID) []topology.NodeID {
 	}
 	key := pairKey{src, dst}
 	if o.cached {
+		o.ensureLive()
 		o.pairMu.RLock()
 		p, ok := o.paths[key]
 		o.pairMu.RUnlock()
@@ -271,6 +327,7 @@ func (o *Oracle) buildPath(src, dst topology.NodeID) []topology.NodeID {
 func (o *Oracle) PathDAG(src, dst topology.NodeID) *topology.PathDAG {
 	key := pairKey{src, dst}
 	if o.cached {
+		o.ensureLive()
 		o.pairMu.RLock()
 		d, ok := o.dags[key]
 		o.pairMu.RUnlock()
@@ -350,6 +407,7 @@ func (o *Oracle) TypeTemplate(src, dst topology.NodeID) ([]string, error) {
 	}
 	key := pairKey{src, dst}
 	if o.cached {
+		o.ensureLive()
 		o.pairMu.RLock()
 		t, ok := o.templates[key]
 		o.pairMu.RUnlock()
@@ -381,6 +439,7 @@ func (o *Oracle) SwitchesOfType(typ string) []topology.NodeID {
 	if !o.cached {
 		return o.topo.SwitchesOfType(typ)
 	}
+	o.ensureLive()
 	o.typeMu.RLock()
 	s, ok := o.byType[typ]
 	o.typeMu.RUnlock()
@@ -414,6 +473,7 @@ func (o *Oracle) StagesForTemplate(types []string) [][]topology.NodeID {
 		return stages
 	}
 	key := strings.Join(types, "\x1f")
+	o.ensureLive()
 	o.typeMu.RLock()
 	s, ok := o.stages[key]
 	o.typeMu.RUnlock()
@@ -436,17 +496,20 @@ func (o *Oracle) AccessSwitch(server topology.NodeID) topology.NodeID {
 	if !o.cached {
 		return o.topo.AccessSwitch(server)
 	}
-	o.accessOnce.Do(func() {
-		acc := make([]topology.NodeID, o.topo.NumNodes())
-		for i := range acc {
-			acc[i] = o.topo.AccessSwitch(topology.NodeID(i))
+	o.ensureLive()
+	acc := o.access.Load()
+	if acc == nil {
+		a := make([]topology.NodeID, o.topo.NumNodes())
+		for i := range a {
+			a[i] = o.topo.AccessSwitch(topology.NodeID(i))
 		}
-		o.access = acc
-	})
+		o.access.Store(&a)
+		acc = &a
+	}
 	if !o.topo.Valid(server) {
 		return topology.None
 	}
-	return o.access[server]
+	return (*acc)[server]
 }
 
 // ---------------------------------------------------------------------------
@@ -520,6 +583,7 @@ func (o *Oracle) PathBandwidth(src, dst topology.NodeID) (float64, error) {
 	version := o.topo.Version()
 	key := pairKey{src, dst}
 	if o.cached {
+		o.ensureLive()
 		o.pairMu.RLock()
 		e, ok := o.bands[key]
 		o.pairMu.RUnlock()

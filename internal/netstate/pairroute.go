@@ -13,8 +13,11 @@
 //
 //   - Full solves (every candidate switch of every required type was
 //     feasible): the DP input is purely structure-derived (stage lists and
-//     hop distances are immutable after Build), so the entry never
-//     invalidates — it survives every epoch bump.
+//     hop distances are immutable after Build), so the entry survives
+//     every parameter epoch bump. Node LIVENESS changes are the one
+//     structural mutation that can invalidate it: the oracle's ensureLive
+//     hook calls clearPairRoutes whenever the topology's liveness version
+//     moves, so no cached route can ever name a dead switch.
 //   - Filtered solves (capacity excluded at least one switch): the entry
 //     records the exact stage lists it solved over and is reused only when
 //     the caller presents bit-identical lists again. The entry's Epoch tag
@@ -128,6 +131,21 @@ func routeShardOf(src, dst topology.NodeID) int {
 	return int(h % routeShardCount)
 }
 
+// clearPairRoutes drops every memoized pair solve. Called by ensureLive
+// when node liveness changes: stage lists and hop distances both shift, so
+// no entry — full or filtered — remains valid. A no-op before routeInit.
+func (o *Oracle) clearPairRoutes() {
+	for i := range o.routeDense {
+		o.routeDense[i].Store(nil)
+	}
+	for i := range o.routeShards {
+		sh := &o.routeShards[i]
+		sh.mu.Lock()
+		sh.m = make(map[pairKey]*PairRoute)
+		sh.mu.Unlock()
+	}
+}
+
 func (o *Oracle) routeLoad(src, dst topology.NodeID) *PairRoute {
 	if o.routeDense != nil {
 		si, di := o.routeServerIdx[src], o.routeServerIdx[dst]
@@ -199,6 +217,7 @@ func (o *Oracle) BestRoute(src, dst topology.NodeID, q RouteQuery) (list []topol
 	rateBits := math.Float64bits(q.Rate)
 	unitBits := math.Float64bits(q.UnitCost)
 	if o.cached {
+		o.ensureLive()
 		o.routeInit()
 		if e := o.routeLoad(src, dst); e != nil && e.matches(&q, rateBits, unitBits) {
 			o.routeHits.Add(1)

@@ -33,11 +33,20 @@ func (CAM) Schedule(req *Request) error {
 	var reduces []Task
 	for _, t := range unplacedTasks(req) {
 		if t.Kind == workload.ReduceTask {
+			// Degraded mode pre-filters reduces no server can host so the
+			// assignment below stays feasible for the rest.
+			if req.Degraded && len(req.Cluster.Candidates(t.Container)) == 0 {
+				deferUnplaced(req, t.Container)
+				continue
+			}
 			reduces = append(reduces, t)
 			continue
 		}
 		s, err := mostFreeServer(req.Cluster, t.Container)
 		if err != nil {
+			if deferUnplaced(req, t.Container) {
+				continue
+			}
 			return fmt.Errorf("scheduler: cam: %w", err)
 		}
 		if err := req.Cluster.Place(t.Container, s); err != nil {
@@ -92,7 +101,10 @@ func (CAM) Schedule(req *Request) error {
 		}
 		for ri, si := range assign {
 			if si < 0 {
-				return fmt.Errorf("scheduler: cam: reduce container %d unplaceable", reduces[ri].Container)
+				if deferUnplaced(req, reduces[ri].Container) {
+					continue
+				}
+				return fmt.Errorf("scheduler: cam: %w: reduce container %d unassigned", ErrNoFeasibleServer, reduces[ri].Container)
 			}
 			if err := req.Cluster.Place(reduces[ri].Container, servers[si]); err != nil {
 				// CPU said yes but memory refused: fall back to most-free.

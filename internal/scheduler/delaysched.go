@@ -51,6 +51,9 @@ func (d DelayScheduling) Schedule(req *Request) error {
 			// No input block recorded: place like Capacity.
 			s, err := mostFreeServer(req.Cluster, t.Container)
 			if err != nil {
+				if deferUnplaced(req, t.Container) {
+					continue
+				}
 				return fmt.Errorf("scheduler: delaysched: %w", err)
 			}
 			if err := req.Cluster.Place(t.Container, s); err != nil {
@@ -83,6 +86,9 @@ func (d DelayScheduling) Schedule(req *Request) error {
 		if target == topology.None {
 			s, err := mostFreeServer(req.Cluster, t.Container)
 			if err != nil {
+				if deferUnplaced(req, t.Container) {
+					continue
+				}
 				return fmt.Errorf("scheduler: delaysched: %w", err)
 			}
 			target = s
@@ -98,6 +104,9 @@ func (d DelayScheduling) Schedule(req *Request) error {
 		}
 		s, err := mostFreeServer(req.Cluster, t.Container)
 		if err != nil {
+			if deferUnplaced(req, t.Container) {
+				continue
+			}
 			return fmt.Errorf("scheduler: delaysched: %w", err)
 		}
 		if err := req.Cluster.Place(t.Container, s); err != nil {

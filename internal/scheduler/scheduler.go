@@ -10,6 +10,7 @@
 package scheduler
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -54,6 +55,15 @@ type Request struct {
 	BlockOf map[cluster.ContainerID]hdfs.BlockID
 	// Rand drives any stochastic choices. Required.
 	Rand *rand.Rand
+	// Degraded opts into graceful degradation: on infeasibility the
+	// scheduler skips the affected container or flow and records it in
+	// Report instead of failing the entire wave. Off by default — the
+	// fault-free paths keep their historical fail-fast contract (and their
+	// exact RNG draw sequence).
+	Degraded bool
+	// Report receives the degradation outcome when Degraded is set. If nil,
+	// the scheduler allocates one and stores it here.
+	Report *ScheduleReport
 }
 
 // Validate checks the request is well-formed.
@@ -94,12 +104,21 @@ type Scheduler interface {
 }
 
 // InstallShortestPolicies installs the deterministic shortest-path policy
-// for every flow in the request; used by topology-unaware baselines.
+// for every flow in the request; used by topology-unaware baselines. In
+// degraded mode, flows with an unplaced endpoint or no feasible policy are
+// recorded in the report and skipped instead of failing the round.
 func InstallShortestPolicies(req *Request) error {
 	loc := req.Locator()
 	for _, f := range req.Flows {
+		if req.Degraded && (loc.ServerOf(f.Src) == topology.None || loc.ServerOf(f.Dst) == topology.None) {
+			deferUnroutable(req, f.ID)
+			continue
+		}
 		p, err := req.Controller.ShortestPolicy(f, loc)
 		if err != nil {
+			if infeasibleFlow(err) && deferUnroutable(req, f.ID) {
+				continue
+			}
 			return err
 		}
 		if err := req.Controller.Install(f, p); err != nil {
@@ -108,6 +127,9 @@ func InstallShortestPolicies(req *Request) error {
 			// pressure (real fabrics drop to ECMP siblings similarly).
 			opt, optErr := req.Controller.OptimizePolicy(f, loc)
 			if optErr != nil {
+				if infeasibleFlow(optErr) && deferUnroutable(req, f.ID) {
+					continue
+				}
 				return fmt.Errorf("scheduler: flow %d unroutable: %v (shortest: %v)", f.ID, optErr, err)
 			}
 			if err := req.Controller.Install(f, opt); err != nil {
@@ -116,6 +138,12 @@ func InstallShortestPolicies(req *Request) error {
 		}
 	}
 	return nil
+}
+
+// infeasibleFlow reports whether err is a routing infeasibility degraded
+// mode absorbs (as opposed to a programming error worth failing on).
+func infeasibleFlow(err error) bool {
+	return errors.Is(err, controller.ErrNoFeasibleSwitch) || errors.Is(err, controller.ErrNoFeasibleRoute)
 }
 
 // unplacedTasks returns the tasks whose containers still need a server.
@@ -149,6 +177,9 @@ func (Capacity) Schedule(req *Request) error {
 	for _, t := range unplacedTasks(req) {
 		s, err := mostFreeServer(req.Cluster, t.Container)
 		if err != nil {
+			if deferUnplaced(req, t.Container) {
+				continue
+			}
 			return fmt.Errorf("scheduler: capacity: %w", err)
 		}
 		if err := req.Cluster.Place(t.Container, s); err != nil {
@@ -176,7 +207,7 @@ func mostFreeServer(cl *cluster.Cluster, c cluster.ContainerID) (topology.NodeID
 		}
 	}
 	if best == topology.None {
-		return topology.None, fmt.Errorf("no server can host container %d", c)
+		return topology.None, fmt.Errorf("%w: none can host container %d", ErrNoFeasibleServer, c)
 	}
 	return best, nil
 }
@@ -198,7 +229,10 @@ func (Random) Schedule(req *Request) error {
 	for _, t := range unplacedTasks(req) {
 		cands := req.Cluster.Candidates(t.Container)
 		if len(cands) == 0 {
-			return fmt.Errorf("scheduler: random: no server for container %d", t.Container)
+			if deferUnplaced(req, t.Container) {
+				continue
+			}
+			return fmt.Errorf("scheduler: random: %w for container %d", ErrNoFeasibleServer, t.Container)
 		}
 		if err := req.Cluster.Place(t.Container, cands[req.Rand.Intn(len(cands))]); err != nil {
 			return err
@@ -206,8 +240,15 @@ func (Random) Schedule(req *Request) error {
 	}
 	loc := req.Locator()
 	for _, f := range req.Flows {
+		if req.Degraded && (loc.ServerOf(f.Src) == topology.None || loc.ServerOf(f.Dst) == topology.None) {
+			deferUnroutable(req, f.ID)
+			continue
+		}
 		p, err := req.Controller.RandomPolicy(f, loc, req.Rand)
 		if err != nil {
+			if infeasibleFlow(err) && deferUnroutable(req, f.ID) {
+				continue
+			}
 			return err
 		}
 		if err := req.Controller.Install(f, p); err != nil {
@@ -267,6 +308,9 @@ func (p PNA) Schedule(req *Request) error {
 		}
 		s, err := mostFreeServer(req.Cluster, t.Container)
 		if err != nil {
+			if deferUnplaced(req, t.Container) {
+				continue
+			}
 			return fmt.Errorf("scheduler: pna: %w", err)
 		}
 		if err := req.Cluster.Place(t.Container, s); err != nil {
@@ -287,7 +331,10 @@ func (p PNA) Schedule(req *Request) error {
 	for _, t := range reduces {
 		cands := req.Cluster.Candidates(t.Container)
 		if len(cands) == 0 {
-			return fmt.Errorf("scheduler: pna: no server for container %d", t.Container)
+			if deferUnplaced(req, t.Container) {
+				continue
+			}
+			return fmt.Errorf("scheduler: pna: %w for container %d", ErrNoFeasibleServer, t.Container)
 		}
 		inBytes := reduceInputBytes(t.Container, req.Flows)
 		costs := make([]float64, len(cands))

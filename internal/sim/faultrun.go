@@ -1,0 +1,717 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/faults"
+	"repro/internal/flow"
+	"repro/internal/netsim"
+	"repro/internal/scheduler"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// RunReport accounts for everything the fault path did to keep the run
+// alive: how the fabric was perturbed and how the engine reacted. A job is
+// either completed (its JobStats carries times) or listed in FailedJobs;
+// a shuffle flow either transferred or appears in DroppedFlows — nothing
+// vanishes silently.
+type RunReport struct {
+	// Events is the number of fabric events applied (faults + recoveries).
+	Events int
+	// Evictions counts containers evicted by server crashes.
+	Evictions int
+	// TaskFailures counts failed map attempts; Retries the re-executions
+	// queued for them, with RetryDelaySum the total backoff they waited.
+	TaskFailures  int
+	Retries       int
+	RetryDelaySum float64
+	// FailedTasks counts maps that exhausted their retry budget; their jobs
+	// are listed in FailedJobs (ascending, also flagged on JobStats).
+	FailedTasks int
+	FailedJobs  []int
+	// SpeculativeLaunched / SpeculativeWins count straggler backups started
+	// and backups that finished before the original.
+	SpeculativeLaunched int
+	SpeculativeWins     int
+	// ReroutedFlows counts policies re-solved off dead or over-capacity
+	// switches; DroppedFlows lists flows shed with no feasible alternative
+	// (plus flows reported unroutable at schedule time).
+	ReroutedFlows int
+	DroppedFlows  []flow.ID
+	// DeferredPlacements counts container placements pushed to a later wave
+	// because no feasible server existed at the time.
+	DeferredPlacements int
+	// RecoveryLatencySum sums, over reacted fault events, the delay between
+	// the fault firing and the wave boundary at which the engine reacted;
+	// ReactedFaults is the count (mean latency = sum / count).
+	RecoveryLatencySum float64
+	ReactedFaults      int
+}
+
+// faultJob tracks one job through the fault-aware wave loop.
+type faultJob struct {
+	job       *workload.Job
+	arrival   float64
+	reduceCts []cluster.ContainerID
+	mapCts    []cluster.ContainerID
+	mapWaveOf []int
+	attempts  []int     // attempts consumed per map
+	readyAt   []float64 // earliest re-schedulable time per map (backoff)
+	done      []bool
+	mapTimes  []float64
+	flows     []*flowRecord
+	prevWave  []cluster.ContainerID
+	failed    bool
+	remoteGB  float64
+	numWaves  int
+}
+
+func (st *faultJob) mapsDone() bool {
+	for _, d := range st.done {
+		if !d {
+			return false
+		}
+	}
+	return true
+}
+
+// runFaulty executes the workload against a fault plan. Unlike the legacy
+// path, time is wave-synchronous on a single global clock: wave w spans
+// [T_w, T_w + max attempt duration); fabric events fire at the boundary of
+// the wave containing their timestamp (wave-quantized), after which the
+// reactor restores the no-dead-switch / no-overload invariants before the
+// wave's shuffle routes are snapshot. Jobs gate on their arrival time.
+func (e *Engine) runFaulty(res *Result, jobs []*workload.Job, arrivals []float64) (*Result, error) {
+	if e.opts.NameNode != nil {
+		return nil, fmt.Errorf("sim: fault injection does not support HDFS block placement")
+	}
+	if e.opts.StragglerProb > 0 {
+		return nil, fmt.Errorf("sim: set stragglers via Faults.Tasks in fault mode, not Options.StragglerProb")
+	}
+	plan := e.opts.Faults
+	model := plan.Tasks
+	if model.RetryBudget <= 0 {
+		model.RetryBudget = 3 // the TaskModel default, needed raw below
+	}
+	rep := &RunReport{}
+	res.Report = rep
+	inj := faults.NewInjector(e.topo, e.cl)
+	events := append([]faults.Event(nil), plan.Events...)
+	faults.SortEvents(events)
+	nextEv := 0
+	loc := flow.ClusterLocator(e.cl)
+	demand := e.opts.ContainerDemand
+	nextFlowID := flow.ID(0)
+
+	states := make([]*faultJob, len(jobs))
+	for i, job := range jobs {
+		st := &faultJob{
+			job:       job,
+			arrival:   arrivals[i],
+			mapCts:    make([]cluster.ContainerID, job.NumMaps),
+			mapWaveOf: make([]int, job.NumMaps),
+			attempts:  make([]int, job.NumMaps),
+			readyAt:   make([]float64, job.NumMaps),
+			done:      make([]bool, job.NumMaps),
+			mapTimes:  make([]float64, job.NumMaps),
+		}
+		for m := range st.mapCts {
+			st.mapCts[m] = cluster.NoContainer
+		}
+		for r := 0; r < job.NumReduces; r++ {
+			ct, err := e.cl.NewContainer(demand)
+			if err != nil {
+				return nil, err
+			}
+			st.reduceCts = append(st.reduceCts, ct.ID)
+		}
+		states[i] = st
+	}
+
+	// unplacedReduces lists a job's reduce containers needing (re)placement —
+	// initially all of them, later any evicted by a server crash.
+	unplacedReduces := func(st *faultJob) []cluster.ContainerID {
+		var out []cluster.ContainerID
+		for _, c := range st.reduceCts {
+			if e.cl.Container(c).Server() == topology.None {
+				out = append(out, c)
+			}
+		}
+		return out
+	}
+
+	// applyEventsUntil applies every fabric event with Time <= until, then —
+	// if anything fired — runs the reactor over the wave's installed flows
+	// and enforces the liveness/capacity invariants. It returns the flows
+	// the reactor shed and the containers server crashes evicted.
+	applyEventsUntil := func(until float64, eps []faults.FlowEndpoints) (map[flow.ID]bool, map[cluster.ContainerID]bool, error) {
+		fired := false
+		evictedNow := make(map[cluster.ContainerID]bool)
+		for nextEv < len(events) && events[nextEv].Time <= until {
+			ev := events[nextEv]
+			nextEv++
+			evicted, err := inj.Apply(ev)
+			if err != nil {
+				return nil, nil, err
+			}
+			rep.Events++
+			rep.Evictions += len(evicted)
+			for _, c := range evicted {
+				evictedNow[c] = true
+			}
+			// Faults drained after the last wave (until = +Inf) hit an idle
+			// fabric — nothing reacts, so they don't enter the latency mean.
+			if !math.IsInf(until, 1) {
+				switch ev.Kind {
+				case faults.SwitchCrash, faults.SwitchDegrade, faults.LinkDegrade, faults.ServerCrash:
+					rep.RecoveryLatencySum += until - ev.Time
+					rep.ReactedFaults++
+				}
+			}
+			fired = true
+		}
+		if !fired {
+			return nil, nil, nil
+		}
+		react, err := faults.React(e.ctl, eps)
+		if err != nil {
+			return nil, nil, err
+		}
+		rep.ReroutedFlows += react.Rerouted
+		dropped := make(map[flow.ID]bool, len(react.Dropped))
+		for _, id := range react.Dropped {
+			dropped[id] = true
+			rep.DroppedFlows = append(rep.DroppedFlows, id)
+		}
+		if over := e.ctl.OverloadedSwitches(); len(over) != 0 {
+			return nil, nil, fmt.Errorf("sim: switches %v over capacity after reaction", over)
+		}
+		ids := make([]flow.ID, 0, e.ctl.NumPolicies())
+		for id := range e.ctl.Policies() {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			for _, w := range e.ctl.Policy(id).List {
+				if !e.topo.Alive(w) {
+					return nil, nil, fmt.Errorf("sim: flow %d policy traverses dead switch %d after reaction", id, w)
+				}
+			}
+		}
+		return dropped, evictedNow, nil
+	}
+
+	simNow := 0.0
+	var waveEnds []float64
+	for iter := 0; ; iter++ {
+		if iter > 10000 {
+			return nil, fmt.Errorf("sim: fault wave loop did not terminate")
+		}
+		// Release the previous wave's map containers (Unplace is a no-op for
+		// containers a server crash already evicted).
+		for _, st := range states {
+			for _, c := range st.prevWave {
+				if err := e.cl.Unplace(c); err != nil {
+					return nil, err
+				}
+			}
+			st.prevWave = nil
+		}
+
+		// Pending and eligible work.
+		remaining := 0
+		reducesPending := 0
+		anyEligible := false
+		for _, st := range states {
+			if st.failed || (st.mapsDone() && len(unplacedReduces(st)) == 0) {
+				continue
+			}
+			remaining++
+			if st.arrival > simNow {
+				continue
+			}
+			ur := len(unplacedReduces(st))
+			reducesPending += ur
+			if ur > 0 {
+				anyEligible = true
+				continue
+			}
+			for m := range st.done {
+				if !st.done[m] && st.attempts[m] < model.RetryBudget && st.readyAt[m] <= simNow {
+					anyEligible = true
+					break
+				}
+			}
+		}
+		if remaining == 0 {
+			break
+		}
+		if !anyEligible {
+			// Nothing can run now: advance to the next wakeup — an event, a
+			// retry backoff expiring, or a job arrival.
+			next := math.Inf(1)
+			if nextEv < len(events) {
+				next = events[nextEv].Time
+			}
+			for _, st := range states {
+				if st.failed {
+					continue
+				}
+				if st.arrival > simNow && st.arrival < next {
+					next = st.arrival
+				}
+				for m := range st.done {
+					if !st.done[m] && st.attempts[m] < model.RetryBudget &&
+						st.readyAt[m] > simNow && st.readyAt[m] < next {
+						next = st.readyAt[m]
+					}
+				}
+			}
+			if math.IsInf(next, 1) {
+				// Stuck for good: no event or backoff can unblock the rest.
+				for _, st := range states {
+					if !st.failed && (!st.mapsDone() || len(unplacedReduces(st)) > 0) {
+						st.failed = true
+					}
+				}
+				break
+			}
+			simNow = next
+			if _, _, err := applyEventsUntil(simNow, nil); err != nil {
+				return nil, err
+			}
+			continue
+		}
+
+		quota := (e.cl.TotalFreeSlots(demand) - reducesPending) / remaining
+		if quota < 1 {
+			quota = 1
+		}
+		wave := len(waveEnds)
+
+		type waveFlow struct {
+			st     *faultJob
+			fl     *flow.Flow
+			record bool // successful attempt: snapshot + transfer
+		}
+		var waveFlows []waveFlow
+		var waveEps []faults.FlowEndpoints
+		waveDur := 0.0
+		ranAny := false
+		progressed := false // any placement landed (maps or reduces)
+
+		for _, st := range states {
+			if st.failed || st.arrival > simNow {
+				continue
+			}
+			needReduces := unplacedReduces(st)
+			var batch []int
+			for m := range st.done {
+				if len(batch) >= quota {
+					break
+				}
+				if !st.done[m] && st.attempts[m] < model.RetryBudget && st.readyAt[m] <= simNow {
+					batch = append(batch, m)
+				}
+			}
+			// Maps need their reduces placed first (flows want endpoints);
+			// a reduce-only request still makes placement progress.
+			if len(needReduces) > 0 {
+				batch = nil
+			}
+			if len(needReduces) == 0 && len(batch) == 0 {
+				continue
+			}
+
+			req := &scheduler.Request{
+				Cluster:    e.cl,
+				Controller: e.ctl,
+				Fixed:      make(map[cluster.ContainerID]bool),
+				Rand:       e.rng,
+				Degraded:   true,
+				Report:     &scheduler.ScheduleReport{},
+			}
+			for r, c := range st.reduceCts {
+				if e.cl.Container(c).Server() == topology.None {
+					req.Tasks = append(req.Tasks, scheduler.Task{
+						Job: st.job, Kind: workload.ReduceTask, Index: r, Container: c,
+					})
+				} else {
+					req.Fixed[c] = true
+				}
+			}
+			for _, m := range batch {
+				if st.mapCts[m] == cluster.NoContainer {
+					ct, err := e.cl.NewContainer(demand)
+					if err != nil {
+						return nil, err
+					}
+					st.mapCts[m] = ct.ID
+				}
+				req.Tasks = append(req.Tasks, scheduler.Task{
+					Job: st.job, Kind: workload.MapTask, Index: m, Container: st.mapCts[m],
+				})
+			}
+			for _, m := range batch {
+				for r := 0; r < st.job.NumReduces; r++ {
+					size := st.job.Shuffle[m][r]
+					if size <= 0 {
+						continue
+					}
+					fl := &flow.Flow{
+						ID: nextFlowID, JobID: st.job.ID, MapIndex: m, ReduceIndex: r,
+						Src: st.mapCts[m], Dst: st.reduceCts[r],
+						SizeGB: size, Rate: size,
+					}
+					nextFlowID++
+					req.Flows = append(req.Flows, fl)
+				}
+			}
+
+			if err := e.sched.Schedule(req); err != nil {
+				return nil, fmt.Errorf("sim: %s scheduling job %d wave %d: %w", e.sched.Name(), st.job.ID, wave, err)
+			}
+
+			unplaced := make(map[cluster.ContainerID]bool, len(req.Report.UnplacedContainers))
+			for _, c := range req.Report.UnplacedContainers {
+				unplaced[c] = true
+				rep.DeferredPlacements++
+			}
+			if len(req.Tasks) > len(req.Report.UnplacedContainers) {
+				progressed = true
+			}
+			unroutable := make(map[flow.ID]bool, len(req.Report.UnroutableFlows))
+			for _, id := range req.Report.UnroutableFlows {
+				unroutable[id] = true
+				rep.DroppedFlows = append(rep.DroppedFlows, id)
+			}
+
+			statFetch := 0.0
+			if st.job.NumMaps > 0 {
+				statFetch = st.job.RemoteMapGB / float64(st.job.NumMaps) / e.opts.MapFetchBandwidth
+			}
+			succeeded := make(map[int]bool, len(batch))
+			var placedCts []cluster.ContainerID
+			for _, m := range batch {
+				if unplaced[st.mapCts[m]] {
+					continue // deferred, not an attempt; eligible again next wave
+				}
+				placedCts = append(placedCts, st.mapCts[m])
+				ranAny = true
+				attempt := st.attempts[m]
+				st.attempts[m]++
+				d := st.job.MapComputeSec[m] + statFetch
+				dur, _, launched, won := model.AttemptDuration(d, st.job.ID, m, attempt)
+				if launched {
+					rep.SpeculativeLaunched++
+				}
+				if won {
+					rep.SpeculativeWins++
+				}
+				if dur > waveDur {
+					waveDur = dur
+				}
+				if model.AttemptFails(st.job.ID, m, attempt) {
+					rep.TaskFailures++
+					if st.attempts[m] >= model.RetryBudget {
+						rep.FailedTasks++
+						st.failed = true
+					} else {
+						delay := model.RetryDelay(st.attempts[m])
+						rep.Retries++
+						rep.RetryDelaySum += delay
+						st.readyAt[m] = simNow + dur + delay
+					}
+					continue
+				}
+				succeeded[m] = true
+				st.done[m] = true
+				st.mapTimes[m] = dur
+				st.mapWaveOf[m] = wave
+				st.remoteGB += st.job.RemoteMapGB / float64(st.job.NumMaps)
+			}
+			if len(succeeded) > 0 && wave+1 > st.numWaves {
+				st.numWaves = wave + 1
+			}
+
+			for _, fl := range req.Flows {
+				if unroutable[fl.ID] {
+					continue // reported dropped; no policy installed
+				}
+				if e.ctl.Policy(fl.ID) == nil {
+					return nil, fmt.Errorf("sim: flow %d has no policy after %s", fl.ID, e.sched.Name())
+				}
+				if !succeeded[fl.MapIndex] || unplaced[fl.Src] || unplaced[fl.Dst] {
+					// Failed or deferred attempt: its shuffle never happens.
+					e.ctl.Uninstall(fl.ID)
+					continue
+				}
+				waveFlows = append(waveFlows, waveFlow{st: st, fl: fl, record: true})
+				waveEps = append(waveEps, faults.FlowEndpoints{
+					Flow: fl, Src: loc.ServerOf(fl.Src), Dst: loc.ServerOf(fl.Dst),
+				})
+			}
+			st.prevWave = placedCts
+		}
+
+		if !ranAny {
+			if progressed {
+				// Reduces landed but no map ran (maps gate on reduces being
+				// placed): loop again at the same instant to schedule them.
+				continue
+			}
+			// Placements deferred across the board (e.g. capacity lost to a
+			// crash): progress needs an event, a backoff expiry, or an
+			// arrival. Advance like the idle branch; if time cannot move,
+			// fail what is stuck rather than spin.
+			next := math.Inf(1)
+			if nextEv < len(events) {
+				next = events[nextEv].Time
+			}
+			for _, st := range states {
+				if st.failed {
+					continue
+				}
+				if st.arrival > simNow && st.arrival < next {
+					next = st.arrival
+				}
+				for m := range st.done {
+					if !st.done[m] && st.attempts[m] < model.RetryBudget &&
+						st.readyAt[m] > simNow && st.readyAt[m] < next {
+						next = st.readyAt[m]
+					}
+				}
+			}
+			if math.IsInf(next, 1) {
+				for _, st := range states {
+					if !st.failed && (!st.mapsDone() || len(unplacedReduces(st)) > 0) {
+						st.failed = true
+					}
+				}
+				break
+			}
+			if next > simNow {
+				simNow = next
+			}
+			if _, _, err := applyEventsUntil(simNow, nil); err != nil {
+				return nil, err
+			}
+			continue
+		}
+
+		// The wave runs over [simNow, waveEnd]. Fabric events inside that
+		// window fire now (wave-quantized), and the reactor repairs the
+		// wave's installed shuffle policies before routes are snapshot.
+		waveEnd := simNow + waveDur
+		droppedNow, evictedNow, err := applyEventsUntil(waveEnd, waveEps)
+		if err != nil {
+			return nil, err
+		}
+
+		// A server crash inside the wave loses the map attempts running on
+		// it: undo their completion and re-queue them (evictions do not
+		// consume the retry budget — the task did nothing wrong).
+		if len(evictedNow) > 0 {
+			for _, st := range states {
+				for m := range st.done {
+					if st.done[m] && st.mapWaveOf[m] == wave && evictedNow[st.mapCts[m]] {
+						st.done[m] = false
+						st.attempts[m]--
+						st.mapTimes[m] = 0
+						st.mapWaveOf[m] = 0
+						st.readyAt[m] = waveEnd
+						st.remoteGB -= st.job.RemoteMapGB / float64(st.job.NumMaps)
+					}
+				}
+			}
+		}
+
+		cm := e.ctl.CostModel()
+		for _, wf := range waveFlows {
+			if droppedNow[wf.fl.ID] {
+				continue // shed by the reactor; accounted in DroppedFlows
+			}
+			if !wf.st.done[wf.fl.MapIndex] {
+				// The producing map was lost to an eviction: its re-run will
+				// emit fresh flows.
+				e.ctl.Uninstall(wf.fl.ID)
+				continue
+			}
+			if evictedNow[wf.fl.Dst] {
+				// The consuming reduce was lost mid-shuffle; it will be
+				// re-placed, and this wave's transfer to it is shed.
+				e.ctl.Uninstall(wf.fl.ID)
+				rep.DroppedFlows = append(rep.DroppedFlows, wf.fl.ID)
+				continue
+			}
+			pol := e.ctl.Policy(wf.fl.ID)
+			if pol == nil {
+				return nil, fmt.Errorf("sim: flow %d lost its policy mid-wave", wf.fl.ID)
+			}
+			route, err := cm.RouteNodes(wf.fl, pol, loc)
+			if err != nil {
+				return nil, err
+			}
+			hops, err := cm.RouteHops(wf.fl, pol, loc)
+			if err != nil {
+				return nil, err
+			}
+			cost, err := cm.FlowCost(wf.fl, pol, loc)
+			if err != nil {
+				return nil, err
+			}
+			walk, err := e.net.ExpandRoute(route)
+			if err != nil {
+				return nil, err
+			}
+			latT := e.ctl.Oracle().PathLatency(walk)
+			wf.st.flows = append(wf.st.flows, &flowRecord{
+				flow: wf.fl, job: wf.st.job,
+				route: route, hops: hops, cost: cost,
+				delay: wf.fl.SizeGB * latT, latT: latT,
+				startHint: waveEnd,
+			})
+		}
+		for _, wf := range waveFlows {
+			e.ctl.Uninstall(wf.fl.ID)
+		}
+		waveEnds = append(waveEnds, waveEnd)
+		simNow = waveEnd
+	}
+
+	// Drain the timeline (recoveries past the last wave) and verify the
+	// fabric comes back clean, then restore any still-degraded nominals so
+	// the engine stays reusable.
+	if _, _, err := applyEventsUntil(math.Inf(1), nil); err != nil {
+		return nil, err
+	}
+	if over := e.ctl.OverloadedSwitches(); len(over) != 0 {
+		return nil, fmt.Errorf("sim: switches %v over capacity after recovery", over)
+	}
+	if err := inj.RestoreAll(); err != nil {
+		return nil, err
+	}
+
+	// Stats + shuffle, mirroring the legacy path's aggregation.
+	var transfers []*netsim.Transfer
+	for _, st := range states {
+		js := &JobStats{
+			JobID:       st.job.ID,
+			Benchmark:   st.job.Benchmark,
+			Class:       st.job.Class,
+			Arrival:     st.arrival,
+			MapWaves:    st.numWaves,
+			RemoteMapGB: st.remoteGB,
+			Failed:      st.failed,
+		}
+		res.Jobs = append(res.Jobs, js)
+		if st.failed {
+			rep.FailedJobs = append(rep.FailedJobs, st.job.ID)
+			continue
+		}
+		js.MapTimes = append([]float64(nil), st.mapTimes...)
+		for _, fr := range st.flows {
+			transfers = append(transfers, &netsim.Transfer{
+				ID:    fr.flow.ID,
+				Route: fr.route,
+				Bytes: fr.flow.SizeGB,
+				Start: fr.startHint,
+			})
+		}
+	}
+	sort.Ints(rep.FailedJobs)
+	net, err := e.net.Simulate(transfers)
+	if err != nil {
+		return nil, err
+	}
+
+	var hopSum, delaySum, xferSum float64
+	var flowCount int
+	var totalBytes float64
+	for ji, st := range states {
+		if st.failed {
+			continue
+		}
+		js := res.Jobs[ji]
+		firstEnd, lastEnd := math.Inf(1), st.arrival
+		for m := range st.done {
+			end := waveEnds[st.mapWaveOf[m]]
+			if end > lastEnd {
+				lastEnd = end
+			}
+			if end < firstEnd {
+				firstEnd = end
+			}
+		}
+		if math.IsInf(firstEnd, 1) {
+			firstEnd = st.arrival
+		}
+		reduceReady := make([]float64, st.job.NumReduces)
+		for r := range reduceReady {
+			reduceReady[r] = lastEnd
+		}
+		for _, fr := range st.flows {
+			fs := net.Flows[fr.flow.ID]
+			if fs == nil {
+				return nil, fmt.Errorf("sim: flow %d missing from network result", fr.flow.ID)
+			}
+			if fs.Finish > reduceReady[fr.flow.ReduceIndex] {
+				reduceReady[fr.flow.ReduceIndex] = fs.Finish
+			}
+			js.ShuffleBytes += fr.flow.SizeGB
+			js.TrafficCost += fr.cost
+			js.DelayCost += fr.delay
+			hopSum += float64(fr.hops)
+			delaySum += fr.latT
+			xferSum += fs.TransferTime
+			flowCount++
+			totalBytes += fr.flow.SizeGB
+		}
+		js.ReduceTimes = make([]float64, st.job.NumReduces)
+		jct := lastEnd
+		for r := 0; r < st.job.NumReduces; r++ {
+			finish := reduceReady[r] + st.job.ReduceComputeSec[r]
+			js.ReduceTimes[r] = finish - firstEnd
+			if finish > jct {
+				jct = finish
+			}
+		}
+		js.Completion = jct - st.arrival
+		res.JCT.Add(jct)
+		res.MapTime.AddAll(js.MapTimes)
+		res.ReduceTime.AddAll(js.ReduceTimes)
+		res.TotalTrafficCost += js.TrafficCost
+		res.TotalDelayCost += js.DelayCost
+	}
+	if flowCount > 0 {
+		res.AvgRouteHops = hopSum / float64(flowCount)
+		res.AvgShuffleDelayT = delaySum / float64(flowCount)
+		res.AvgFlowTransferTime = xferSum / float64(flowCount)
+	}
+	res.NumFlows = flowCount
+	res.ShuffleMakespan = net.Makespan
+	if net.Makespan > 0 {
+		res.ShuffleThroughput = totalBytes / net.Makespan
+	}
+
+	for _, st := range states {
+		for _, c := range st.reduceCts {
+			if err := e.cl.Unplace(c); err != nil {
+				return nil, err
+			}
+		}
+		for _, c := range st.mapCts {
+			if c == cluster.NoContainer {
+				continue
+			}
+			if err := e.cl.Unplace(c); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return res, nil
+}

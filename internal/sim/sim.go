@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/controller"
+	"repro/internal/faults"
 	"repro/internal/flow"
 	"repro/internal/hdfs"
 	"repro/internal/metrics"
@@ -60,6 +61,12 @@ type Options struct {
 	Speculation bool
 	// Seed drives every stochastic choice (generator-independent).
 	Seed int64
+	// Faults, when non-nil and non-empty, switches the run onto the
+	// fault-injection path (see faultrun.go): fabric events fire at wave
+	// boundaries, task attempts may fail or straggle per Faults.Tasks, and
+	// the Result carries a RunReport. An empty plan leaves the legacy
+	// fault-free path — and its exact RNG draw sequence — untouched.
+	Faults *faults.Plan
 }
 
 func (o Options) withDefaults() Options {
@@ -156,6 +163,10 @@ type JobStats struct {
 	RemoteMapGB float64
 	// MapWaves is how many scheduling waves the maps needed.
 	MapWaves int
+	// Failed marks a job aborted by the fault path (a task exhausted its
+	// retry budget or the job could never be fully placed); its timing
+	// fields are zero and it is excluded from the aggregate samples.
+	Failed bool
 }
 
 // Result aggregates a Run.
@@ -183,6 +194,8 @@ type Result struct {
 	ShuffleThroughput float64
 	// NumFlows counts network-crossing shuffle flows.
 	NumFlows int
+	// Report accounts for fault-path activity; nil on the fault-free path.
+	Report *RunReport
 }
 
 // Run executes the workload (all jobs submitted at t=0) and returns
@@ -219,6 +232,9 @@ func (e *Engine) RunWithArrivals(jobs []*workload.Job, arrivals []float64) (*Res
 		if err := j.Validate(); err != nil {
 			return nil, err
 		}
+	}
+	if !e.opts.Faults.Empty() {
+		return e.runFaulty(res, jobs, arrivals)
 	}
 
 	type jobState struct {

@@ -118,6 +118,16 @@ type Topology struct {
 	// caches invalidate; the graph structure itself never changes, so
 	// distance/path caches stay valid across versions.
 	version uint64
+	// alive is the liveness mask for failure injection: alive[i] == false
+	// means node i has crashed and must not appear on any path. nil means
+	// every node is alive (the common case; no per-hop overhead). Dead
+	// nodes change the EFFECTIVE structure — BFS, shortest paths, DAGs and
+	// type inventories all route around them — so liveness mutations get
+	// their own version counter, folded into netstate's Epoch, and clear
+	// the local BFS cache.
+	alive       []bool
+	liveVersion uint64
+	numDead     int
 }
 
 type linkKey struct{ a, b NodeID }
@@ -205,6 +215,55 @@ func (t *Topology) SetLinkBandwidth(a, b NodeID, bandwidth float64) error {
 	return nil
 }
 
+// Alive reports whether node id is live. Nodes are alive unless crashed via
+// SetNodeAlive; out-of-range IDs report false.
+func (t *Topology) Alive(id NodeID) bool {
+	if !t.Valid(id) {
+		return false
+	}
+	return t.alive == nil || t.alive[id]
+}
+
+// AllAlive reports whether no node is currently crashed.
+func (t *Topology) AllAlive() bool { return t.numDead == 0 }
+
+// LivenessVersion counts liveness mutations (SetNodeAlive flips). Unlike
+// Version it signals EFFECTIVE STRUCTURE change: a dead node disappears
+// from paths, DAGs and type inventories, so structure-derived caches
+// (netstate distance rows, shortest paths, templates, pair routes) must be
+// rebuilt when it moves.
+func (t *Topology) LivenessVersion() uint64 { return t.liveVersion }
+
+// SetNodeAlive crashes (alive=false) or recovers (alive=true) a node in
+// place — the fault-injection entry point for switch and server crashes.
+// A no-op flip (already in the requested state) does not bump the liveness
+// version. Crashing nodes can disconnect the graph; queries then report
+// the affected pairs as unreachable rather than failing.
+func (t *Topology) SetNodeAlive(id NodeID, alive bool) error {
+	if !t.Valid(id) {
+		return fmt.Errorf("topology: unknown node %d", id)
+	}
+	if t.Alive(id) == alive {
+		return nil
+	}
+	if t.alive == nil {
+		t.alive = make([]bool, len(t.nodes))
+		for i := range t.alive {
+			t.alive[i] = true
+		}
+	}
+	t.alive[id] = alive
+	if alive {
+		t.numDead--
+	} else {
+		t.numDead++
+	}
+	t.liveVersion++
+	// The BFS cache below encodes paths through the old liveness mask.
+	t.dist = make(map[NodeID][]int)
+	return nil
+}
+
 // LinkIndex returns the dense index of the link between a and b in Links(),
 // if one exists. Dense link indices let flow-level simulators key per-link
 // state in slices instead of maps.
@@ -228,11 +287,13 @@ func (t *Topology) Adjacent(a, b NodeID) bool {
 	return ok
 }
 
-// SwitchesOfType returns all switches whose Type equals typ, ascending.
+// SwitchesOfType returns all live switches whose Type equals typ,
+// ascending. Crashed switches are excluded: they cannot serve any policy
+// stage.
 func (t *Topology) SwitchesOfType(typ string) []NodeID {
 	var out []NodeID
 	for _, id := range t.switches {
-		if t.nodes[id].Type == typ {
+		if t.nodes[id].Type == typ && t.Alive(id) {
 			out = append(out, id)
 		}
 	}
@@ -249,6 +310,9 @@ func (t *Topology) AccessSwitch(server NodeID) NodeID {
 	best := None
 	bestTier := math.MaxInt
 	for _, nb := range t.adj[server] {
+		if !t.Alive(nb) {
+			continue
+		}
 		if n := t.nodes[nb]; n.IsSwitch() && n.Tier < bestTier {
 			best, bestTier = nb, n.Tier
 		}
@@ -263,7 +327,10 @@ func (t *Topology) Dist(a, b NodeID) int {
 	return d[b]
 }
 
-// bfs returns (and caches) BFS distances from src; unreachable nodes get -1.
+// bfs returns (and caches) BFS distances from src; unreachable nodes get
+// -1. Dead nodes are never traversed: a dead source reaches nothing, and
+// paths route around dead intermediates (SetNodeAlive clears this cache on
+// every liveness flip).
 func (t *Topology) bfs(src NodeID) []int {
 	if d, ok := t.dist[src]; ok {
 		return d
@@ -272,13 +339,17 @@ func (t *Topology) bfs(src NodeID) []int {
 	for i := range d {
 		d[i] = -1
 	}
+	if !t.Alive(src) {
+		t.dist[src] = d
+		return d
+	}
 	d[src] = 0
 	queue := []NodeID{src}
 	for len(queue) > 0 {
 		u := queue[0]
 		queue = queue[1:]
 		for _, v := range t.adj[u] {
-			if d[v] == -1 {
+			if d[v] == -1 && t.Alive(v) {
 				d[v] = d[u] + 1
 				queue = append(queue, v)
 			}
