@@ -17,11 +17,12 @@ build:
 vet:
 	$(GO) vet ./...
 
-# lint runs the five taalint checks (maporder, floateq, rngsource,
-# wallclock, oraclebypass) over every non-test package and fails on any
-# unsuppressed finding.
+# lint runs the nine taalint checks (maporder, floateq, rngsource,
+# wallclock, oraclebypass, epochbump, atomicguard, errcompare, mergeorder)
+# over every non-test package, fails on any unsuppressed finding, and with
+# -prune also fails on stale //taalint: suppressions.
 lint:
-	$(GO) run ./cmd/taalint
+	$(GO) run ./cmd/taalint -prune
 
 test:
 	$(GO) test ./...

@@ -4,17 +4,22 @@
 //
 // Usage:
 //
-//	taalint [-checks maporder,floateq,...] [-suppressed] [-list] [dir]
+//	taalint [-checks maporder,epochbump,...] [-suppressed] [-prune] [-list] [dir]
 //
 // With no directory argument the module containing the current working
-// directory is scanned. `make lint` is the canonical invocation; the
-// selfscan test in internal/analysis keeps the gate even when make isn't
-// run.
+// directory is scanned. -prune additionally fails on stale //taalint:
+// suppressions that no longer cover any finding. `make lint` is the
+// canonical invocation; the selfscan test in internal/analysis keeps the
+// gate even when make isn't run.
+//
+// Exit codes: 0 clean, 1 findings (or stale suppressions under -prune),
+// 2 usage or load error (including a nonexistent directory argument).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -22,42 +27,65 @@ import (
 )
 
 func main() {
-	checksFlag := flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
-	showSuppressed := flag.Bool("suppressed", false, "also print suppressed findings (marked, never fatal)")
-	list := flag.Bool("list", false, "list available checks and exit")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its environment abstracted so tests can drive it: args
+// are the command-line arguments (without the program name) and the
+// returned int is the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("taalint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	checksFlag := fs.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	showSuppressed := fs.Bool("suppressed", false, "also print suppressed findings (marked, never fatal)")
+	prune := fs.Bool("prune", false, "fail on stale //taalint: suppressions that cover no finding")
+	list := fs.Bool("list", false, "list available checks and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, c := range analysis.All() {
-			fmt.Printf("%-12s %s\n", c.Name(), c.Doc())
+			fmt.Fprintf(stdout, "%-12s %s\n", c.Name(), c.Doc())
 		}
-		return
+		return 0
 	}
 
 	checks, err := analysis.ByName(*checksFlag)
 	if err != nil {
-		fatal(err)
+		return fatal(stderr, err)
 	}
 
 	start := "."
-	if flag.NArg() > 0 {
-		start = flag.Arg(0)
+	if fs.NArg() > 0 {
+		start = fs.Arg(0)
+		// An explicit argument must name an existing directory. Without
+		// this check ModuleRoot would walk UP from the nonexistent path,
+		// find some enclosing module, scan it successfully and exit 0 —
+		// turning a typo'd package pattern into a false green in CI.
+		st, err := os.Stat(start)
+		if err != nil {
+			return fatal(stderr, fmt.Errorf("no such directory: %s", start))
+		}
+		if !st.IsDir() {
+			return fatal(stderr, fmt.Errorf("not a directory: %s", start))
+		}
 	}
 	root, _, err := analysis.ModuleRoot(start)
 	if err != nil {
-		fatal(err)
+		return fatal(stderr, err)
 	}
 	// The source importer resolves module imports relative to the process
 	// working directory; anchor it at the module root so taalint works
 	// when invoked from anywhere.
 	if err := os.Chdir(root); err != nil {
-		fatal(err)
+		return fatal(stderr, err)
 	}
 
 	loader := analysis.NewLoader()
 	pkgs, err := loader.LoadModule(root)
 	if err != nil {
-		fatal(err)
+		return fatal(stderr, err)
 	}
 
 	findings := analysis.Run(pkgs, checks)
@@ -65,17 +93,30 @@ func main() {
 	for _, f := range findings {
 		if f.Suppressed {
 			if *showSuppressed {
-				fmt.Printf("%s (suppressed)\n", rel(root, f))
+				fmt.Fprintf(stdout, "%s (suppressed)\n", rel(root, f))
 			}
 			continue
 		}
 		bad++
-		fmt.Println(rel(root, f))
+		fmt.Fprintln(stdout, rel(root, f))
 	}
-	if bad > 0 {
-		fmt.Fprintf(os.Stderr, "taalint: %d finding(s) in %d package(s)\n", bad, len(pkgs))
-		os.Exit(1)
+
+	stale := 0
+	if *prune {
+		for _, s := range analysis.StaleSuppressions(pkgs, findings, checks) {
+			stale++
+			if r, err := filepath.Rel(root, s.Pos.Filename); err == nil {
+				s.Pos.Filename = r
+			}
+			fmt.Fprintf(stdout, "%s (stale suppression: remove it)\n", s)
+		}
 	}
+
+	if bad > 0 || stale > 0 {
+		fmt.Fprintf(stderr, "taalint: %d finding(s), %d stale suppression(s) in %d package(s)\n", bad, stale, len(pkgs))
+		return 1
+	}
+	return 0
 }
 
 // rel shortens a finding's file name to be module-root relative.
@@ -86,7 +127,7 @@ func rel(root string, f analysis.Finding) string {
 	return f.String()
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "taalint:", err)
-	os.Exit(2)
+func fatal(w io.Writer, err error) int {
+	fmt.Fprintln(w, "taalint:", err)
+	return 2
 }

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestListExitsZero pins the cheap happy path: -list needs no module scan.
+func TestListExitsZero(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errw); code != 0 {
+		t.Fatalf("run(-list) = %d, want 0 (stderr: %s)", code, errw.String())
+	}
+	for _, want := range []string{"maporder", "epochbump", "atomicguard", "errcompare", "mergeorder"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("-list output missing check %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestNonexistentDirExitsNonzero pins the bugfix: a nonexistent directory
+// argument must be a hard error, not a silent scan of whatever enclosing
+// module ModuleRoot happens to find above it.
+func TestNonexistentDirExitsNonzero(t *testing.T) {
+	var out, errw bytes.Buffer
+	code := run([]string{"/nonexistent/taalint/target"}, &out, &errw)
+	if code != 2 {
+		t.Fatalf("run(nonexistent dir) = %d, want 2 (stdout: %s)", code, out.String())
+	}
+	if !strings.Contains(errw.String(), "no such directory") {
+		t.Errorf("stderr missing clear error, got: %s", errw.String())
+	}
+}
+
+// TestFileArgExitsNonzero: a file (not a directory) argument is a usage
+// error too.
+func TestFileArgExitsNonzero(t *testing.T) {
+	var out, errw bytes.Buffer
+	code := run([]string{"main.go"}, &out, &errw)
+	if code != 2 {
+		t.Fatalf("run(file arg) = %d, want 2", code)
+	}
+	if !strings.Contains(errw.String(), "not a directory") {
+		t.Errorf("stderr missing clear error, got: %s", errw.String())
+	}
+}
+
+// TestUnknownCheckExitsNonzero pins -checks validation.
+func TestUnknownCheckExitsNonzero(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-checks", "nope"}, &out, &errw); code != 2 {
+		t.Fatalf("run(-checks nope) = %d, want 2", code)
+	}
+}

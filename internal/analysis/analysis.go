@@ -1,14 +1,18 @@
 // Package analysis is taalint's stdlib-only static-analysis framework: a
-// small go/ast + go/types harness that enforces the repository's
-// determinism and oracle-usage invariants across every scheduler layer.
+// go/ast + go/types harness that enforces the repository's determinism,
+// oracle-usage, cache-coherence and error-contract invariants across every
+// scheduler layer.
 //
 // The paper's evaluation (Figures 6-10) is reproducible only if every
 // placement and policy decision is bit-deterministic for a given seed, and
 // the netstate path/cost oracle is only a win if no consumer silently
-// reintroduces ad-hoc BFS or topology scans behind its back. Both were
-// unwritten invariants; this package makes them machine-checked. Five
-// checks ship today: maporder, floateq, rngsource, wallclock and
-// oraclebypass (see their files for the precise rules).
+// reintroduces ad-hoc BFS or topology scans behind its back — or mutates
+// cached-over state without bumping the epoch that invalidates those
+// caches. v1 shipped five per-package AST checks (maporder, floateq,
+// rngsource, wallclock, oraclebypass). v2 adds a module-level dataflow
+// layer — a lightweight call graph and field-access index (index.go) —
+// and four checks on top of it: epochbump, atomicguard, errcompare and
+// mergeorder (see their files for the precise rules).
 //
 // A finding on a given line is suppressed by a comment of the form
 //
@@ -16,7 +20,10 @@
 //
 // placed either at the end of the offending line or on its own line
 // directly above it. Suppressions are deliberate, reviewable escape
-// hatches; the reason text is free-form but expected.
+// hatches; the reason text is free-form but expected. Suppressions that no
+// longer cover any finding are themselves findings: StaleSuppressions
+// (surfaced as `taalint -prune`) keeps the escape hatches from outliving
+// the code they excused.
 //
 // The framework deliberately depends on nothing outside the standard
 // library: no golang.org/x/tools, no go/analysis. Packages are parsed with
@@ -83,12 +90,45 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// Check is one lint rule. Run inspects a single package and reports
-// findings through the pass.
+// ModulePass carries one module-check run over every loaded package plus
+// the shared dataflow index.
+type ModulePass struct {
+	Pkgs     []*Package
+	Index    *Index
+	check    string
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos, resolved through pkg's file set.
+func (mp *ModulePass) Reportf(pkg *Package, pos token.Pos, format string, args ...any) {
+	*mp.findings = append(*mp.findings, Finding{
+		Check: mp.check,
+		Pos:   pkg.Fset.Position(pos),
+		Msg:   fmt.Sprintf(format, args...),
+	})
+}
+
+// Check is one lint rule: a name, a one-line doc string, and either a
+// per-package Run (PackageCheck) or a whole-module RunModule (ModuleCheck).
 type Check interface {
 	Name() string
 	Doc() string
+}
+
+// PackageCheck inspects a single package at a time. All v1 checks are
+// package checks: their rules are expressible file- or package-locally.
+type PackageCheck interface {
+	Check
 	Run(p *Pass)
+}
+
+// ModuleCheck inspects the whole module at once through the dataflow
+// index — required when the invariant spans packages (a mutator in
+// topology proven to bump the epoch consumed in netstate, a field written
+// plainly here and atomically there).
+type ModuleCheck interface {
+	Check
+	RunModule(mp *ModulePass)
 }
 
 // All returns the full check suite in stable order.
@@ -99,6 +139,10 @@ func All() []Check {
 		RNGSource{},
 		WallClock{},
 		OracleBypass{},
+		EpochBump{},
+		AtomicGuard{},
+		ErrCompare{},
+		MergeOrder{},
 	}
 }
 
@@ -124,22 +168,40 @@ func ByName(names string) ([]Check, error) {
 }
 
 // Run applies every check to every package, resolves suppression comments
-// and returns all findings sorted by position. Suppressed findings are
-// included with Suppressed set so callers can audit the escape hatches.
+// and returns all findings sorted by position. Package checks run per
+// package; module checks run once over the full set with the dataflow
+// index. Suppressed findings are included with Suppressed set so callers
+// can audit the escape hatches.
 func Run(pkgs []*Package, checks []Check) []Finding {
 	var findings []Finding
+	var moduleChecks []ModuleCheck
+	for _, c := range checks {
+		if mc, ok := c.(ModuleCheck); ok {
+			moduleChecks = append(moduleChecks, mc)
+		}
+	}
 	for _, pkg := range pkgs {
-		sup := suppressions(pkg)
 		for _, c := range checks {
-			pass := &Pass{Pkg: pkg, check: c.Name(), findings: &findings}
-			start := len(findings)
-			c.Run(pass)
-			for i := start; i < len(findings); i++ {
-				f := &findings[i]
-				if sup.covers(f.Pos.Filename, f.Pos.Line, f.Check) {
-					f.Suppressed = true
-				}
+			pc, ok := c.(PackageCheck)
+			if !ok {
+				continue
 			}
+			pass := &Pass{Pkg: pkg, check: c.Name(), findings: &findings}
+			pc.Run(pass)
+		}
+	}
+	if len(moduleChecks) > 0 {
+		idx := BuildIndex(pkgs)
+		for _, mc := range moduleChecks {
+			mp := &ModulePass{Pkgs: pkgs, Index: idx, check: mc.Name(), findings: &findings}
+			mc.RunModule(mp)
+		}
+	}
+	sup := suppressions(pkgs)
+	for i := range findings {
+		f := &findings[i]
+		if sup.covers(f.Pos.Filename, f.Pos.Line, f.Check) {
+			f.Suppressed = true
 		}
 	}
 	sort.Slice(findings, func(i, j int) bool {
@@ -169,66 +231,136 @@ func Unsuppressed(all []Finding) []Finding {
 	return out
 }
 
-// suppressionSet maps (file, line) to the set of check names suppressed
-// there. A //taalint:<check> comment covers its own line and the line
-// below it (so it can sit on the offending line or directly above).
-type suppressionSet map[string]map[int]map[string]bool
+// Suppression is one parsed //taalint:<check> comment.
+type Suppression struct {
+	Pos    token.Position
+	Checks []string // suppressed check names ("all" suppresses everything)
+	Reason string   // free-form justification text after the check list
+}
 
-func (s suppressionSet) covers(file string, line int, check string) bool {
-	lines := s[file]
-	if lines == nil {
+// String renders the suppression in file:line form.
+func (s Suppression) String() string {
+	return fmt.Sprintf("%s:%d: //taalint:%s %s", s.Pos.Filename, s.Pos.Line, strings.Join(s.Checks, ","), s.Reason)
+}
+
+// covers reports whether the suppression covers a finding of the given
+// check at (file, line): same file, the comment's own line or the line
+// directly above.
+func (s Suppression) covers(file string, line int, check string) bool {
+	if s.Pos.Filename != file || (line != s.Pos.Line && line != s.Pos.Line+1) {
 		return false
 	}
-	for _, l := range []int{line, line - 1} {
-		if cs := lines[l]; cs != nil && (cs[check] || cs["all"]) {
+	for _, c := range s.Checks {
+		if c == check || c == "all" {
 			return true
 		}
 	}
 	return false
 }
 
-// suppressions scans a package's comments for //taalint: markers.
-func suppressions(pkg *Package) suppressionSet {
-	set := make(suppressionSet)
-	for _, f := range pkg.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				text := strings.TrimPrefix(c.Text, "//")
-				text = strings.TrimSpace(text)
-				if !strings.HasPrefix(text, "taalint:") {
-					continue
-				}
-				text = strings.TrimPrefix(text, "taalint:")
-				// First field is the check list; the rest is the reason.
-				checks := text
-				if i := strings.IndexAny(text, " \t"); i >= 0 {
-					checks = text[:i]
-				}
-				pos := pkg.Fset.Position(c.Pos())
-				lines := set[pos.Filename]
-				if lines == nil {
-					lines = make(map[int]map[string]bool)
-					set[pos.Filename] = lines
-				}
-				cs := lines[pos.Line]
-				if cs == nil {
-					cs = make(map[string]bool)
-					lines[pos.Line] = cs
-				}
-				for _, name := range strings.Split(checks, ",") {
-					if name = strings.TrimSpace(name); name != "" {
-						cs[name] = true
+// StaleSuppressions returns every suppression comment in pkgs that covers
+// no finding of any RUN check — dead escape hatches that should be
+// deleted. Only suppressions naming at least one run check (or "all") are
+// audited, so running a check subset never misreports the others'
+// suppressions as stale. findings must come from a Run over the same
+// packages and checks.
+func StaleSuppressions(pkgs []*Package, findings []Finding, checks []Check) []Suppression {
+	ran := make(map[string]bool, len(checks))
+	for _, c := range checks {
+		ran[c.Name()] = true
+	}
+	var stale []Suppression
+	for _, s := range parseSuppressions(pkgs) {
+		relevant := false
+		for _, c := range s.Checks {
+			if c == "all" || ran[c] {
+				relevant = true
+				break
+			}
+		}
+		if !relevant {
+			continue
+		}
+		used := false
+		for _, f := range findings {
+			if s.covers(f.Pos.Filename, f.Pos.Line, f.Check) {
+				used = true
+				break
+			}
+		}
+		if !used {
+			stale = append(stale, s)
+		}
+	}
+	sort.Slice(stale, func(i, j int) bool {
+		a, b := stale[i], stale[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		return a.Pos.Line < b.Pos.Line
+	})
+	return stale
+}
+
+// suppressionSet answers covers queries over every parsed suppression.
+type suppressionSet []Suppression
+
+func (set suppressionSet) covers(file string, line int, check string) bool {
+	for _, s := range set {
+		if s.covers(file, line, check) {
+			return true
+		}
+	}
+	return false
+}
+
+// suppressions parses //taalint: markers across all packages.
+func suppressions(pkgs []*Package) suppressionSet {
+	return parseSuppressions(pkgs)
+}
+
+// parseSuppressions scans every package's comments for //taalint: markers.
+func parseSuppressions(pkgs []*Package) []Suppression {
+	var out []Suppression
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimPrefix(c.Text, "//")
+					text = strings.TrimSpace(text)
+					if !strings.HasPrefix(text, "taalint:") {
+						continue
 					}
+					text = strings.TrimPrefix(text, "taalint:")
+					// First field is the check list; the rest is the reason.
+					checks, reason := text, ""
+					if i := strings.IndexAny(text, " \t"); i >= 0 {
+						checks, reason = text[:i], strings.TrimSpace(text[i+1:])
+					}
+					var names []string
+					for _, name := range strings.Split(checks, ",") {
+						if name = strings.TrimSpace(name); name != "" {
+							names = append(names, name)
+						}
+					}
+					if len(names) == 0 {
+						continue
+					}
+					out = append(out, Suppression{
+						Pos:    pkg.Fset.Position(c.Pos()),
+						Checks: names,
+						Reason: reason,
+					})
 				}
 			}
 		}
 	}
-	return set
+	return out
 }
 
-// decisionPackages are the import-path base names whose map iteration must
-// be deterministic: every package that makes or orders placement and
-// policy decisions.
+// decisionPackages are the import-path base names whose map iteration and
+// error handling must be deterministic: every package that makes or orders
+// placement and policy decisions.
 var decisionPackages = map[string]bool{
 	"core":        true,
 	"scheduler":   true,

@@ -1,0 +1,139 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ErrCompare bans string- and identity-based error discrimination in
+// decision packages. PR 4 introduced errors.Is-able sentinels
+// (controller.ErrNoFeasibleSwitch, ErrNoFeasibleRoute, faults' injection
+// errors) precisely so failure handling survives wrapping; an
+// `err == ErrX` silently stops matching the moment a %w wrapper is added
+// upstream, and `err.Error() == "..."` breaks on any message edit. Both
+// have bitten real schedulers' preemption paths. Flagged forms:
+//
+//   - err == ErrX / err != ErrX (both operands error-typed, neither nil)
+//   - err.Error() == "...", or any ==/!= with an .Error() call operand
+//   - strings.Contains/HasPrefix/HasSuffix/EqualFold over .Error() text
+//   - switch err { case ErrX: } with a non-nil case
+//
+// `err != nil` and `errors.Is/As` are of course fine. Scoped to decision
+// packages: test helpers and display code may render error text freely.
+type ErrCompare struct{}
+
+// Name implements Check.
+func (ErrCompare) Name() string { return "errcompare" }
+
+// Doc implements Check.
+func (ErrCompare) Doc() string {
+	return "decision packages must discriminate errors with errors.Is against sentinels, never == or err.Error() string comparison"
+}
+
+// Run implements PackageCheck.
+func (ErrCompare) Run(p *Pass) {
+	if !decisionPackages[p.Pkg.Base()] {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.BinaryExpr:
+				if x.Op != token.EQL && x.Op != token.NEQ {
+					return true
+				}
+				if isErrorTextCall(p, x.X) || isErrorTextCall(p, x.Y) {
+					p.Reportf(x.OpPos,
+						"comparing err.Error() text; match the sentinel with errors.Is instead")
+					return true
+				}
+				if isErrorExpr(p, x.X) && isErrorExpr(p, x.Y) &&
+					!isNilExpr(p, x.X) && !isNilExpr(p, x.Y) {
+					p.Reportf(x.OpPos,
+						"comparing error values with %s; use errors.Is so wrapped sentinels still match", x.Op)
+				}
+			case *ast.CallExpr:
+				if fn := stringsPredicate(p, x); fn != "" {
+					for _, arg := range x.Args {
+						if isErrorTextCall(p, arg) {
+							p.Reportf(x.Pos(),
+								"strings.%s over err.Error() text; match the sentinel with errors.Is instead", fn)
+							break
+						}
+					}
+				}
+			case *ast.SwitchStmt:
+				if x.Tag == nil || !isErrorExpr(p, x.Tag) {
+					return true
+				}
+				for _, c := range x.Body.List {
+					cc, ok := c.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, ce := range cc.List {
+						if !isNilExpr(p, ce) {
+							p.Reportf(ce.Pos(),
+								"switch over an error value compares by identity; use errors.Is in an if/else chain")
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isErrorExpr reports whether e's static type is exactly error (interface
+// comparisons against sentinels are what break under wrapping; comparing
+// two concrete *MyError pointers is left to the author).
+func isErrorExpr(p *Pass, e ast.Expr) bool {
+	t := p.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// isNilExpr reports whether e is the predeclared nil.
+func isNilExpr(p *Pass, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := p.Pkg.Info.ObjectOf(id).(*types.Nil)
+	return isNil
+}
+
+// isErrorTextCall reports whether e is a call of Error() on an error
+// value (err.Error(), f().Error(), ...).
+func isErrorTextCall(p *Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Error" || len(call.Args) != 0 {
+		return false
+	}
+	return isErrorExpr(p, sel.X)
+}
+
+// stringsPredicate returns the name of the strings-package text predicate
+// being called, or "" for any other callee.
+func stringsPredicate(p *Pass, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	f, ok := p.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || f.Pkg() == nil || f.Pkg().Path() != "strings" {
+		return ""
+	}
+	switch f.Name() {
+	case "Contains", "HasPrefix", "HasSuffix", "EqualFold":
+		return f.Name()
+	}
+	return ""
+}

@@ -27,6 +27,13 @@ var goldenFixtures = []struct {
 	{"rngsource", "rngsource", "fixture/rngsource"},
 	{"wallclock", "wallclock", "fixture/sim"},
 	{"oraclebypass", "oraclebypass", "fixture/consumer"},
+	// v2 dataflow checks. The import paths matter doubly here: epochbump's
+	// blessed/monitored tables and atomicguard's stripe rule key on the
+	// package base, so the fixtures masquerade as topology/netstate/....
+	{"epochbump", "epochbump", "fixture/topology"},
+	{"atomicguard", "atomicguard", "fixture/netstate"},
+	{"errcompare", "errcompare", "fixture/scheduler"},
+	{"mergeorder", "mergeorder", "fixture/core"},
 }
 
 // TestGolden runs each check against its fixture package and compares the

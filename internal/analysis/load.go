@@ -1,8 +1,10 @@
 package analysis
 
 import (
+	"errors"
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -63,6 +65,27 @@ func ModuleRoot(dir string) (root, modPath string, err error) {
 	}
 }
 
+// sourceFiles returns the analyzable file set of dir — exactly the files
+// the compiler would build for the host configuration: build-tag and
+// GOOS/GOARCH constraints honored, _test.go files excluded. Every check
+// sees this one file set; before this helper, a file excluded by a build
+// tag was still scanned, so a `//go:build ignore` scratch file could fail
+// the lint while being invisible to the build. A nil slice (with nil
+// error) means dir holds no buildable non-test Go files.
+func sourceFiles(dir string) ([]string, error) {
+	pkg, err := build.Default.ImportDir(dir, 0)
+	if err != nil {
+		var noGo *build.NoGoError
+		if errors.As(err, &noGo) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	files := append([]string(nil), pkg.GoFiles...)
+	sort.Strings(files)
+	return files, nil
+}
+
 // LoadModule loads every non-test package under the module rooted at root,
 // skipping testdata, hidden and underscore-prefixed directories. Packages
 // are returned sorted by import path.
@@ -83,7 +106,11 @@ func (l *Loader) LoadModule(root string) ([]*Package, error) {
 		if p != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
 			return filepath.SkipDir
 		}
-		if hasGoFiles(p) {
+		files, err := sourceFiles(p)
+		if err != nil {
+			return err
+		}
+		if len(files) > 0 {
 			dirs = append(dirs, p)
 		}
 		return nil
@@ -112,28 +139,26 @@ func (l *Loader) LoadModule(root string) ([]*Package, error) {
 }
 
 // LoadDir parses and type-checks the single package in dir under the given
-// import path. Test files are excluded; the import path is what the
-// per-package scoping rules (decision packages, netstate exemption) match
-// against, so fixtures can masquerade as any package.
+// import path. The file set is the compiler's view of dir (see
+// sourceFiles): test files and tag-excluded files are invisible to every
+// check. The import path is what the per-package scoping rules (decision
+// packages, netstate exemption) match against, so fixtures can masquerade
+// as any package.
 func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
-	entries, err := os.ReadDir(dir)
+	names, err := sourceFiles(dir)
 	if err != nil {
 		return nil, err
 	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("analysis: no buildable non-test Go files in %s", dir)
+	}
 	var files []*ast.File
-	for _, e := range entries {
-		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
-			continue
-		}
+	for _, name := range names {
 		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
 		if err != nil {
 			return nil, err
 		}
 		files = append(files, f)
-	}
-	if len(files) == 0 {
-		return nil, fmt.Errorf("analysis: no non-test Go files in %s", dir)
 	}
 	info := &types.Info{
 		Types:      make(map[ast.Expr]types.TypeAndValue),
@@ -154,20 +179,4 @@ func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
 		Pkg:   tpkg,
 		Info:  info,
 	}, nil
-}
-
-// hasGoFiles reports whether dir directly contains at least one non-test
-// Go source file.
-func hasGoFiles(dir string) bool {
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		return false
-	}
-	for _, e := range entries {
-		name := e.Name()
-		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
-			return true
-		}
-	}
-	return false
 }

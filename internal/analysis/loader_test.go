@@ -1,0 +1,54 @@
+package analysis
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestLoaderFileScope pins the loader's file-selection contract on the
+// loaderscope fixture: build-tag-excluded files and _test.go files are
+// invisible, so every check runs over exactly the compiler's file set.
+func TestLoaderFileScope(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "loaderscope")
+
+	names, err := sourceFiles(dir)
+	if err != nil {
+		t.Fatalf("sourceFiles(%s): %v", dir, err)
+	}
+	if len(names) != 1 || names[0] != "scoped.go" {
+		t.Fatalf("sourceFiles(%s) = %v, want [scoped.go]", dir, names)
+	}
+
+	pkg, err := NewLoader().LoadDir(dir, "fixture/loaderscope")
+	if err != nil {
+		t.Fatalf("LoadDir(%s): %v", dir, err)
+	}
+	if len(pkg.Files) != 1 {
+		t.Fatalf("LoadDir(%s) parsed %d files, want 1", dir, len(pkg.Files))
+	}
+	if got := filepath.Base(pkg.Fset.Position(pkg.Files[0].Pos()).Filename); got != "scoped.go" {
+		t.Fatalf("LoadDir(%s) parsed %s, want scoped.go", dir, got)
+	}
+	// The declarations visible to checks are exactly scoped.go's.
+	if pkg.Pkg.Scope().Lookup("Kept") == nil {
+		t.Errorf("Kept not in package scope; loader dropped the buildable file")
+	}
+	for _, name := range []string{"Excluded", "TestOnly"} {
+		if pkg.Pkg.Scope().Lookup(name) != nil {
+			t.Errorf("%s leaked into the package scope; loader ignored build-tag/_test scoping", name)
+		}
+	}
+}
+
+// TestLoadModuleSkipsUnbuildableDirs ensures the module walk uses the same
+// compiler view: a directory whose only Go files are tag-excluded or tests
+// must not be loaded (before the fix it was parsed and failed).
+func TestLoadModuleSkipsUnbuildableDirs(t *testing.T) {
+	files, err := sourceFiles(t.TempDir())
+	if err != nil {
+		t.Fatalf("sourceFiles(empty dir): %v", err)
+	}
+	if files != nil {
+		t.Fatalf("sourceFiles(empty dir) = %v, want nil", files)
+	}
+}

@@ -6,10 +6,10 @@ import (
 	"repro/internal/analysis"
 )
 
-// TestRepoSelfScan runs all five checks over every non-test package in the
-// module and fails on any unsuppressed finding. This is the same gate as
-// `make lint`, but wired into `go test ./...` so it holds even when make
-// is never invoked.
+// TestRepoSelfScan runs all nine checks over every non-test package in the
+// module and fails on any unsuppressed finding or stale suppression. This
+// is the same gate as `make lint` (which runs with -prune), but wired into
+// `go test ./...` so it holds even when make is never invoked.
 func TestRepoSelfScan(t *testing.T) {
 	if testing.Short() {
 		t.Skip("type-checks the whole module; skipped in -short mode")
@@ -44,5 +44,12 @@ func TestRepoSelfScan(t *testing.T) {
 	findings := analysis.Run(pkgs, analysis.All())
 	for _, f := range analysis.Unsuppressed(findings) {
 		t.Errorf("unsuppressed finding: %s", f)
+	}
+
+	// Suppressions must stay attached to a live finding: a //taalint:
+	// comment that no longer suppresses anything is a stale escape hatch
+	// that would silently excuse the next real violation on that line.
+	for _, s := range analysis.StaleSuppressions(pkgs, findings, analysis.All()) {
+		t.Errorf("stale suppression (remove it): %s", s)
 	}
 }

@@ -1,0 +1,52 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestStaleSuppressions pins the -prune semantics on the mergeorder
+// fixture: its one suppression covers a live finding, so running the
+// check it names reports nothing stale — while a run of a DIFFERENT
+// check must not misreport that suppression (the finding list no longer
+// contains mergeorder findings, but the suppression isn't audited).
+func TestStaleSuppressions(t *testing.T) {
+	loader := analysis.NewLoader()
+	pkg, err := loader.LoadDir(filepath.Join("testdata", "src", "mergeorder"), "fixture/core")
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	pkgs := []*analysis.Package{pkg}
+
+	// Named check runs and its suppression covers a finding: nothing stale.
+	checks, err := analysis.ByName("mergeorder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := analysis.Run(pkgs, checks)
+	if stale := analysis.StaleSuppressions(pkgs, findings, checks); len(stale) != 0 {
+		t.Errorf("suppression covering a live finding reported stale: %v", stale)
+	}
+
+	// A subset run of another check must not audit mergeorder suppressions.
+	other, err := analysis.ByName("floateq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	otherFindings := analysis.Run(pkgs, other)
+	if stale := analysis.StaleSuppressions(pkgs, otherFindings, other); len(stale) != 0 {
+		t.Errorf("subset run misreported another check's suppressions as stale: %v", stale)
+	}
+
+	// The same suppression audited against an empty finding list IS stale —
+	// this is what -prune reports once the offending code is fixed.
+	stale := analysis.StaleSuppressions(pkgs, nil, checks)
+	if len(stale) != 1 {
+		t.Fatalf("want exactly 1 stale suppression against empty findings, got %d: %v", len(stale), stale)
+	}
+	if got := stale[0].Checks[0]; got != "mergeorder" {
+		t.Errorf("stale suppression names check %q, want mergeorder", got)
+	}
+}

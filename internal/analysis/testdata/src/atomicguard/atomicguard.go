@@ -1,0 +1,64 @@
+// Fixture for the atomicguard check, loaded as "fixture/netstate" so the
+// stripe-lock rule applies. Covers: a plain read of an atomically-updated
+// field (trigger, rule 1), a guarded-map access without the mutex
+// (trigger, rule 2), correct atomic/locked/fresh/Locked-suffix usage
+// (near-misses), and exactly one suppressed access.
+package netstate
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Oracle mirrors the real oracle's shape: an atomic-typed epoch, a
+// counter updated through the atomic package, and a map guarded by a
+// mutex declared in the same struct.
+type Oracle struct {
+	epoch atomic.Uint64
+	seq   uint64
+	mu    sync.RWMutex
+	m     map[int]int
+}
+
+// Bump and Epoch use the atomic field only through its methods. Near-miss.
+func (o *Oracle) Bump() { o.epoch.Add(1) }
+
+// Epoch likewise. Near-miss.
+func (o *Oracle) Epoch() uint64 { return o.epoch.Load() }
+
+// NextSeq updates seq through sync/atomic, marking the field atomic
+// module-wide.
+func (o *Oracle) NextSeq() uint64 { return atomic.AddUint64(&o.seq, 1) }
+
+// PeekSeq reads the same field plainly: a data race the race detector
+// only sees on the right schedule. Trigger (rule 1).
+func (o *Oracle) PeekSeq() uint64 { return o.seq }
+
+// Lookup takes the mutex before touching the guarded map. Near-miss.
+func (o *Oracle) Lookup(k int) (int, bool) {
+	o.mu.RLock()
+	v, ok := o.m[k]
+	o.mu.RUnlock()
+	return v, ok
+}
+
+// BadLookup reaches the guarded map with no lock in sight. Trigger
+// (rule 2).
+func (o *Oracle) BadLookup(k int) int { return o.m[k] }
+
+// resetLocked relies on the caller holding the lock, declared by the
+// Locked suffix. Near-miss.
+func (o *Oracle) resetLocked() { o.m = make(map[int]int) }
+
+// fresh builds an oracle nobody else can see yet; unpublished state needs
+// no lock. Near-miss.
+func fresh() *Oracle {
+	o := &Oracle{}
+	o.m = make(map[int]int)
+	return o
+}
+
+// Seed is the suppression specimen: exactly one audited escape hatch.
+func (o *Oracle) Seed(k, v int) {
+	o.m[k] = v //taalint:atomicguard seeding happens before the oracle is published
+}

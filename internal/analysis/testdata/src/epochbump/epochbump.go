@@ -1,0 +1,79 @@
+// Fixture for the epochbump check, loaded as "fixture/topology" so the
+// package-base-qualified blessed/monitored tables apply. Covers: a blessed
+// mutator that forgets the bump on one path (trigger), a direct write
+// outside the blessed set (trigger), correct mutators including an
+// interprocedural bump (near-misses), and exactly one suppressed write.
+package topology
+
+// Node and Link mirror the real topology's monitored containers.
+type Node struct{ Capacity int }
+type Link struct{ Bandwidth float64 }
+
+// Topology mirrors the real field names: nodes/links/alive/numDead are
+// monitored, version/liveVersion are the epoch counters.
+type Topology struct {
+	nodes       []Node
+	links       []Link
+	alive       []bool
+	numDead     int
+	version     uint64
+	liveVersion uint64
+}
+
+// SetSwitchCapacity is a correct blessed mutator: the clean early return
+// carries no obligation, the mutating path bumps. Near-miss.
+func (t *Topology) SetSwitchCapacity(id, capacity int) bool {
+	if id < 0 || id >= len(t.nodes) {
+		return false
+	}
+	t.nodes[id].Capacity = capacity
+	t.version++
+	return true
+}
+
+// SetLinkBandwidth bumps through a helper; the call-graph summary must
+// prove it. Near-miss.
+func (t *Topology) SetLinkBandwidth(i int, bw float64) bool {
+	if i < 0 || i >= len(t.links) {
+		return false
+	}
+	t.links[i].Bandwidth = bw
+	t.bump()
+	return true
+}
+
+func (t *Topology) bump() { t.version++ }
+
+// SetNodeAlive bumps liveVersion when killing a node but forgets it on the
+// revive path — the exact stale-route bug the liveness regression test
+// caught at runtime. Trigger (bump-proof obligation).
+func (t *Topology) SetNodeAlive(id int, alive bool) bool {
+	if id < 0 || id >= len(t.alive) {
+		return false
+	}
+	if t.alive[id] == alive {
+		return false
+	}
+	t.alive[id] = alive
+	if !alive {
+		t.numDead++
+		t.liveVersion++
+		return true
+	}
+	t.numDead--
+	return true
+}
+
+// Cripple mutates the alive mask outside the blessed set. Trigger
+// (write containment).
+func (t *Topology) Cripple() {
+	t.alive[0] = false
+}
+
+// Recount is the suppression specimen: exactly one audited escape hatch.
+func (t *Topology) Recount(dead int) {
+	t.numDead = dead //taalint:epochbump test-harness recount; caller rebuilds every cache
+}
+
+// NumDead reads monitored state, which is always fine. Near-miss.
+func (t *Topology) NumDead() int { return t.numDead }

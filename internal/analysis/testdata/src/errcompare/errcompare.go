@@ -1,0 +1,43 @@
+// Fixture for the errcompare check, loaded as "fixture/scheduler" so the
+// decision-package scoping applies. Covers: identity compare, err.Error()
+// text compare, strings predicate over error text, identity switch
+// (triggers), nil checks and errors.Is (near-misses), and exactly one
+// suppressed comparison.
+package scheduler
+
+import (
+	"errors"
+	"strings"
+)
+
+// ErrNoFeasibleSwitch stands in for the PR-4 sentinels.
+var ErrNoFeasibleSwitch = errors.New("no feasible switch")
+
+// Classify exercises every banned and sanctioned discrimination form.
+func Classify(err error) int {
+	if err == nil { // nil checks are fine: near-miss
+		return 0
+	}
+	if errors.Is(err, ErrNoFeasibleSwitch) { // the sanctioned form: near-miss
+		return 1
+	}
+	if err == ErrNoFeasibleSwitch { // trigger: breaks under %w wrapping
+		return 2
+	}
+	if err.Error() == "no feasible switch" { // trigger: breaks on any reword
+		return 3
+	}
+	if strings.Contains(err.Error(), "feasible") { // trigger: text predicate
+		return 4
+	}
+	switch err { // identity switch: the case below triggers
+	case ErrNoFeasibleSwitch:
+		return 5
+	}
+	return 6
+}
+
+// isExact is the suppression specimen: exactly one audited escape hatch.
+func isExact(err error) bool {
+	return err == ErrNoFeasibleSwitch //taalint:errcompare unwrapped identity is the point of this probe
+}

@@ -1,0 +1,6 @@
+// Package loaderscope pins the loader's file-selection contract: exactly
+// the files the compiler would build, nothing else (see loader_test.go).
+package loaderscope
+
+// Kept is declared in the one file the loader must see.
+func Kept() int { return 1 }

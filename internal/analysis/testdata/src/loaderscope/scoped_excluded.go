@@ -1,0 +1,10 @@
+//go:build ignore
+
+// This file is excluded by its build tag. If the loader ever stops
+// honoring build constraints it will parse this file, see the Excluded
+// declaration, and fail the loader-scope test — and checks would start
+// linting code the compiler never builds.
+package loaderscope
+
+// Excluded must never be visible to the loader.
+func Excluded() int { return 2 }

@@ -1,0 +1,8 @@
+// Test files are outside taalint's scope: the determinism and oracle
+// contracts bind production decision paths, and tests legitimately use
+// wall clocks, error text and ad-hoc iteration. The loader must skip this
+// file for every check.
+package loaderscope
+
+// TestOnly must never be visible to the loader.
+func TestOnly() int { return 3 }

@@ -109,7 +109,10 @@ func (c *Cluster) Servers() []topology.NodeID { return c.serverIDs }
 func (c *Cluster) NumContainers() int { return len(c.containers) }
 
 // SetServerCapacity overrides one server's capacity. It fails if the server
-// is unknown or already uses more than the new capacity.
+// is unknown or already uses more than the new capacity. Blessed (exempt)
+// epochbump mutator: allocation state is re-read per decision, never
+// epoch-cached, so cluster writes carry no bump obligation — but taalint
+// still confines them to the blessed set.
 func (c *Cluster) SetServerCapacity(s topology.NodeID, cap Resources) error {
 	st, ok := c.servers[s]
 	if !ok {
@@ -179,6 +182,7 @@ func (c *Cluster) CanHost(s topology.NodeID, id ContainerID) bool {
 }
 
 // Place puts container id on server s, unplacing it first if needed.
+// Blessed (exempt) epochbump mutator: see SetServerCapacity.
 func (c *Cluster) Place(id ContainerID, s topology.NodeID) error {
 	ct := c.Container(id)
 	if ct == nil {
@@ -216,6 +220,8 @@ func (c *Cluster) Unplace(id ContainerID) error {
 	return nil
 }
 
+// unplaceLocked releases ct's server-side accounting. Blessed (exempt)
+// epochbump mutator: see SetServerCapacity.
 func (c *Cluster) unplaceLocked(ct *Container) {
 	st := c.servers[ct.server]
 	st.used = st.used.Sub(ct.Demand)

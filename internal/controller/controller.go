@@ -21,7 +21,9 @@ import (
 
 // Sentinel errors for the two infeasibility classes Algorithm 1 can hit.
 // Every constructor wraps them with %w, so callers (core's degraded mode,
-// the fault reactor) branch with errors.Is instead of string matching.
+// the fault reactor) branch with errors.Is instead of string matching — a
+// contract taalint's errcompare check now enforces across every decision
+// package.
 var (
 	// ErrNoFeasibleSwitch: some required switch type has no candidate with
 	// spare capacity (all saturated, or all of that type dead).
@@ -201,7 +203,9 @@ func (c *Controller) FitsEverywhere(rate float64) bool {
 // Install validates and installs a policy for f, replacing any previous
 // policy of the same flow and updating switch loads. Installation fails if
 // the policy is not satisfied (type/order check) or any switch lacks
-// capacity; on failure the previous policy remains installed.
+// capacity; on failure the previous policy remains installed. Blessed
+// epochbump mutator: taalint proves the oracle epoch bump on every path
+// that touches policies/rates/load.
 func (c *Controller) Install(f *flow.Flow, p *flow.Policy) error {
 	if err := f.Validate(); err != nil {
 		return err
@@ -267,7 +271,7 @@ func (c *Controller) Install(f *flow.Flow, p *flow.Policy) error {
 }
 
 // Uninstall removes a flow's policy and releases its switch load. Unknown
-// flows are ignored.
+// flows are ignored. Blessed epochbump mutator: see Install.
 func (c *Controller) Uninstall(id flow.ID) {
 	p, ok := c.policies[id]
 	if !ok {
@@ -284,7 +288,7 @@ func (c *Controller) Uninstall(id flow.ID) {
 	c.oracle.BumpEpoch()
 }
 
-// Reset removes every policy.
+// Reset removes every policy. Blessed epochbump mutator: see Install.
 func (c *Controller) Reset() {
 	c.policies = make(map[flow.ID]*flow.Policy)
 	c.rates = make(map[flow.ID]float64)

@@ -525,6 +525,8 @@ func (h *HitScheduler) assignGroup(req *scheduler.Request, group []scheduler.Tas
 	if len(containers)*len(servers) < parallelThreshold {
 		workers = 1
 	}
+	// Every write below is addressed by ci (taalint mergeorder contract):
+	// workers own disjoint slots, so the merge order is the index order.
 	err := parallel.ForEach(len(containers), workers, func(ci int) error {
 		c := containers[ci]
 		var feas []int

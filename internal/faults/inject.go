@@ -63,7 +63,10 @@ func (in *Injector) rememberBW(a, b topology.NodeID) error {
 }
 
 // Apply executes one event. For ServerCrash it returns the evicted
-// containers (ascending ID); every other kind returns nil.
+// containers (ascending ID); every other kind returns nil. Every fabric
+// mutation routes through the blessed topology setters (SetSwitchCapacity,
+// SetLinkBandwidth, SetNodeAlive) so the matching epoch bump is statically
+// guaranteed — taalint's epochbump check rejects any direct field write.
 func (in *Injector) Apply(ev Event) ([]cluster.ContainerID, error) {
 	switch ev.Kind {
 	case SwitchCrash:

@@ -201,7 +201,9 @@ func (o *Oracle) ensureLive() {
 
 // BumpEpoch invalidates every parameter-derived cache. The policy
 // controller calls it whenever switch loads change (Install, Uninstall,
-// Reset).
+// Reset). The epoch counter is one of taalint's recognized bump targets:
+// a blessed mutator calling BumpEpoch (directly or transitively) on every
+// mutating path discharges its epochbump proof obligation.
 func (o *Oracle) BumpEpoch() { o.epoch.Add(1) }
 
 // BindLoad attaches the switch-load source (the controller's Load method).

@@ -94,6 +94,10 @@ const (
 	routeShardCount = 32
 )
 
+// routeShard is one lock stripe of the sharded pair-route map. The m
+// field is under taalint's atomicguard stripe rule: every access must be
+// preceded by a Lock/RLock on the same variable in the enclosing function
+// (or the function named *Locked, or the shard slice still function-local).
 type routeShard struct {
 	mu sync.RWMutex
 	m  map[pairKey]*PairRoute

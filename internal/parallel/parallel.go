@@ -16,6 +16,12 @@ import (
 // (workers <= 0 means GOMAXPROCS) and returns the first error by index
 // order. All tasks run even when one fails, so partial side effects stay
 // deterministic.
+//
+// Callers are bound by taalint's mergeorder contract: fn must be a
+// function literal whose writes to captured state are index-addressed by
+// i (each worker owns its slot), or the captured slice must be explicitly
+// sorted after ForEach returns — completion order is scheduler-dependent
+// and must never reach a decision value.
 func ForEach(n, workers int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil

@@ -10,7 +10,8 @@ import (
 // ErrNoFeasibleServer is the sentinel wrapped by every "no feasible server"
 // failure in the placement layers (core's random init, the post-matching
 // fallback, the subsequent-wave greedy pass). Callers branch on failure
-// class with errors.Is instead of string matching.
+// class with errors.Is instead of string matching — a contract taalint's
+// errcompare check now enforces across every decision package.
 var ErrNoFeasibleServer = errors.New("no feasible server")
 
 // ScheduleReport is the degraded-mode outcome of one scheduling round: what

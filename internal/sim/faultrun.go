@@ -147,7 +147,10 @@ func (e *Engine) runFaulty(res *Result, jobs []*workload.Job, arrivals []float64
 	// applyEventsUntil applies every fabric event with Time <= until, then —
 	// if anything fired — runs the reactor over the wave's installed flows
 	// and enforces the liveness/capacity invariants. It returns the flows
-	// the reactor shed and the containers server crashes evicted.
+	// the reactor shed and the containers server crashes evicted. The
+	// injector mutates fabric state only through blessed epoch-bumping
+	// setters (statically enforced by taalint's epochbump check), so the
+	// oracle's caches are never stale when the reactor re-solves routes.
 	applyEventsUntil := func(until float64, eps []faults.FlowEndpoints) (map[flow.ID]bool, map[cluster.ContainerID]bool, error) {
 		fired := false
 		evictedNow := make(map[cluster.ContainerID]bool)

@@ -187,7 +187,9 @@ func (t *Topology) Degree(id NodeID) int { return len(t.adj[id]) }
 
 // SetSwitchCapacity overrides a switch's processing capacity in place. It
 // exists for failure injection — degrading or restoring a switch mid-
-// experiment — and returns an error for non-switches.
+// experiment — and returns an error for non-switches. Blessed epochbump
+// mutator: taalint proves the parameter-version bump on every mutating
+// path, and rejects capacity writes anywhere else.
 func (t *Topology) SetSwitchCapacity(id NodeID, capacity float64) error {
 	if !t.Valid(id) || !t.nodes[id].IsSwitch() {
 		return fmt.Errorf("topology: node %d is not a switch", id)
@@ -201,7 +203,8 @@ func (t *Topology) SetSwitchCapacity(id NodeID, capacity float64) error {
 }
 
 // SetLinkBandwidth overrides a link's bandwidth in place (failure
-// injection: degraded or restored links).
+// injection: degraded or restored links). Blessed epochbump mutator: see
+// SetSwitchCapacity.
 func (t *Topology) SetLinkBandwidth(a, b NodeID, bandwidth float64) error {
 	i, ok := t.linkIdx[canonicalKey(a, b)]
 	if !ok {
@@ -238,7 +241,9 @@ func (t *Topology) LivenessVersion() uint64 { return t.liveVersion }
 // place — the fault-injection entry point for switch and server crashes.
 // A no-op flip (already in the requested state) does not bump the liveness
 // version. Crashing nodes can disconnect the graph; queries then report
-// the affected pairs as unreachable rather than failing.
+// the affected pairs as unreachable rather than failing. Blessed epochbump
+// mutator: taalint proves the liveness-version bump on every mutating path
+// — the one bump whose omission once served stale routes at runtime.
 func (t *Topology) SetNodeAlive(id NodeID, alive bool) error {
 	if !t.Valid(id) {
 		return fmt.Errorf("topology: unknown node %d", id)
