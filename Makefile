@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race shuffle bench chaos verify
+.PHONY: all build vet lint test race shuffle bench bench-json chaos verify
 
 all: verify
 
@@ -38,6 +38,12 @@ shuffle:
 # bench regenerates the paper's tables/figures in Quick mode.
 bench:
 	$(GO) test -run XXX -bench . -benchtime 1x .
+
+# bench-json runs the scalability/oracle benchmarks and archives one
+# machine-readable BENCH_local.json (CI emits BENCH_<sha>.json per commit,
+# forming the benchmark trajectory).
+bench-json:
+	$(GO) test -run XXX -bench 'HitScalability|PathOracle' -benchtime 1x . | $(GO) run ./cmd/benchjson -o BENCH_local.json
 
 # chaos runs the fault-injection harness under the race detector: randomized
 # seeded fault schedules replayed bit-identically, with the run-time

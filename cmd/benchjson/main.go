@@ -1,0 +1,126 @@
+// Command benchjson converts `go test -bench` text output into a stable
+// JSON document, so CI can archive one BENCH_*.json artifact per commit and
+// a benchmark trajectory (wall-clock, allocations, and the custom
+// oracle-MB / peakRSS-MB metrics the scalability benchmarks report) can be
+// assembled by concatenating artifacts across commits.
+//
+// Usage:
+//
+//	go test -run XXX -bench . -benchtime 1x . | benchjson [-o BENCH_abc.json]
+//
+// Without -o the JSON goes to stdout. Lines that are not benchmark results
+// or recognized headers (goos/goarch/pkg/cpu) pass through untouched; the
+// exit status is nonzero only when no benchmark line was seen at all, so a
+// broken pipeline cannot silently archive an empty artifact.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// BenchResult is one parsed benchmark line: the name, the iteration count,
+// and every reported metric keyed by its unit (ns/op, B/op, allocs/op, plus
+// any custom b.ReportMetric units such as oracle-MB).
+type BenchResult struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report is the artifact root: the run's environment header plus results.
+type Report struct {
+	GoOS    string        `json:"goos,omitempty"`
+	GoArch  string        `json:"goarch,omitempty"`
+	Pkg     string        `json:"pkg,omitempty"`
+	CPU     string        `json:"cpu,omitempty"`
+	Results []BenchResult `json:"results"`
+}
+
+func main() {
+	out := flag.String("o", "", "write the JSON report to this file (default stdout)")
+	flag.Parse()
+
+	rep, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if err := emit(rep, *out); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parse scans bench output for header and Benchmark lines.
+func parse(r io.Reader) (*Report, error) {
+	rep := &Report{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.GoOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			rep.GoArch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			rep.Pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			res, ok := parseBenchLine(line)
+			if ok {
+				rep.Results = append(rep.Results, res)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(rep.Results) == 0 {
+		return nil, fmt.Errorf("no benchmark result lines in input")
+	}
+	return rep, nil
+}
+
+// parseBenchLine splits "BenchmarkX-8  N  v1 unit1  v2 unit2 ..." into a
+// result. Malformed lines report ok=false and are skipped.
+func parseBenchLine(line string) (BenchResult, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || len(f)%2 != 0 {
+		return BenchResult{}, false
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return BenchResult{}, false
+	}
+	res := BenchResult{Name: f[0], Iterations: iters, Metrics: make(map[string]float64, (len(f)-2)/2)}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return BenchResult{}, false
+		}
+		res.Metrics[f[i+1]] = v
+	}
+	return res, true
+}
+
+func emit(rep *Report, path string) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkHitScalability/servers=216     	       1	 225013141 ns/op	         1.891 oracle-MB	        24.61 peakRSS-MB	57739168 B/op	  686196 allocs/op
+BenchmarkHitScalability/servers=10000   	       1	 250153081 ns/op	         1.371 oracle-MB	        61.78 peakRSS-MB	62229496 B/op	  244585 allocs/op
+PASS
+ok  	repro	12.3s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GoOS != "linux" || rep.GoArch != "amd64" || rep.Pkg != "repro" {
+		t.Errorf("header = %q/%q/%q", rep.GoOS, rep.GoArch, rep.Pkg)
+	}
+	if len(rep.Results) != 2 {
+		t.Fatalf("got %d results, want 2", len(rep.Results))
+	}
+	r := rep.Results[1]
+	if r.Name != "BenchmarkHitScalability/servers=10000" || r.Iterations != 1 {
+		t.Errorf("result = %+v", r)
+	}
+	for unit, want := range map[string]float64{
+		"ns/op":      250153081,
+		"oracle-MB":  1.371,
+		"peakRSS-MB": 61.78,
+		"B/op":       62229496,
+		"allocs/op":  244585,
+	} {
+		if got := r.Metrics[unit]; got != want {
+			t.Errorf("metric %s = %v, want %v", unit, got, want)
+		}
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	if _, err := parse(strings.NewReader("PASS\nok x 1s\n")); err == nil {
+		t.Fatal("want error on input with no benchmark lines")
+	}
+}
+
+func TestParseBenchLineMalformed(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkX",
+		"BenchmarkX abc 1 ns/op",
+		"BenchmarkX 1 abc ns/op",
+		"BenchmarkX 1 5", // odd field count
+	} {
+		if _, ok := parseBenchLine(line); ok {
+			t.Errorf("parseBenchLine(%q) accepted malformed line", line)
+		}
+	}
+}

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/metrics"
+	"repro/internal/procstat"
 	"repro/internal/profile"
 	"repro/internal/scheduler"
 	"repro/internal/sim"
@@ -71,6 +72,20 @@ func run(nJobs int, seed int64, out string) error {
 			return err
 		}
 	}
+
+	// Resource footprint of the run: the oracle's cache census (O(V) in
+	// structural mode) and the process peak RSS, printed next to the
+	// learned profiles so capacity planning sees memory with accuracy.
+	ms := eng.Controller().Oracle().MemoryStats()
+	fmt.Printf("oracle caches: structural=%v approx %.2f MB (dist rows %d, routes %d+%d, switch-pair slots %d)\n",
+		ms.Structural, float64(ms.ApproxBytes)/1e6,
+		ms.DistRows, ms.RoutesDense, ms.RoutesSharded, ms.SwitchPairEntries)
+	if rss, ok := procstat.PeakRSSBytes(); ok {
+		fmt.Printf("process peak RSS: %.2f MB\n", float64(rss)/1e6)
+	} else {
+		fmt.Println("process peak RSS: n/a on this platform")
+	}
+	fmt.Println()
 
 	tb := metrics.NewTable(fmt.Sprintf("Learned shuffle profiles (%d training jobs)", nJobs),
 		"benchmark", "learned shuffle/input", "catalog", "learned class", "samples")

@@ -15,7 +15,10 @@ import (
 //
 // Forbidden outside internal/netstate (and internal/topology itself):
 // Topology.Dist, ShortestPath, ShortestPathDAG, PathLatency, AccessSwitch
-// and SwitchesOfType — each has an oracle equivalent of the same name.
+// and SwitchesOfType — each has an oracle equivalent of the same name —
+// plus the coordinate closed forms StructuralDist, LowestCommonTier and
+// StageTemplate, which answer for the healthy graph only and whose
+// refuse-and-fall-back-to-BFS gating is centralized in internal/netstate.
 // Structural accessors (Node, Servers, Switches, Links, Neighbors, ...)
 // remain free: they are O(1) reads, not path computations.
 type OracleBypass struct{}
@@ -29,6 +32,19 @@ var oracleOnly = map[string]bool{
 	"PathLatency":     true,
 	"AccessSwitch":    true,
 	"SwitchesOfType":  true,
+}
+
+// structuralOnly are the coordinate closed-form accessors, callable only
+// from internal/netstate. Unlike the oracleOnly methods these are O(1),
+// but they answer for the HEALTHY graph only — each refuses (ok=false)
+// while any node is down — and internal/netstate is where the
+// fallback-to-BFS gating lives. A consumer calling them directly must
+// reimplement that gating, and a missed refusal check silently serves
+// healthy-graph distances on a degraded fabric.
+var structuralOnly = map[string]bool{
+	"StructuralDist":   true,
+	"LowestCommonTier": true,
+	"StageTemplate":    true,
 }
 
 // Name implements Check.
@@ -50,12 +66,19 @@ func (OracleBypass) Run(p *Pass) {
 			continue
 		}
 		m := selection.Obj()
-		if !oracleOnly[m.Name()] || !isTopologyType(selection.Recv()) {
+		if !isTopologyType(selection.Recv()) {
 			continue
 		}
-		p.Reportf(sel.Sel.Pos(),
-			"direct topology.%s bypasses the netstate oracle (uncached BFS, epoch-blind); use (*netstate.Oracle).%s",
-			m.Name(), m.Name())
+		switch {
+		case oracleOnly[m.Name()]:
+			p.Reportf(sel.Sel.Pos(),
+				"direct topology.%s bypasses the netstate oracle (uncached BFS, epoch-blind); use (*netstate.Oracle).%s",
+				m.Name(), m.Name())
+		case structuralOnly[m.Name()]:
+			p.Reportf(sel.Sel.Pos(),
+				"topology.%s is a structural closed form reserved for internal/netstate (liveness fallback gating lives there); query the oracle instead",
+				m.Name())
+		}
 	}
 }
 

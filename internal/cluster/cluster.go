@@ -246,17 +246,24 @@ func (c *Cluster) ContainersOn(s topology.NodeID) []ContainerID {
 // Candidates returns every server that could host container id (Eq. 8's
 // candidate set O(c_i)), ascending, including its current server.
 func (c *Cluster) Candidates(id ContainerID) []topology.NodeID {
+	return c.AppendCandidates(nil, id)
+}
+
+// AppendCandidates appends the feasible servers for the container to buf
+// and returns the extended slice — Candidates without the per-call
+// allocation, for callers that scan many containers with one reusable
+// buffer.
+func (c *Cluster) AppendCandidates(buf []topology.NodeID, id ContainerID) []topology.NodeID {
 	ct := c.Container(id)
 	if ct == nil {
-		return nil
+		return buf
 	}
-	var out []topology.NodeID
 	for _, s := range c.serverIDs {
 		if c.CanHost(s, id) {
-			out = append(out, s)
+			buf = append(buf, s)
 		}
 	}
-	return out
+	return buf
 }
 
 // TotalFreeSlots reports how many additional containers of the given demand

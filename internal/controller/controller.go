@@ -13,6 +13,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"repro/internal/flow"
 	"repro/internal/netstate"
@@ -360,14 +361,17 @@ func (c *Controller) RandomPolicy(f *flow.Flow, loc flow.Locator, rng *rand.Rand
 	}
 	p := &flow.Policy{Flow: f.ID, Types: append([]string(nil), types...)}
 	fits := c.fitsFn(f.ID, f.Rate)
+	fp := feasiblePool.Get().(*[]topology.NodeID)
+	defer feasiblePool.Put(fp)
 	for _, typ := range types {
 		cands := c.oracle.SwitchesOfType(typ)
-		var feasible []topology.NodeID
+		feasible := (*fp)[:0]
 		for _, w := range cands {
 			if fits(w) {
 				feasible = append(feasible, w)
 			}
 		}
+		*fp = feasible
 		if len(feasible) == 0 {
 			return nil, fmt.Errorf("controller: %w of type %q for flow %d", ErrNoFeasibleSwitch, typ, f.ID)
 		}
@@ -375,6 +379,12 @@ func (c *Controller) RandomPolicy(f *flow.Flow, loc flow.Locator, rng *rand.Rand
 	}
 	return p, nil
 }
+
+// feasiblePool recycles the per-stage feasible-switch scratch RandomPolicy
+// filters into: one buffer serves all stages of a call, and pooling keeps a
+// 10k-flow initialization from allocating a fresh slice per stage. Only the
+// chosen switch ID escapes into the policy.
+var feasiblePool = sync.Pool{New: func() any { return new([]topology.NodeID) }}
 
 // ShortestPolicy builds the deterministic shortest-path policy between the
 // flow's endpoint servers (no load awareness) — the baseline behavior of a

@@ -27,7 +27,9 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/cluster"
 	"repro/internal/controller"
@@ -117,11 +119,13 @@ func (h *HitScheduler) Schedule(req *scheduler.Request) error {
 	// degraded mode a container with no feasible server is reported and
 	// skipped (with its flows) instead of aborting the wave.
 	dropped := make(map[cluster.ContainerID]bool)
+	var candBuf []topology.NodeID
 	for _, t := range movable {
 		if req.Cluster.Container(t.Container).Placed() {
 			continue
 		}
-		cands := req.Cluster.Candidates(t.Container)
+		cands := req.Cluster.AppendCandidates(candBuf[:0], t.Container)
+		candBuf = cands
 		if len(cands) == 0 {
 			if report != nil {
 				report.UnplacedContainers = append(report.UnplacedContainers, t.Container)
@@ -247,6 +251,23 @@ type prefRow struct {
 type runState struct {
 	solves map[flow.ID]*flowSolve
 	prefs  map[cluster.ContainerID]*prefRow
+	// matchers holds one slab-reusing stable matcher per container group
+	// (reduces, maps): successive iterations of the joint loop re-match the
+	// same group, so the dense scratch — and, when nothing changed, the
+	// previous matching itself — carries over. Only used when incremental()
+	// is on; the DisableIncremental parity path calls stablematch.Match
+	// directly every time.
+	matchers [2]*stablematch.Matcher
+	// rows caches per-peer-server distance rows across assignGroup calls.
+	// Rows are pure functions of (topology, liveness), so the cache is keyed
+	// by both versions and dropped whole on any change — the structural
+	// oracle recomputes a row per DistRow call (that is what keeps ITS
+	// footprint O(V)), so this call-scoped memo is what bounds the build at
+	// O(distinct peers × V) per Schedule instead of per group per iteration.
+	// Incremental-only: the DisableIncremental parity path refetches.
+	rows        map[topology.NodeID][]int32
+	rowsTopoVer uint64
+	rowsLiveVer uint64
 }
 
 func newRunState() *runState {
@@ -399,6 +420,227 @@ type prefEntry struct {
 	grade float64
 }
 
+// assignScratch pools the per-container working buffers of the preference
+// build, so a 10k-server wave does not allocate (and GC) a fresh grade
+// vector, bucket table, and permutation scratch for every container.
+// Buffer identity never leaks into results — every buffer is either fully
+// overwritten or explicitly reset before use — so pooling cannot perturb
+// determinism.
+type assignScratch struct {
+	grades   []float64
+	slot     []int32
+	distinct []float64
+	sorted   []float64
+	slotRank []int32
+	counts   []int32
+	offs     []int32
+	accCost  []float64
+	accSet   []bool
+	isPeer   []bool
+
+	// htabKeys/htabVals form a flat open-addressed hash table (linear
+	// probing, val -1 = empty) mapping grade bit patterns to bucket slots.
+	// It replaces a map[uint64]int32 on the ranking hot path: at 10k
+	// servers the build probes it ~2M times per wave, and the flat probe is
+	// several times cheaper than a runtime map access. Lookup/insert only,
+	// never iterated, so determinism is untouched.
+	htabKeys []uint64
+	htabVals []int32
+	htabMask uint64
+}
+
+var assignScratchPool = sync.Pool{New: func() any { return new(assignScratch) }}
+
+func growF64(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func growI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+// growBoolZeroed returns a length-n all-false slice (memclr on reuse).
+func growBoolZeroed(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = false
+	}
+	return s
+}
+
+// htabReset sizes the flat hash table and marks every slot empty. The table
+// tracks DISTINCT grades — a few hundred even on 10k-server rows — so it
+// starts small (L1-resident) regardless of row length and doubles via
+// htabGrow when the caller's distinct count passes half the slots.
+func (sc *assignScratch) htabReset(n int) {
+	sz := 16
+	for sz < 2*n && sz < 1024 {
+		sz <<= 1
+	}
+	if cap(sc.htabKeys) < sz {
+		sc.htabKeys = make([]uint64, sz)
+		sc.htabVals = make([]int32, sz)
+	}
+	sc.htabKeys = sc.htabKeys[:sz]
+	sc.htabVals = sc.htabVals[:sz]
+	for i := range sc.htabVals {
+		sc.htabVals[i] = -1
+	}
+	sc.htabMask = uint64(sz - 1)
+}
+
+// htabGrow doubles the table and reinserts every distinct grade; slot j of
+// sc.distinct is value j, so the rebuild needs no saved keys.
+func (sc *assignScratch) htabGrow() {
+	sz := 2 * len(sc.htabVals)
+	sc.htabKeys = make([]uint64, sz)
+	sc.htabVals = make([]int32, sz)
+	for i := range sc.htabVals {
+		sc.htabVals[i] = -1
+	}
+	sc.htabMask = uint64(sz - 1)
+	for j, g := range sc.distinct {
+		sc.htabPut(math.Float64bits(g), int32(j))
+	}
+}
+
+// htabPut returns the slot stored for key b, inserting next if absent;
+// inserted reports which happened.
+func (sc *assignScratch) htabPut(b uint64, next int32) (slot int32, inserted bool) {
+	h := (b * 0x9e3779b97f4a7c15) & sc.htabMask
+	for {
+		v := sc.htabVals[h]
+		if v < 0 {
+			sc.htabKeys[h] = b
+			sc.htabVals[h] = next
+			return next, true
+		}
+		if sc.htabKeys[h] == b {
+			return v, false
+		}
+		h = (h + 1) & sc.htabMask
+	}
+}
+
+// htabGet returns the slot for key b, which must be present.
+func (sc *assignScratch) htabGet(b uint64) int32 {
+	h := (b * 0x9e3779b97f4a7c15) & sc.htabMask
+	for {
+		if sc.htabVals[h] >= 0 && sc.htabKeys[h] == b {
+			return sc.htabVals[h]
+		}
+		h = (h + 1) & sc.htabMask
+	}
+}
+
+// stableRankDesc writes vals permuted into stable descending-grade order
+// into out (all three slices share one length). It produces exactly the
+// permutation sort.SliceStable yields under a grade-descending comparator:
+// grades are bucketed by exact float64 value — −0 normalized to +0, since
+// neither zero orders before the other under `>` — and buckets are emitted
+// largest-grade-first with input order preserved inside each. One counting
+// pass replaces the comparator callbacks, so a row costs O(n + k log k) for
+// k distinct grades (k ≈ racks on the anchored fast path). Returns false on
+// a NaN grade — never produced by finite rates × integer distances, but the
+// comparator algorithm defines that case, so the caller must fall back to
+// sortDescFallback.
+func (sc *assignScratch) stableRankDesc(grades []float64, vals, out []int) bool {
+	n := len(grades)
+	slot := growI32(sc.slot, n)
+	sc.slot = slot
+	sc.distinct = sc.distinct[:0]
+	sc.htabReset(n)
+	for i, g := range grades {
+		if math.IsNaN(g) {
+			return false
+		}
+		b := math.Float64bits(g)
+		if b == 1<<63 { // -0: same bucket as +0
+			b = 0
+		}
+		s, inserted := sc.htabPut(b, int32(len(sc.distinct)))
+		if inserted {
+			sc.distinct = append(sc.distinct, math.Float64frombits(b))
+			if 2*len(sc.distinct) > len(sc.htabVals) {
+				sc.htabGrow()
+			}
+		}
+		slot[i] = s
+	}
+	k := len(sc.distinct)
+	sorted := append(sc.sorted[:0], sc.distinct...)
+	sc.sorted = sorted
+	sort.Float64s(sorted) // ascending; descending rank = k-1-j
+	slotRank := growI32(sc.slotRank, k)
+	sc.slotRank = slotRank
+	for j, g := range sorted {
+		slotRank[sc.htabGet(math.Float64bits(g))] = int32(k - 1 - j)
+	}
+	counts := growI32(sc.counts, k)
+	sc.counts = counts
+	for r := range counts {
+		counts[r] = 0
+	}
+	for _, s := range slot {
+		counts[slotRank[s]]++
+	}
+	offs := growI32(sc.offs, k)
+	sc.offs = offs
+	var sum int32
+	for r, c := range counts {
+		offs[r] = sum
+		sum += c
+	}
+	for i := 0; i < n; i++ {
+		r := slotRank[slot[i]]
+		out[offs[r]] = vals[i]
+		offs[r]++
+	}
+	return true
+}
+
+// sortDescFallback is the comparator-defined path stableRankDesc defers to
+// on NaN grades: literally the original sort.SliceStable build.
+func sortDescFallback(grades []float64, vals, out []int) {
+	entries := make([]prefEntry, len(grades))
+	for i := range grades {
+		entries[i] = prefEntry{idx: vals[i], grade: grades[i]}
+	}
+	sort.SliceStable(entries, func(a, b int) bool { return entries[a].grade > entries[b].grade })
+	for i, e := range entries {
+		out[i] = e.idx
+	}
+}
+
+// nearestByRow is netstate.(*Oracle).NearestByDist over an already-fetched
+// distance row: same compare, same unreachable skip, same lower-ID
+// tie-break. The incremental preference build uses it so one row fetch
+// serves both the anchored cost sums and the vote; the DisableIncremental
+// parity path keeps calling the oracle, pinning this replica against it.
+func nearestByRow(row []int32, cands []topology.NodeID) topology.NodeID {
+	best := topology.None
+	bestD := int32(-1)
+	for _, c := range cands {
+		d := row[c]
+		if d < 0 {
+			continue
+		}
+		if bestD == -1 || d < bestD || (d == bestD && c < best) {
+			bestD, best = d, c
+		}
+	}
+	return best
+}
+
 func equalInts(a, b []int) bool {
 	if len(a) != len(b) {
 		return false
@@ -443,11 +685,11 @@ func (h *HitScheduler) assign(req *scheduler.Request, movable []scheduler.Task, 
 			maps = append(maps, t)
 		}
 	}
-	for _, group := range [][]scheduler.Task{reduces, maps} {
+	for gi, group := range [][]scheduler.Task{reduces, maps} {
 		if len(group) == 0 {
 			continue
 		}
-		if err := h.assignGroup(req, group, flows, loc, st); err != nil {
+		if err := h.assignGroup(req, group, flows, loc, st, gi); err != nil {
 			return err
 		}
 	}
@@ -459,8 +701,22 @@ func (h *HitScheduler) assign(req *scheduler.Request, movable []scheduler.Task, 
 // stay sequential: goroutine fan-out costs more than the loops it saves.
 const parallelThreshold = 4096
 
+// demandClass shares per-demand facts across the containers of one group.
+// Every group container stands unplaced when feasibility is computed, so
+// CanHost depends only on the container's resource demand: containers with
+// identical demands see the identical feasible-server set, candidate list,
+// and — candidates being the only per-container input — identical
+// nearest-feasible votes per anchored peer server. One O(V) scan per
+// distinct demand replaces one per container.
+type demandClass struct {
+	feas  []int
+	cands []topology.NodeID
+	votes map[topology.NodeID]int // anchored peer server → voted server index, -1 = none
+}
+
 // assignGroup matches one kind-homogeneous container group onto servers.
-func (h *HitScheduler) assignGroup(req *scheduler.Request, group []scheduler.Task, flows []*flow.Flow, loc flow.Locator, st *runState) error {
+// gi selects the group's slab-reusing matcher in st (0 = reduces, 1 = maps).
+func (h *HitScheduler) assignGroup(req *scheduler.Request, group []scheduler.Task, flows []*flow.Flow, loc flow.Locator, st *runState, gi int) error {
 	servers := req.Cluster.Servers()
 	serverIdx := make(map[topology.NodeID]int, len(servers))
 	for i, s := range servers {
@@ -501,26 +757,131 @@ func (h *HitScheduler) assignGroup(req *scheduler.Request, group []scheduler.Tas
 		}
 	}
 
+	// Demand classes: the group is fully unplaced here, so feasibility is a
+	// function of the demand vector alone and is scanned once per class.
+	classes := make(map[cluster.Resources]*demandClass, 2)
+	classOf := make([]*demandClass, len(containers))
+	for ci, c := range containers {
+		d := req.Cluster.Container(c).Demand
+		cl := classes[d]
+		if cl == nil {
+			var feas []int
+			for si, s := range servers {
+				if req.Cluster.CanHost(s, c) {
+					feas = append(feas, si)
+				}
+			}
+			cands := make([]topology.NodeID, len(feas))
+			for k, si := range feas {
+				cands[k] = servers[si]
+			}
+			cl = &demandClass{feas: feas, cands: cands, votes: make(map[topology.NodeID]int)}
+			classes[d] = cl
+		}
+		classOf[ci] = cl
+	}
+
+	// Dirty check (run before the shared tables are built, so a fully clean
+	// round pays for neither rows nor votes): a container whose original
+	// server, feasible set, and anchored peers all recur from the previous
+	// round would rebuild the exact same row — reuse it.
+	useMemo := h.incremental()
+	memoHit := make([]*prefRow, len(containers))
+
+	// Group-level shared tables, built sequentially (deterministic oracle
+	// call order) and only read by the fan-out below:
+	//   rows[ps]      — one distance row per distinct anchored peer server,
+	//                   memoized across groups and iterations in st (keyed
+	//                   by topology/liveness version) on the incremental
+	//                   path;
+	//   cl.votes[ps]  — the class's nearest-feasible vote for that peer
+	//                   (Algorithm 1 lines 11–13), a function of (peer,
+	//                   candidate list) only. Incremental runs derive it
+	//                   from the fetched row with the oracle's own compare
+	//                   and lower-ID tie-break; the DisableIncremental
+	//                   parity path asks the oracle itself, pinning the
+	//                   row-scan replica against NearestByDist.
+	topo := req.Cluster.Topology()
+	var rows map[topology.NodeID][]int32
+	if useMemo {
+		tv, lv := topo.Version(), topo.LivenessVersion()
+		if st.rows == nil || st.rowsTopoVer != tv || st.rowsLiveVer != lv {
+			st.rows = make(map[topology.NodeID][]int32)
+			st.rowsTopoVer, st.rowsLiveVer = tv, lv
+		}
+		rows = st.rows
+	} else {
+		rows = make(map[topology.NodeID][]int32)
+	}
+	for ci, c := range containers {
+		if useMemo {
+			if prev := st.prefs[c]; prev != nil && prev.orig == original[c] &&
+				equalInts(prev.feasible, classOf[ci].feas) && equalNodeIDs(prev.peerSrv, peerSrv[ci]) {
+				memoHit[ci] = prev
+				continue
+			}
+		}
+		cl := classOf[ci]
+		for _, ps := range peerSrv[ci] {
+			if _, ok := rows[ps]; !ok {
+				rows[ps] = oracle.DistRow(ps)
+			}
+			if _, ok := cl.votes[ps]; !ok {
+				var best topology.NodeID
+				if useMemo {
+					best = nearestByRow(rows[ps], cl.cands)
+				} else {
+					best = oracle.NearestByDist(ps, cl.cands)
+				}
+				if best == topology.None {
+					cl.votes[ps] = -1
+				} else {
+					cl.votes[ps] = serverIdx[best]
+				}
+			}
+		}
+	}
+
+	// Single-homed anchored fast path: when every server hangs off exactly
+	// one access switch and the fabric is healthy, dist(peer, s) =
+	// 1 + dist(peer, access(s)) for every server s that is not the peer
+	// itself — so the anchored cost sum is shared by every server of a rack
+	// and the per-container scan shrinks from O(flows × feasible servers)
+	// to O(flows × access switches). Peer servers themselves keep the
+	// direct per-flow loop: their own distance is 0, not 1 + dist.
+	// accSlotOf maps each server index to a dense per-rack slot so the
+	// per-container cost table is an array, not a map.
+	anchorable := topo.ServersSingleHomed() && topo.AllAlive()
+	var accSlotOf []int32
+	var accNodes []topology.NodeID
+	if anchorable {
+		accSlotOf = make([]int32, len(servers))
+		accIdx := make(map[topology.NodeID]int32, 64)
+		for si, s := range servers {
+			a := oracle.AccessSwitch(s)
+			slot, ok := accIdx[a]
+			if !ok {
+				slot = int32(len(accNodes))
+				accIdx[a] = slot
+				accNodes = append(accNodes, a)
+			}
+			accSlotOf[si] = slot
+		}
+	}
+
 	// Per-container preference build (Algorithm 1's preference-matrix rows
 	// plus Eq. 10 proposer rankings). Every container's pass writes only its
 	// own index, so the fan-out is deterministic: results are identical to
 	// the sequential loop regardless of worker count, and the merge into the
-	// grade matrix below happens column-by-column with no shared writes.
-	// The cluster is only read (CanHost) between the Unplace above and the
-	// Place calls below, so concurrent reads are safe. st.prefs is read
-	// concurrently here and written only after the fan-out returns.
+	// grade rows below happens column-by-column with no shared writes. The
+	// shared tables above (rows, classes, accessOf, original) are read-only
+	// during the fan-out, and st.prefs is written only after it returns.
 	//
-	// Within a container's pass, incident flows are grouped by anchored peer
-	// server: one distance row and one nearest-feasible vote per DISTINCT
-	// peer server serves every flow anchored there, so the per-container
-	// work scales with distinct endpoint pairs rather than flows. Cost sums
-	// still accumulate in flow order, keeping the floats bit-identical to
-	// the ungrouped loop.
-	useMemo := h.incremental()
-	feasible := make([][]int, len(containers))
+	// Cost sums always accumulate in flow order, keeping the floats
+	// bit-identical to the ungrouped per-flow loop.
 	propPrefs := make([][]int, len(containers))
 	votes := make([][]int, len(containers)) // per incident flow: voted server index, -1 = none
-	rows := make([]*prefRow, len(containers))
+	prefRows := make([]*prefRow, len(containers))
 	workers := 0
 	if len(containers)*len(servers) < parallelThreshold {
 		workers = 1
@@ -529,32 +890,19 @@ func (h *HitScheduler) assignGroup(req *scheduler.Request, group []scheduler.Tas
 	// workers own disjoint slots, so the merge order is the index order.
 	err := parallel.ForEach(len(containers), workers, func(ci int) error {
 		c := containers[ci]
-		var feas []int
-		for si, s := range servers {
-			if req.Cluster.CanHost(s, c) {
-				feas = append(feas, si)
-			}
-		}
-		if len(feas) == 0 {
+		cl := classOf[ci]
+		if len(cl.feas) == 0 {
 			return fmt.Errorf("core: %w for container %d", scheduler.ErrNoFeasibleServer, c)
 		}
-		feasible[ci] = feas
-
-		// Dirty check: a container whose original server, feasible set, and
-		// anchored peers all recur from the previous round would rebuild the
-		// exact same row — reuse it.
-		if useMemo {
-			if prev := st.prefs[c]; prev != nil && prev.orig == original[c] &&
-				equalInts(prev.feasible, feas) && equalNodeIDs(prev.peerSrv, peerSrv[ci]) {
-				propPrefs[ci] = prev.propPrefs
-				votes[ci] = prev.votes
-				rows[ci] = prev
-				return nil
-			}
+		if prev := memoHit[ci]; prev != nil {
+			propPrefs[ci] = prev.propPrefs
+			votes[ci] = prev.votes
+			prefRows[ci] = prev
+			return nil
 		}
 
 		// Distinct anchored peer servers in first-appearance order;
-		// peerOf[k] indexes the per-peer tables for incident flow k.
+		// peerOf[k] indexes the per-peer rows for incident flow k.
 		distinct := make([]topology.NodeID, 0, len(peerSrv[ci]))
 		peerIdx := make(map[topology.NodeID]int, len(peerSrv[ci]))
 		peerOf := make([]int, len(peerSrv[ci]))
@@ -569,14 +917,17 @@ func (h *HitScheduler) assignGroup(req *scheduler.Request, group []scheduler.Tas
 		}
 		rowOf := make([][]int32, len(distinct))
 		for pi, ps := range distinct {
-			rowOf[pi] = oracle.DistRow(ps)
+			rowOf[pi] = rows[ps]
 		}
+
+		sc := assignScratchPool.Get().(*assignScratch)
+		defer assignScratchPool.Put(sc)
 
 		// Anchored re-routed cost of hosting this container on server s:
 		// Σ rate × dist(peer, s) — the flow cost after Algorithm 1
 		// re-optimizes the route for the new endpoint. Accumulated in flow
 		// order over the prefetched rows.
-		anchored := func(s topology.NodeID) float64 {
+		direct := func(s topology.NodeID) float64 {
 			var cost float64
 			for k, f := range incident[ci] {
 				d := rowOf[peerOf[k]][s]
@@ -587,49 +938,70 @@ func (h *HitScheduler) assignGroup(req *scheduler.Request, group []scheduler.Tas
 			}
 			return cost
 		}
+		costAt := func(si int) float64 { return direct(servers[si]) }
+		if anchorable {
+			// accCost[slot] = Σ rate × float64(1 + dist(peer, access)) in
+			// flow order: term-for-term the same float64 values direct()
+			// sums for any non-peer server of that rack (the distances are
+			// equal ints, so the conversions and products are bit-
+			// identical), computed once per access switch instead of once
+			// per server. Peer servers fall back to direct().
+			accCost := growF64(sc.accCost, len(accNodes))
+			sc.accCost = accCost
+			accSet := growBoolZeroed(sc.accSet, len(accNodes))
+			sc.accSet = accSet
+			isPeer := growBoolZeroed(sc.isPeer, len(servers))
+			sc.isPeer = isPeer
+			for _, ps := range distinct {
+				isPeer[serverIdx[ps]] = true
+			}
+			costAt = func(si int) float64 {
+				if isPeer[si] {
+					return direct(servers[si])
+				}
+				slot := accSlotOf[si]
+				if !accSet[slot] {
+					var cost float64
+					a := accNodes[slot]
+					for k, f := range incident[ci] {
+						da := rowOf[peerOf[k]][a]
+						if da < 0 {
+							continue
+						}
+						cost += f.Rate * float64(1+da)
+					}
+					accCost[slot] = cost
+					accSet[slot] = true
+				}
+				return accCost[slot]
+			}
+		}
 
 		// Proposer preferences: servers by utility (Eq. 10) = current cost
 		// minus candidate cost, descending.
-		curCost := anchored(original[c])
-		entries := make([]prefEntry, 0, len(feas))
-		for _, si := range feas {
-			entries = append(entries, prefEntry{idx: si, grade: curCost - anchored(servers[si])})
+		curCost := costAt(serverIdx[original[c]])
+		grades := growF64(sc.grades, len(cl.feas))
+		sc.grades = grades
+		for i, si := range cl.feas {
+			grades[i] = curCost - costAt(si)
 		}
-		sort.SliceStable(entries, func(a, b int) bool { return entries[a].grade > entries[b].grade })
-		prop := make([]int, len(entries))
-		for k, e := range entries {
-			prop[k] = e.idx
+		prop := make([]int, len(cl.feas))
+		if !sc.stableRankDesc(grades, cl.feas, prop) {
+			sortDescFallback(grades, cl.feas, prop)
 		}
 		propPrefs[ci] = prop
 
-		// Preference-matrix votes (Algorithm 1 lines 11–13): every flow
-		// votes its rate onto the feasible server nearest its anchored peer
-		// — the endpoint of the flow's optimal path in Figure 5's layered
-		// graph. The vote is a function of the peer server alone, so it is
-		// computed once per distinct peer and fanned out to the flows.
-		cands := make([]topology.NodeID, len(feas))
-		for k, si := range feas {
-			cands[k] = servers[si]
-		}
-		voteOf := make([]int, len(distinct))
-		for pi, ps := range distinct {
-			best := oracle.NearestByDist(ps, cands)
-			if best == topology.None {
-				voteOf[pi] = -1
-				continue
-			}
-			voteOf[pi] = serverIdx[best]
-		}
+		// Fan the class's per-peer votes out to this container's flows.
 		vts := make([]int, len(incident[ci]))
-		for k := range incident[ci] {
-			vts[k] = voteOf[peerOf[k]]
+		for k, ps := range peerSrv[ci] {
+			vts[k] = cl.votes[ps]
 		}
 		votes[ci] = vts
 
 		if useMemo {
-			rows[ci] = &prefRow{
+			prefRows[ci] = &prefRow{
 				orig:      original[c],
-				feasible:  feas,
+				feasible:  cl.feas,
 				peerSrv:   peerSrv[ci],
 				propPrefs: prop,
 				votes:     vts,
@@ -642,36 +1014,49 @@ func (h *HitScheduler) assignGroup(req *scheduler.Request, group []scheduler.Tas
 	}
 	if useMemo {
 		for ci, c := range containers {
-			if rows[ci] != nil {
-				st.prefs[c] = rows[ci]
+			if prefRows[ci] != nil {
+				st.prefs[c] = prefRows[ci]
 			}
 		}
 	}
 
 	// Deterministic merge of the votes into the host-preference grades.
-	grades := make([][]float64, len(servers))
-	for i := range grades {
-		grades[i] = make([]float64, len(containers))
-	}
+	// Votes are sparse — at most one server per incident flow — so only
+	// voted servers carry a grade row; every other server's grades are all
+	// zero, and a stable descending sort of an all-equal row is the identity
+	// permutation, shared once below instead of allocated per server.
+	gradeRows := make(map[int][]float64, len(containers))
 	for ci := range containers {
 		for k, f := range incident[ci] {
 			if si := votes[ci][k]; si >= 0 {
-				grades[si][ci] += f.Rate
+				row := gradeRows[si]
+				if row == nil {
+					row = make([]float64, len(containers))
+					gradeRows[si] = row
+				}
+				row[ci] += f.Rate
 			}
 		}
 	}
-	hostPrefs := make([][]int, len(servers))
-	for si := range servers {
-		entries := make([]prefEntry, 0, len(containers))
-		for ci := range containers {
-			entries = append(entries, prefEntry{idx: ci, grade: grades[si][ci]})
-		}
-		sort.SliceStable(entries, func(a, b int) bool { return entries[a].grade > entries[b].grade })
-		hostPrefs[si] = make([]int, len(entries))
-		for k, e := range entries {
-			hostPrefs[si][k] = e.idx
-		}
+	identity := make([]int, len(containers))
+	for ci := range identity {
+		identity[ci] = ci
 	}
+	hostPrefs := make([][]int, len(servers))
+	sc := assignScratchPool.Get().(*assignScratch)
+	for si := range servers {
+		row := gradeRows[si]
+		if row == nil {
+			hostPrefs[si] = identity
+			continue
+		}
+		out := make([]int, len(containers))
+		if !sc.stableRankDesc(row, identity, out) {
+			sortDescFallback(row, identity, out)
+		}
+		hostPrefs[si] = out
+	}
+	assignScratchPool.Put(sc)
 
 	// CPU is the binding capacity dimension for the matching.
 	capacity := make([]float64, len(servers))
@@ -728,14 +1113,29 @@ func (h *HitScheduler) assignGroup(req *scheduler.Request, group []scheduler.Tas
 		return nil
 	}
 
-	res, err := stablematch.Match(&stablematch.Instance{
+	inst := &stablematch.Instance{
 		NumProposers:  len(containers),
 		NumHosts:      len(servers),
 		ProposerPrefs: propPrefs,
 		HostPrefs:     hostPrefs,
 		Load:          loads,
 		Capacity:      capacity,
-	})
+	}
+	// Incremental runs keep one Matcher per group alive for the whole
+	// Schedule call: scratch slabs carry over, and an iteration whose
+	// preference build fully memo-hit replays the previous stable matching
+	// (provably identical — deferred acceptance is deterministic). The
+	// DisableIncremental path matches from scratch; parity tests pin the
+	// two bit-equal.
+	var res *stablematch.Result
+	if h.incremental() {
+		if st.matchers[gi] == nil {
+			st.matchers[gi] = &stablematch.Matcher{}
+		}
+		res, err = st.matchers[gi].Match(inst)
+	} else {
+		res, err = stablematch.Match(inst)
+	}
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,157 @@
+package netstate_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/netstate"
+	"repro/internal/topology"
+)
+
+// Fault-parity sweep: the memoizing oracle answers through the structural
+// coordinate closed forms while the graph is healthy and through BFS rows
+// while any node is down, swapping per query as fault-injection timelines
+// flip liveness. This sweep drives every architecture family through a
+// seeded internal/faults timeline and, after every flip, compares
+// distances, nearest-candidate winners, and switch-type templates against
+// a fresh NewUncached oracle — the pure-BFS reference that never takes the
+// structural path and never caches. Any divergence (stale cache, wrong
+// closed form, missed refusal on a degraded graph) fails with the event
+// index that exposed it.
+
+// sweepTopologies builds one modest instance of each generator family.
+func sweepTopologies(t *testing.T) map[string]func() *topology.Topology {
+	t.Helper()
+	p := topology.LinkParams{Bandwidth: 10, Latency: 0.1, SwitchCapacity: 100}
+	must := func(topo *topology.Topology, err error) *topology.Topology {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return topo
+	}
+	return map[string]func() *topology.Topology{
+		"tree":      func() *topology.Topology { return must(topology.NewTree(3, 3, p)) },
+		"rack-tree": func() *topology.Topology { return must(topology.NewTreeWithRacks(2, 3, 4, p)) },
+		"fattree":   func() *topology.Topology { return must(topology.NewFatTree(4, p)) },
+		"vl2":       func() *topology.Topology { return must(topology.NewVL2(4, 2, 2, 3, p)) },
+		"bcube":     func() *topology.Topology { return must(topology.NewBCube(3, 1, p)) },
+	}
+}
+
+// assertOracleParity compares the cached oracle against a fresh uncached
+// reference over every node pair: full distance rows, per-server nearest
+// winners, and server-pair type templates.
+func assertOracleParity(t *testing.T, topo *topology.Topology, o *netstate.Oracle, step string) {
+	t.Helper()
+	ref := netstate.NewUncached(topo)
+	n := topo.NumNodes()
+	for src := 0; src < n; src++ {
+		got := o.DistRow(topology.NodeID(src))
+		want := ref.DistRow(topology.NodeID(src))
+		for v := 0; v < n; v++ {
+			if got[v] != want[v] {
+				t.Fatalf("%s: DistRow(%d)[%d] = %d, want %d", step, src, v, got[v], want[v])
+			}
+		}
+	}
+	servers := topo.Servers()
+	for _, s := range servers {
+		gotN := o.NearestByDist(s, servers)
+		wantN := ref.NearestByDist(s, servers)
+		if gotN != wantN {
+			t.Fatalf("%s: NearestByDist(%d, servers) = %d, want %d", step, s, gotN, wantN)
+		}
+	}
+	for _, a := range servers {
+		for _, b := range servers {
+			gotT, gotErr := o.TypeTemplate(a, b)
+			wantT, wantErr := ref.TypeTemplate(a, b)
+			if (gotErr == nil) != (wantErr == nil) {
+				t.Fatalf("%s: TypeTemplate(%d,%d) error mismatch: %v vs %v", step, a, b, gotErr, wantErr)
+			}
+			if gotErr != nil {
+				continue
+			}
+			if len(gotT) != len(wantT) {
+				t.Fatalf("%s: TypeTemplate(%d,%d) = %v, want %v", step, a, b, gotT, wantT)
+			}
+			for i := range gotT {
+				if gotT[i] != wantT[i] {
+					t.Fatalf("%s: TypeTemplate(%d,%d) = %v, want %v", step, a, b, gotT, wantT)
+				}
+			}
+		}
+	}
+}
+
+// applyLiveness folds one fault event into the topology's liveness mask.
+// Degrade events touch capacity, not liveness; recover events are no-ops
+// when the target was only degraded — exactly SetNodeAlive's contract.
+func applyLiveness(t *testing.T, topo *topology.Topology, ev faults.Event) bool {
+	t.Helper()
+	switch ev.Kind {
+	case faults.SwitchCrash, faults.ServerCrash:
+		if err := topo.SetNodeAlive(ev.Node, false); err != nil {
+			t.Fatal(err)
+		}
+		return true
+	case faults.SwitchRecover, faults.ServerRecover:
+		if err := topo.SetNodeAlive(ev.Node, true); err != nil {
+			t.Fatal(err)
+		}
+		return true
+	}
+	return false
+}
+
+func TestFaultTimelineParitySweep(t *testing.T) {
+	for name, build := range sweepTopologies(t) {
+		t.Run(name, func(t *testing.T) {
+			topo := build()
+			o := netstate.New(topo)
+
+			// Healthy baseline: structural closed forms vs pure BFS.
+			assertOracleParity(t, topo, o, "healthy")
+
+			rng := rand.New(rand.NewSource(7))
+			evs := faults.GenerateTimeline(rng, topo, faults.Spec{
+				Horizon: 100, Rate: 10, Severity: 0.5, MTTR: 15,
+			})
+			if len(evs) == 0 {
+				t.Fatal("empty fault timeline")
+			}
+			for i, ev := range evs {
+				if !applyLiveness(t, topo, ev) {
+					continue
+				}
+				assertOracleParity(t, topo, o, fmt.Sprintf("event %d (%v node %d)", i, ev.Kind, ev.Node))
+			}
+
+			// Recover everything: the structural fast path must resume and
+			// still agree with the reference.
+			for _, id := range topo.Switches() {
+				if err := topo.SetNodeAlive(id, true); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for _, id := range topo.Servers() {
+				if err := topo.SetNodeAlive(id, true); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if !topo.AllAlive() {
+				t.Fatal("recovery left dead nodes")
+			}
+			assertOracleParity(t, topo, o, "recovered")
+			if topo.Structural() {
+				ms := o.MemoryStats()
+				if !ms.Structural {
+					t.Error("structural fast path did not resume after full recovery")
+				}
+			}
+		})
+	}
+}

@@ -103,6 +103,12 @@ type Oracle struct {
 	// published via an atomic pointer so revive can drop it.
 	access atomic.Pointer[[]topology.NodeID]
 
+	// swTab is the dense switch-pair distance table (swdist.go): built once
+	// from healthy-graph closed forms, consulted only while structuralOK(),
+	// never invalidated. swMu serializes the one-time build.
+	swTab atomic.Pointer[swDistTab]
+	swMu  sync.Mutex
+
 	// headMu guards the epoch-tagged headroom view.
 	headMu       sync.Mutex
 	headEpoch    uint64
@@ -215,7 +221,24 @@ func (o *Oracle) BindLoad(fn LoadFunc) {
 
 // ---------------------------------------------------------------------------
 // Distances and paths (structure-derived; never invalidated)
+//
+// On topologies built by the architecture generators, distance queries are
+// answered by the coordinate closed forms in internal/topology — O(1) per
+// pair, nothing memoized — so the oracle retains no per-source distance rows
+// at all and its structural state is O(V) (the access-switch table) plus
+// O(pairs actually routed) for paths/templates. The BFS row machinery below
+// remains the parity-tested fallback, used whenever the topology is
+// irregular or any node is crashed (the closed forms refuse per query while
+// numDead > 0, so fault injection degrades gracefully and recovery restores
+// the fast path without any cache interplay).
 // ---------------------------------------------------------------------------
+
+// structuralOK reports whether coordinate closed forms may answer right now.
+// Only memoizing oracles take the fast path: NewUncached stays pure BFS so
+// parity tests compare structural answers against the reference.
+func (o *Oracle) structuralOK() bool {
+	return o.cached && o.topo.Structural() && o.topo.AllAlive()
+}
 
 // computeDistRow runs a fresh BFS from src, traversing only live nodes
 // (mirroring topology.bfs: a dead source reaches nothing).
@@ -245,11 +268,33 @@ func (o *Oracle) computeDistRow(src topology.NodeID) []int32 {
 	return d
 }
 
+// structuralRow builds a full distance row from coordinates, O(V) work and
+// nothing retained. ok=false when any query refuses (degraded mid-loop).
+func (o *Oracle) structuralRow(src topology.NodeID) ([]int32, bool) {
+	n := o.topo.NumNodes()
+	d := make([]int32, n)
+	for i := 0; i < n; i++ {
+		dist, ok := o.topo.StructuralDist(src, topology.NodeID(i))
+		if !ok {
+			return nil, false
+		}
+		d[i] = int32(dist)
+	}
+	return d, true
+}
+
 // DistRow returns the BFS distance table from src (unreachable nodes get
-// -1). The returned slice is shared; callers must not modify it.
+// -1). The returned slice is shared; callers must not modify it. In
+// structural mode the row is computed fresh from coordinates and NOT
+// memoized — per-pair callers should prefer Dist, which needs no row.
 func (o *Oracle) DistRow(src topology.NodeID) []int32 {
 	if !o.cached {
 		return o.computeDistRow(src)
+	}
+	if o.structuralOK() {
+		if row, ok := o.structuralRow(src); ok {
+			return row
+		}
 	}
 	o.ensureLive()
 	if row := o.distRows[src].Load(); row != nil {
@@ -266,7 +311,13 @@ func (o *Oracle) DistRow(src topology.NodeID) []int32 {
 }
 
 // Dist returns the hop distance between a and b, or -1 if disconnected.
+// O(1) via coordinate math on structural topologies; row lookup otherwise.
 func (o *Oracle) Dist(a, b topology.NodeID) int {
+	if o.cached {
+		if d, ok := o.topo.StructuralDist(a, b); ok {
+			return d
+		}
+	}
 	return int(o.DistRow(a)[b])
 }
 
@@ -298,8 +349,15 @@ func (o *Oracle) ShortestPath(src, dst topology.NodeID) []topology.NodeID {
 }
 
 // buildPath reconstructs the lowest-ID shortest path using the distance
-// table of dst (mirroring topology.ShortestPath exactly).
+// table of dst (mirroring topology.ShortestPath exactly). In structural
+// mode the dst row never materializes: each neighbor probe is an O(1)
+// coordinate query, preserving the identical first-lowest-ID tie-break.
 func (o *Oracle) buildPath(src, dst topology.NodeID) []topology.NodeID {
+	if o.structuralOK() {
+		if p, ok := o.buildPathStructural(src, dst); ok {
+			return p
+		}
+	}
 	dd := o.DistRow(dst)
 	if dd[src] < 0 {
 		return nil
@@ -324,6 +382,38 @@ func (o *Oracle) buildPath(src, dst topology.NodeID) []topology.NodeID {
 	return path
 }
 
+// buildPathStructural is buildPath's coordinate-math twin: same walk, same
+// sorted-adjacency first-match tie-break, no distance row.
+func (o *Oracle) buildPathStructural(src, dst topology.NodeID) ([]topology.NodeID, bool) {
+	rem, ok := o.topo.StructuralDist(src, dst)
+	if !ok {
+		return nil, false
+	}
+	path := make([]topology.NodeID, 0, rem+1)
+	path = append(path, src)
+	cur := src
+	for cur != dst {
+		next := topology.None
+		for _, nb := range o.topo.Neighbors(cur) {
+			d, dok := o.topo.StructuralDist(nb, dst)
+			if !dok {
+				return nil, false // degraded mid-walk: redo via BFS rows
+			}
+			if d == rem-1 {
+				next = nb
+				break // adjacency is sorted: lowest-ID choice
+			}
+		}
+		if next == topology.None {
+			return nil, true // defensive; healthy structural graphs are connected
+		}
+		path = append(path, next)
+		cur = next
+		rem--
+	}
+	return path, true
+}
+
 // PathDAG returns the all-shortest-paths DAG between src and dst (nil when
 // disconnected). The returned DAG is shared; callers must not modify it.
 func (o *Oracle) PathDAG(src, dst topology.NodeID) *topology.PathDAG {
@@ -337,7 +427,7 @@ func (o *Oracle) PathDAG(src, dst topology.NodeID) *topology.PathDAG {
 			return d
 		}
 	}
-	d := o.topo.ShortestPathDAG(src, dst)
+	d := o.computeDAG(src, dst)
 	if o.cached {
 		o.pairMu.Lock()
 		o.dags[key] = d
@@ -346,11 +436,44 @@ func (o *Oracle) PathDAG(src, dst topology.NodeID) *topology.PathDAG {
 	return d
 }
 
+// computeDAG mirrors topology.ShortestPathDAG. In structural mode the two
+// distance rows come from coordinates (fresh, O(V), nothing retained) so
+// layered-DAG stage construction never grows the topology's BFS cache.
+func (o *Oracle) computeDAG(src, dst topology.NodeID) *topology.PathDAG {
+	if !o.structuralOK() {
+		return o.topo.ShortestPathDAG(src, dst)
+	}
+	ds, ok1 := o.structuralRow(src)
+	dd, ok2 := o.structuralRow(dst)
+	if !ok1 || !ok2 {
+		return o.topo.ShortestPathDAG(src, dst)
+	}
+	total := ds[dst]
+	if total < 0 {
+		return nil
+	}
+	dag := &topology.PathDAG{Src: src, Dst: dst, Stages: make([][]topology.NodeID, total+1)}
+	for id := 0; id < o.topo.NumNodes(); id++ {
+		n := topology.NodeID(id)
+		// Ascending id iteration appends each stage already sorted, exactly
+		// as topology.ShortestPathDAG leaves it.
+		if ds[n] >= 0 && dd[n] >= 0 && ds[n]+dd[n] == total {
+			dag.Stages[ds[n]] = append(dag.Stages[ds[n]], n)
+		}
+	}
+	return dag
+}
+
 // NearestByDist returns the candidate closest to src by hop distance,
 // breaking ties toward lower node IDs; None when no candidate is reachable.
 // This is the single lookup that replaces the fresh per-query BFS the
 // preference-matrix build used to run.
 func (o *Oracle) NearestByDist(src topology.NodeID, cands []topology.NodeID) topology.NodeID {
+	if o.structuralOK() {
+		if best, ok := o.nearestStructural(src, cands); ok {
+			return best
+		}
+	}
 	row := o.DistRow(src)
 	best := topology.None
 	bestD := int32(-1)
@@ -364,6 +487,24 @@ func (o *Oracle) NearestByDist(src topology.NodeID, cands []topology.NodeID) top
 		}
 	}
 	return best
+}
+
+// nearestStructural scans candidates with O(1) coordinate distances — same
+// compare, same lower-ID tie-break, no row. Healthy structural graphs are
+// connected, so the fallback's unreachable-skip never fires here.
+func (o *Oracle) nearestStructural(src topology.NodeID, cands []topology.NodeID) (topology.NodeID, bool) {
+	best := topology.None
+	bestD := -1
+	for _, c := range cands {
+		d, ok := o.topo.StructuralDist(src, c)
+		if !ok {
+			return topology.None, false
+		}
+		if bestD == -1 || d < bestD || (d == bestD && c < best) {
+			bestD, best = d, c
+		}
+	}
+	return best, true
 }
 
 // PathLatency sums per-switch and per-link delay along a node path, in the
@@ -417,14 +558,19 @@ func (o *Oracle) TypeTemplate(src, dst topology.NodeID) ([]string, error) {
 			return t, nil
 		}
 	}
-	path := o.ShortestPath(src, dst)
-	if path == nil {
-		return nil, fmt.Errorf("netstate: no path between nodes %d and %d", src, dst)
-	}
-	types := make([]string, 0, len(path))
-	for _, n := range path {
-		if o.topo.Node(n).IsSwitch() {
-			types = append(types, o.topo.Node(n).Type)
+	var types []string
+	if tmpl, ok := o.structuralTemplate(src, dst); ok {
+		types = tmpl
+	} else {
+		path := o.ShortestPath(src, dst)
+		if path == nil {
+			return nil, fmt.Errorf("netstate: no path between nodes %d and %d", src, dst)
+		}
+		types = make([]string, 0, len(path))
+		for _, n := range path {
+			if o.topo.Node(n).IsSwitch() {
+				types = append(types, o.topo.Node(n).Type)
+			}
 		}
 	}
 	if o.cached {
@@ -433,6 +579,15 @@ func (o *Oracle) TypeTemplate(src, dst topology.NodeID) ([]string, error) {
 		o.pairMu.Unlock()
 	}
 	return types, nil
+}
+
+// structuralTemplate answers TypeTemplate from coordinates for server pairs
+// on healthy structural topologies, skipping path materialization entirely.
+func (o *Oracle) structuralTemplate(src, dst topology.NodeID) ([]string, bool) {
+	if !o.structuralOK() {
+		return nil, false
+	}
+	return o.topo.StageTemplate(src, dst)
 }
 
 // SwitchesOfType returns all switches of the given type, ascending. The

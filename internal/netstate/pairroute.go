@@ -255,11 +255,49 @@ func (o *Oracle) PairRouteStats() (hits, misses uint64) {
 	return o.routeHits.Load(), o.routeMisses.Load()
 }
 
+// dpScratch holds one solve's DP buffers (two cost columns plus the
+// back-pointer rows), pooled so the tens of thousands of per-wave solves on
+// a big fabric do not allocate. Buffers are fully overwritten each solve
+// and nothing pooled escapes into results.
+type dpScratch struct {
+	a, b []float64
+	prev [][]int
+}
+
+var dpPool = sync.Pool{New: func() any { return new(dpScratch) }}
+
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
 // solveStages runs the layered DP over the given stage lists. The
 // arithmetic replicates flow.CostModel.SegmentCost term by term
 // (rate × unit × hops, left-associated) so a cached result is
 // bit-identical to the historical in-controller solve.
 func (o *Oracle) solveStages(rate, unit float64, src, dst topology.NodeID, stages [][]topology.NodeID) ([]topology.NodeID, float64, bool) {
+	// On a healthy structural topology the segment distances come from the
+	// dense switch-pair table (two index loads) instead of per-pair
+	// coordinate math — same integers, so identical floats (swdist.go).
+	// src/dst are lifted onto their access switches once, up front.
+	var tab *swDistTab
+	var srcIdx, srcLift, dstIdx, dstLift int32
+	if o.structuralOK() {
+		if t := o.switchTable(); t.enabled() {
+			tab = t
+			srcIdx, srcLift = o.liftEndpoint(t, src)
+			dstIdx, dstLift = o.liftEndpoint(t, dst)
+		}
+	}
 	seg := func(a, b topology.NodeID) float64 {
 		d := o.Dist(a, b)
 		if d < 0 {
@@ -267,22 +305,54 @@ func (o *Oracle) solveStages(rate, unit float64, src, dst topology.NodeID, stage
 		}
 		return rate * unit * float64(d)
 	}
-	inf := math.Inf(1)
-	costTo := make([]float64, len(stages[0]))
-	prev := make([][]int, len(stages))
-	for i, w := range stages[0] {
-		costTo[i] = seg(src, w)
+	segSrc := func(w topology.NodeID) float64 {
+		if tab != nil && srcIdx >= 0 {
+			if wi := tab.idx[w]; wi >= 0 {
+				return rate * unit * float64(srcLift+tab.dist[int(srcIdx)*tab.s+int(wi)])
+			}
+		}
+		return seg(src, w)
 	}
+	segDst := func(w topology.NodeID) float64 {
+		if tab != nil && dstIdx >= 0 {
+			if wi := tab.idx[w]; wi >= 0 {
+				return rate * unit * float64(dstLift+tab.dist[int(wi)*tab.s+int(dstIdx)])
+			}
+		}
+		return seg(w, dst)
+	}
+	segMid := func(v, w topology.NodeID) float64 {
+		if tab != nil {
+			vi, wi := tab.idx[v], tab.idx[w]
+			if vi >= 0 && wi >= 0 {
+				return rate * unit * float64(tab.dist[int(vi)*tab.s+int(wi)])
+			}
+		}
+		return seg(v, w)
+	}
+	inf := math.Inf(1)
+	dp := dpPool.Get().(*dpScratch)
+	defer dpPool.Put(dp)
+	costTo := growFloats(dp.a, len(stages[0]))
+	dp.a = costTo
+	if cap(dp.prev) < len(stages) {
+		dp.prev = make([][]int, len(stages))
+	}
+	prev := dp.prev[:len(stages)]
+	for i, w := range stages[0] {
+		costTo[i] = segSrc(w)
+	}
+	spare := dp.b
 	for s := 1; s < len(stages); s++ {
-		next := make([]float64, len(stages[s]))
-		prev[s] = make([]int, len(stages[s]))
+		next := growFloats(spare, len(stages[s]))
+		prev[s] = growInts(prev[s], len(stages[s]))
 		for j, w := range stages[s] {
 			best, bestK := inf, -1
 			for k, v := range stages[s-1] {
 				if math.IsInf(costTo[k], 1) {
 					continue
 				}
-				cst := costTo[k] + seg(v, w)
+				cst := costTo[k] + segMid(v, w)
 				if cst < best {
 					best, bestK = cst, k
 				}
@@ -290,14 +360,15 @@ func (o *Oracle) solveStages(rate, unit float64, src, dst topology.NodeID, stage
 			next[j] = best
 			prev[s][j] = bestK
 		}
-		costTo = next
+		costTo, spare = next, costTo
 	}
+	dp.a, dp.b = costTo, spare
 	best, bestJ := inf, -1
 	for j, w := range stages[len(stages)-1] {
 		if math.IsInf(costTo[j], 1) {
 			continue
 		}
-		cst := costTo[j] + seg(w, dst)
+		cst := costTo[j] + segDst(w)
 		if cst < best {
 			best, bestJ = cst, j
 		}

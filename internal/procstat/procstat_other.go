@@ -1,0 +1,6 @@
+//go:build !linux
+
+package procstat
+
+// PeakRSSBytes is unavailable on this platform; callers print n/a.
+func PeakRSSBytes() (int64, bool) { return 0, false }

@@ -130,51 +130,66 @@ func (in *Instance) capacity(h int) float64 {
 // proposer the host ranks at or below a rejected proposer adds that host to
 // its blacklist — those proposals are skipped outright, which preserves the
 // outcome while bounding work by O(M×N) proposals.
+//
+// Match allocates its dense scratch fresh every call; callers matching many
+// similarly-shaped instances should hold a Matcher instead, which reuses the
+// slabs and replays provably-identical instances.
 func Match(in *Instance) (*Result, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
+	return new(Matcher).run(in), nil
+}
 
-	// hostRank[h][p] = rank of proposer p at host h (lower is better);
-	// -1 = unacceptable. Dense int32 rows over one backing array,
-	// preallocated once per match — no per-host maps, no per-round growth.
-	rankBack := make([]int32, in.NumHosts*in.NumProposers)
-	for i := range rankBack {
-		rankBack[i] = -1
-	}
-	hostRank := make([][]int32, in.NumHosts)
+// run executes deferred acceptance over m's scratch slabs. The instance must
+// already be validated. The returned Result shares nothing with the scratch.
+func (m *Matcher) run(in *Instance) *Result {
+	nP, nH := in.NumProposers, in.NumHosts
+
+	// hostRank[h][p] = 1 + rank of proposer p at host h (lower is better);
+	// 0 = unacceptable. Dense int32 rows over one backing slab; the +1 shift
+	// makes the per-run reset a plain zeroing, which the runtime turns into a
+	// memclr, instead of a -1 fill.
+	m.rankBack = growInt32(m.rankBack, nH*nP)
+	m.hostRank = growRows(m.hostRank, nH)
+	hostRank := m.hostRank
 	for h, prefs := range in.HostPrefs {
-		hostRank[h] = rankBack[h*in.NumProposers : (h+1)*in.NumProposers]
+		hostRank[h] = m.rankBack[h*nP : (h+1)*nP]
 		for r, p := range prefs {
-			hostRank[h][p] = int32(r)
+			hostRank[h][p] = int32(r) + 1
 		}
 	}
 
 	// blacklist[p][h]: p must not propose to h anymore. Dense bool rows
-	// over one backing array.
-	blackBack := make([]bool, in.NumProposers*in.NumHosts)
-	blacklist := make([][]bool, in.NumProposers)
+	// over one backing slab.
+	m.blackBack = growBool(m.blackBack, nP*nH)
+	m.blacklist = growBoolRows(m.blacklist, nP)
+	blacklist := m.blacklist
 	for p := range blacklist {
-		blacklist[p] = blackBack[p*in.NumHosts : (p+1)*in.NumHosts]
+		blacklist[p] = m.blackBack[p*nH : (p+1)*nH]
 	}
 	// rejectedTop[h] = worst (highest) rank the host has explicitly rejected;
 	// -1 if none. Once host h rejects the proposer it ranks at position r,
 	// every proposer ranked >= r blacklists h.
-	rejectedTop := make([]int, in.NumHosts)
+	m.rejectedTop = growInt(m.rejectedTop, nH)
+	rejectedTop := m.rejectedTop
 	for h := range rejectedTop {
 		rejectedTop[h] = -1
 	}
 
-	next := make([]int, in.NumProposers) // next index into ProposerPrefs[p]
-	hostOf := make([]int, in.NumProposers)
+	m.next = growInt(m.next, nP) // next index into ProposerPrefs[p]
+	next := m.next
+	hostOf := make([]int, nP) // escapes into the Result: always fresh
 	for p := range hostOf {
 		hostOf[p] = Unmatched
 	}
-	used := make([]float64, in.NumHosts)
-	tenants := make([][]int, in.NumHosts) // unsorted during the loop
+	m.used = growFloat(m.used, nH)
+	used := m.used
+	m.tenants = growTenants(m.tenants, nH)
+	tenants := m.tenants // unsorted during the loop
 
-	free := make([]int, 0, in.NumProposers)
-	for p := 0; p < in.NumProposers; p++ {
+	free := m.free[:0]
+	for p := 0; p < nP; p++ {
 		free = append(free, p)
 	}
 
@@ -202,7 +217,7 @@ func Match(in *Instance) (*Result, error) {
 			if blacklist[p][cand] {
 				continue
 			}
-			if hostRank[cand][p] < 0 { // unacceptable to the host
+			if hostRank[cand][p] == 0 { // unacceptable to the host
 				continue
 			}
 			h = cand
@@ -218,9 +233,10 @@ func Match(in *Instance) (*Result, error) {
 		tenants[h] = append(tenants[h], p)
 
 		// Evict least-preferred tenants while over capacity (Algorithm 2
-		// lines 8–13).
+		// lines 8–13). Stored ranks are shifted by +1, so the comparison
+		// order is unchanged and the real rank is worstRank-1.
 		for used[h] > in.capacity(h) {
-			worstIdx, worstRank := -1, -1
+			worstIdx, worstRank := -1, 0
 			for i, q := range tenants[h] {
 				if r := int(hostRank[h][q]); r > worstRank {
 					worstIdx, worstRank = i, r
@@ -233,15 +249,16 @@ func Match(in *Instance) (*Result, error) {
 			tenants[h] = append(tenants[h][:worstIdx], tenants[h][worstIdx+1:]...)
 			used[h] -= in.load(evicted)
 			hostOf[evicted] = Unmatched
-			propagateRejection(h, worstRank)
+			propagateRejection(h, worstRank-1)
 			free = append(free, evicted)
 			if evicted == p {
 				break // the newcomer itself was the worst; move on
 			}
 		}
 	}
+	m.free = free[:0]
 
-	res := &Result{HostOf: hostOf, TenantsOf: make([][]int, in.NumHosts), Rounds: rounds}
+	res := &Result{HostOf: hostOf, TenantsOf: make([][]int, nH), Rounds: rounds}
 	for h := range tenants {
 		// Present tenants in host preference order.
 		ordered := make([]int, 0, len(tenants[h]))
@@ -252,7 +269,7 @@ func Match(in *Instance) (*Result, error) {
 		}
 		res.TenantsOf[h] = ordered
 	}
-	return res, nil
+	return res
 }
 
 // BlockingPair describes a proposer/host pair that would both rather be

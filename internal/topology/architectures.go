@@ -77,11 +77,24 @@ func (p LinkParams) uplinkBandwidth(fanout int) float64 {
 // middle tier, and "access" for the lowest tier (with depth==1 the single
 // switch is typed "access").
 func NewTree(depth, fanout int, p LinkParams) (*Topology, error) {
+	return NewTreeWithRacks(depth, fanout, fanout, p)
+}
+
+// NewTreeWithRacks is NewTree with the rack size decoupled from the switch
+// fanout: `fanout` children per switch through the switch tiers, but
+// `serversPerRack` servers under each access switch. This is how the
+// scalability benchmarks reach 10k servers without exploding the switch
+// count (depth=3, fanout=10, serversPerRack=100 gives exactly 10000 servers
+// behind 111 switches).
+func NewTreeWithRacks(depth, fanout, serversPerRack int, p LinkParams) (*Topology, error) {
 	if depth < 1 {
 		return nil, fmt.Errorf("topology: tree depth must be >= 1, got %d", depth)
 	}
 	if fanout < 1 {
 		return nil, fmt.Errorf("topology: tree fanout must be >= 1, got %d", fanout)
+	}
+	if serversPerRack < 1 {
+		return nil, fmt.Errorf("topology: tree serversPerRack must be >= 1, got %d", serversPerRack)
 	}
 	p = p.orDefault()
 	b := NewBuilder("tree")
@@ -97,26 +110,41 @@ func NewTree(depth, fanout int, p LinkParams) (*Topology, error) {
 			return TypeAggregation
 		}
 	}
+	types := make([]string, depth)
+	fan := make([]int, depth)
+	for t := 0; t < depth; t++ {
+		types[t] = typeFor(t)
+		fan[t] = fanout
+	}
 
-	prev := []NodeID{b.AddSwitch("core0", typeFor(depth-1), depth-1, p.SwitchCapacity)}
+	root := b.AddSwitch("core0", typeFor(depth-1), depth-1, p.SwitchCapacity)
+	b.setCoord(root, -1, 0)
+	prev := []NodeID{root}
 	for tier := depth - 2; tier >= 0; tier-- {
+		uplink := p.uplinkBandwidth(fanout)
+		if tier == 0 {
+			uplink = p.uplinkBandwidth(serversPerRack)
+		}
 		var cur []NodeID
 		for pi, parent := range prev {
 			for c := 0; c < fanout; c++ {
 				name := fmt.Sprintf("%s%d_%d", typeFor(tier), tier, pi*fanout+c)
 				sw := b.AddSwitch(name, typeFor(tier), tier, p.SwitchCapacity)
-				b.Connect(parent, sw, p.uplinkBandwidth(fanout), p.Latency)
+				b.setCoord(sw, -1, pi*fanout+c)
+				b.Connect(parent, sw, uplink, p.Latency)
 				cur = append(cur, sw)
 			}
 		}
 		prev = cur
 	}
 	for ai, access := range prev {
-		for s := 0; s < fanout; s++ {
-			srv := b.AddServer(fmt.Sprintf("s%d", ai*fanout+s))
+		for s := 0; s < serversPerRack; s++ {
+			srv := b.AddServer(fmt.Sprintf("s%d", ai*serversPerRack+s))
+			b.setCoord(srv, ai, ai*serversPerRack+s)
 			b.Connect(access, srv, p.Bandwidth, p.Latency)
 		}
 	}
+	b.setStructure(structure{family: FamilyTree, types: types, fan: fan})
 	return b.Build()
 }
 
@@ -128,16 +156,27 @@ func NewPaperTree(p LinkParams) (*Topology, error) {
 	p = p.orDefault()
 	b := NewBuilder("tree")
 	core := b.AddSwitch("core0", TypeCore, 2, p.SwitchCapacity)
+	b.setCoord(core, -1, 0)
 	agg := b.AddSwitch("aggregation1_0", TypeAggregation, 1, p.SwitchCapacity)
+	b.setCoord(agg, -1, 0)
 	b.Connect(core, agg, p.uplinkBandwidth(8), p.Latency)
 	for a := 0; a < 8; a++ {
 		acc := b.AddSwitch(fmt.Sprintf("access0_%d", a), TypeAccess, 0, p.SwitchCapacity)
+		b.setCoord(acc, -1, a)
 		b.Connect(agg, acc, p.uplinkBandwidth(8), p.Latency)
 		for s := 0; s < 8; s++ {
 			srv := b.AddServer(fmt.Sprintf("s%d", a*8+s))
+			b.setCoord(srv, a, a*8+s)
 			b.Connect(acc, srv, p.Bandwidth, p.Latency)
 		}
 	}
+	// fan[t] = children per tier-t switch: the aggregation switch fans to 8
+	// access switches, the core to a single aggregation switch.
+	b.setStructure(structure{
+		family: FamilyTree,
+		types:  []string{TypeAccess, TypeAggregation, TypeCore},
+		fan:    []int{0, 8, 1},
+	})
 	return b.Build()
 }
 
@@ -149,19 +188,29 @@ func NewCaseStudyTree(p LinkParams) (*Topology, [4]NodeID, error) {
 	p = p.orDefault()
 	b := NewBuilder("tree")
 	root := b.AddSwitch("core0", TypeCore, 1, p.SwitchCapacity)
+	b.setCoord(root, -1, 0)
 	accL := b.AddSwitch("access0_0", TypeAccess, 0, p.SwitchCapacity)
+	b.setCoord(accL, -1, 0)
 	accR := b.AddSwitch("access0_1", TypeAccess, 0, p.SwitchCapacity)
+	b.setCoord(accR, -1, 1)
 	b.Connect(root, accL, p.uplinkBandwidth(2), p.Latency)
 	b.Connect(root, accR, p.uplinkBandwidth(2), p.Latency)
 	var servers [4]NodeID
 	for i := 0; i < 2; i++ {
 		servers[i] = b.AddServer(fmt.Sprintf("s%d", i+1))
+		b.setCoord(servers[i], 0, i)
 		b.Connect(accL, servers[i], p.Bandwidth, p.Latency)
 	}
 	for i := 2; i < 4; i++ {
 		servers[i] = b.AddServer(fmt.Sprintf("s%d", i+1))
+		b.setCoord(servers[i], 1, i)
 		b.Connect(accR, servers[i], p.Bandwidth, p.Latency)
 	}
+	b.setStructure(structure{
+		family: FamilyTree,
+		types:  []string{TypeAccess, TypeCore},
+		fan:    []int{0, 2},
+	})
 	t, err := b.Build()
 	return t, servers, err
 }
@@ -181,11 +230,13 @@ func NewFatTree(k int, p LinkParams) (*Topology, error) {
 	cores := make([]NodeID, half*half)
 	for i := range cores {
 		cores[i] = b.AddSwitch(fmt.Sprintf("core%d", i), TypeCore, 2, p.SwitchCapacity)
+		b.setCoord(cores[i], -1, i)
 	}
 	for pod := 0; pod < k; pod++ {
 		aggs := make([]NodeID, half)
 		for a := 0; a < half; a++ {
 			aggs[a] = b.AddSwitch(fmt.Sprintf("aggregation_p%d_%d", pod, a), TypeAggregation, 1, p.SwitchCapacity)
+			b.setCoord(aggs[a], pod, a)
 			// Aggregation switch a in each pod connects to core group a.
 			for c := 0; c < half; c++ {
 				b.Connect(aggs[a], cores[a*half+c], p.Bandwidth, p.Latency)
@@ -193,15 +244,22 @@ func NewFatTree(k int, p LinkParams) (*Topology, error) {
 		}
 		for e := 0; e < half; e++ {
 			edge := b.AddSwitch(fmt.Sprintf("access_p%d_%d", pod, e), TypeAccess, 0, p.SwitchCapacity)
+			b.setCoord(edge, pod, e)
 			for _, agg := range aggs {
 				b.Connect(edge, agg, p.Bandwidth, p.Latency)
 			}
 			for s := 0; s < half; s++ {
 				srv := b.AddServer(fmt.Sprintf("s_p%d_%d_%d", pod, e, s))
+				b.setCoord(srv, pod, e*half+s)
 				b.Connect(edge, srv, p.Bandwidth, p.Latency)
 			}
 		}
 	}
+	b.setStructure(structure{
+		family: FamilyFatTree,
+		types:  []string{TypeAccess, TypeAggregation, TypeCore},
+		half:   half,
+	})
 	return b.Build()
 }
 
@@ -221,10 +279,12 @@ func NewVL2(dA, dI, tPerAgg, serversPerToR int, p LinkParams) (*Topology, error)
 	inters := make([]NodeID, dI)
 	for i := range inters {
 		inters[i] = b.AddSwitch(fmt.Sprintf("intermediate%d", i), TypeIntermediate, 2, p.SwitchCapacity)
+		b.setCoord(inters[i], -1, i)
 	}
 	aggs := make([]NodeID, dA)
 	for a := range aggs {
 		aggs[a] = b.AddSwitch(fmt.Sprintf("aggregation%d", a), TypeAggregation, 1, p.SwitchCapacity)
+		b.setCoord(aggs[a], -1, a)
 		for _, in := range inters {
 			b.Connect(aggs[a], in, p.Bandwidth, p.Latency)
 		}
@@ -232,14 +292,23 @@ func NewVL2(dA, dI, tPerAgg, serversPerToR int, p LinkParams) (*Topology, error)
 	nToR := dA * tPerAgg
 	for r := 0; r < nToR; r++ {
 		tor := b.AddSwitch(fmt.Sprintf("access%d", r), TypeAccess, 0, p.SwitchCapacity)
+		b.setCoord(tor, -1, r)
 		// Dual-home to two consecutive aggregation switches.
 		b.Connect(tor, aggs[r%dA], p.Bandwidth, p.Latency)
 		b.Connect(tor, aggs[(r+1)%dA], p.Bandwidth, p.Latency)
 		for s := 0; s < serversPerToR; s++ {
 			srv := b.AddServer(fmt.Sprintf("s_r%d_%d", r, s))
+			b.setCoord(srv, r, r*serversPerToR+s)
 			b.Connect(tor, srv, p.Bandwidth, p.Latency)
 		}
 	}
+	b.setStructure(structure{
+		family:  FamilyVL2,
+		types:   []string{TypeAccess, TypeAggregation, TypeIntermediate},
+		dA:      dA,
+		vl2Base: dI + dA,
+		spt:     serversPerToR,
+	})
 	return b.Build()
 }
 
@@ -266,6 +335,7 @@ func NewBCube(n, k int, p LinkParams) (*Topology, error) {
 	servers := make([]NodeID, nServers)
 	for i := range servers {
 		servers[i] = b.AddServer(fmt.Sprintf("s%d", i))
+		b.setCoord(servers[i], -1, i)
 	}
 	// Level l: n^k switches; switch j at level l connects servers whose
 	// address with digit l removed equals j.
@@ -277,6 +347,7 @@ func NewBCube(n, k int, p LinkParams) (*Topology, error) {
 		}
 		for j := 0; j < nPerLevel; j++ {
 			sw := b.AddSwitch(fmt.Sprintf("level%d_%d", l, j), fmt.Sprintf("%s%d", TypeLevel, l), l, p.SwitchCapacity)
+			b.setCoord(sw, l, j)
 			// Reconstruct the n member servers: insert each value of digit l
 			// into position l of j's mixed-radix representation.
 			low := j % digit
@@ -287,6 +358,12 @@ func NewBCube(n, k int, p LinkParams) (*Topology, error) {
 			}
 		}
 	}
+	b.setStructure(structure{
+		family: FamilyBCube,
+		types:  bcubeTypes(k + 1),
+		n:      n,
+		levels: k + 1,
+	})
 	return b.Build()
 }
 

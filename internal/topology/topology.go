@@ -128,6 +128,13 @@ type Topology struct {
 	alive       []bool
 	liveVersion uint64
 	numDead     int
+	// coords and arch are the structural coordinate oracle emitted by the
+	// architecture generators (see coords.go); arch.family stays
+	// FamilyIrregular for hand-built topologies. singleHomed caches whether
+	// every server has exactly one (switch) neighbor.
+	coords      []coordRec
+	arch        structure
+	singleHomed bool
 }
 
 type linkKey struct{ a, b NodeID }
@@ -517,9 +524,20 @@ func (b *Builder) AddServer(name string) NodeID {
 	id := NodeID(len(b.t.nodes))
 	b.t.nodes = append(b.t.nodes, Node{ID: id, Kind: KindServer, Name: name, Tier: -1})
 	b.t.adj = append(b.t.adj, nil)
+	b.t.coords = append(b.t.coords, coordRec{pod: -1, idx: -1})
 	b.t.servers = append(b.t.servers, id)
 	return id
 }
+
+// setCoord records the structural coordinate of a node; only the
+// architecture generators call it.
+func (b *Builder) setCoord(id NodeID, pod, idx int) {
+	b.t.coords[id] = coordRec{pod: int32(pod), idx: int32(idx)}
+}
+
+// setStructure records the architecture descriptor; only the architecture
+// generators call it.
+func (b *Builder) setStructure(s structure) { b.t.arch = s }
 
 // AddSwitch appends a switch node with the given type, tier and capacity and
 // returns its ID. Pass math.Inf(1) for an unconstrained switch.
@@ -529,6 +547,7 @@ func (b *Builder) AddSwitch(name, typ string, tier int, capacity float64) NodeID
 		ID: id, Kind: KindSwitch, Name: name, Type: typ, Tier: tier, Capacity: capacity,
 	})
 	b.t.adj = append(b.t.adj, nil)
+	b.t.coords = append(b.t.coords, coordRec{pod: -1, idx: -1})
 	b.t.switches = append(b.t.switches, id)
 	return id
 }
@@ -577,6 +596,13 @@ func (b *Builder) Build() (*Topology, error) {
 	}
 	if !b.t.Connected() {
 		return nil, fmt.Errorf("topology: %q is not connected", b.t.name)
+	}
+	b.t.singleHomed = true
+	for _, s := range b.t.servers {
+		if len(b.t.adj[s]) != 1 || !b.t.nodes[b.t.adj[s][0]].IsSwitch() {
+			b.t.singleHomed = false
+			break
+		}
 	}
 	return b.t, nil
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/controller"
 	"repro/internal/core"
+	"repro/internal/procstat"
 	"repro/internal/scheduler"
 	"repro/internal/topology"
 	"repro/internal/workload"
@@ -33,11 +34,13 @@ func benchJob(maps, reduces int) *workload.Job {
 	return j
 }
 
-func benchSchedule(b *testing.B, s scheduler.Scheduler, fanout, maps, reduces int) {
+func benchSchedule(b *testing.B, s scheduler.Scheduler, build func() (*topology.Topology, error), maps, reduces int) {
 	b.Helper()
+	b.ReportAllocs()
+	var ctl *controller.Controller
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
-		topo, err := topology.NewTree(3, fanout, topology.LinkParams{Bandwidth: 1, SwitchCapacity: 1e9})
+		topo, err := build()
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -45,7 +48,7 @@ func benchSchedule(b *testing.B, s scheduler.Scheduler, fanout, maps, reduces in
 		if err != nil {
 			b.Fatal(err)
 		}
-		ctl := controller.New(topo)
+		ctl = controller.New(topo)
 		req, _, err := scheduler.NewJobRequest(cl, ctl, []*workload.Job{benchJob(maps, reduces)},
 			cluster.Resources{CPU: 1, Memory: 512}, rand.New(rand.NewSource(int64(i))))
 		if err != nil {
@@ -56,10 +59,33 @@ func benchSchedule(b *testing.B, s scheduler.Scheduler, fanout, maps, reduces in
 			b.Fatal(err)
 		}
 	}
+	b.StopTimer()
+	// Footprint next to wall-clock: the oracle's cache census from the last
+	// iteration (O(V) in structural mode) and the process peak RSS.
+	ms := ctl.Oracle().MemoryStats()
+	b.ReportMetric(float64(ms.ApproxBytes)/1e6, "oracle-MB")
+	if rss, ok := procstat.PeakRSSBytes(); ok {
+		b.ReportMetric(float64(rss)/1e6, "peakRSS-MB")
+	}
 }
 
-// BenchmarkHitScalability scales the cluster (tree fanout 2/4/6 ->
-// 8/64/216 servers) with task counts proportional to servers.
+// treeBuilder fixes NewTree's depth/fanout into a benchSchedule topology
+// factory.
+func treeBuilder(depth, fanout int) func() (*topology.Topology, error) {
+	return func() (*topology.Topology, error) {
+		return topology.NewTree(depth, fanout, topology.LinkParams{Bandwidth: 1, SwitchCapacity: 1e9})
+	}
+}
+
+// BenchmarkHitScalability scales the cluster along two regimes:
+//
+//   - tree fanout 2/4/6 → 8/64/216 servers with task counts proportional to
+//     servers (the paper's sweep, also the seed's);
+//   - large rack-tree fabrics at 1024 (4-ary switch tree, 64 servers per
+//     rack), 4096 (8-ary, 64 per rack) and 10000 servers (10-ary, 100 per
+//     rack) with a fixed job (96 maps, 48 reduces — 4608 shuffle flows),
+//     sized so a wave exercises the structural O(1) oracle and the dense
+//     preference build rather than drowning in task count.
 func BenchmarkHitScalability(b *testing.B) {
 	for _, fanout := range []int{2, 4, 6} {
 		servers := fanout * fanout * fanout
@@ -69,9 +95,24 @@ func BenchmarkHitScalability(b *testing.B) {
 			reduces = 1
 		}
 		b.Run(fmt.Sprintf("servers=%d", servers), func(b *testing.B) {
-			benchSchedule(b, &core.HitScheduler{}, fanout, maps, reduces)
+			benchSchedule(b, &core.HitScheduler{}, treeBuilder(3, fanout), maps, reduces)
 		})
 	}
+	b.Run("servers=1024", func(b *testing.B) {
+		benchSchedule(b, &core.HitScheduler{}, func() (*topology.Topology, error) {
+			return topology.NewTreeWithRacks(3, 4, 64, topology.LinkParams{Bandwidth: 1, SwitchCapacity: 1e9})
+		}, 96, 48)
+	})
+	b.Run("servers=4096", func(b *testing.B) {
+		benchSchedule(b, &core.HitScheduler{}, func() (*topology.Topology, error) {
+			return topology.NewTreeWithRacks(3, 8, 64, topology.LinkParams{Bandwidth: 1, SwitchCapacity: 1e9})
+		}, 96, 48)
+	})
+	b.Run("servers=10000", func(b *testing.B) {
+		benchSchedule(b, &core.HitScheduler{}, func() (*topology.Topology, error) {
+			return topology.NewTreeWithRacks(3, 10, 100, topology.LinkParams{Bandwidth: 1, SwitchCapacity: 1e9})
+		}, 96, 48)
+	})
 }
 
 // BenchmarkCapacityScalability is the baseline's cost for the same sweep.
@@ -84,7 +125,7 @@ func BenchmarkCapacityScalability(b *testing.B) {
 			reduces = 1
 		}
 		b.Run(fmt.Sprintf("servers=%d", servers), func(b *testing.B) {
-			benchSchedule(b, scheduler.Capacity{}, fanout, maps, reduces)
+			benchSchedule(b, scheduler.Capacity{}, treeBuilder(3, fanout), maps, reduces)
 		})
 	}
 }
