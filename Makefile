@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race shuffle bench bench-json chaos verify
+.PHONY: all build vet lint teeth test race shuffle bench bench-json chaos verify
 
 all: verify
 
@@ -17,12 +17,19 @@ build:
 vet:
 	$(GO) vet ./...
 
-# lint runs the nine taalint checks (maporder, floateq, rngsource,
-# wallclock, oraclebypass, epochbump, atomicguard, errcompare, mergeorder)
-# over every non-test package, fails on any unsuppressed finding, and with
-# -prune also fails on stale //taalint: suppressions.
+# lint runs the twelve taalint checks (maporder, floateq, rngsource,
+# wallclock, oraclebypass, epochbump, atomicguard, errcompare, mergeorder,
+# purity, publishfreeze, poolescape) over every non-test package, fails on
+# any unsuppressed finding, and with -prune also fails on stale //taalint:
+# suppressions.
 lint:
 	$(GO) run ./cmd/taalint -prune
+
+# teeth proves the lint gates bite: each deliberate-mutation patch in
+# internal/analysis/testdata/teeth/ is applied to a throwaway worktree of
+# HEAD and taalint must catch it (exit 1) with the named check alone.
+teeth:
+	sh scripts/lint-teeth.sh
 
 test:
 	$(GO) test ./...

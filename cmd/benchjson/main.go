@@ -63,7 +63,9 @@ func parse(r io.Reader) (*Report, error) {
 	rep := &Report{}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	lineno := 0
 	for sc.Scan() {
+		lineno++
 		line := sc.Text()
 		switch {
 		case strings.HasPrefix(line, "goos: "):
@@ -75,10 +77,16 @@ func parse(r io.Reader) (*Report, error) {
 		case strings.HasPrefix(line, "cpu: "):
 			rep.CPU = strings.TrimPrefix(line, "cpu: ")
 		case strings.HasPrefix(line, "Benchmark"):
-			res, ok := parseBenchLine(line)
-			if ok {
-				rep.Results = append(rep.Results, res)
+			// In piped output go test announces each benchmark on a bare
+			// name line before the result line; those are not results.
+			if len(strings.Fields(line)) == 1 {
+				continue
 			}
+			res, err := parseBenchLine(line)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineno, err)
+			}
+			rep.Results = append(rep.Results, res)
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -91,25 +99,39 @@ func parse(r io.Reader) (*Report, error) {
 }
 
 // parseBenchLine splits "BenchmarkX-8  N  v1 unit1  v2 unit2 ..." into a
-// result. Malformed lines report ok=false and are skipped.
-func parseBenchLine(line string) (BenchResult, bool) {
+// result. Value/unit metric pairs may appear in any order and any number —
+// the standard ns/op, B/op, allocs/op triple plus arbitrary
+// b.ReportMetric units (oracle-MB, peakRSS-MB, ...) all parse the same
+// way. A result line with no metrics at all is valid. Anything else —
+// a non-integer iteration count, a value with no unit, a unit with no
+// value — is a hard error with the offending field, so a changed bench
+// format breaks the pipeline loudly instead of silently dropping data
+// from the archived artifact.
+func parseBenchLine(line string) (BenchResult, error) {
 	f := strings.Fields(line)
-	if len(f) < 4 || len(f)%2 != 0 {
-		return BenchResult{}, false
+	if len(f) < 2 {
+		return BenchResult{}, fmt.Errorf("result line %q has no iteration count", f[0])
 	}
 	iters, err := strconv.ParseInt(f[1], 10, 64)
 	if err != nil {
-		return BenchResult{}, false
+		return BenchResult{}, fmt.Errorf("iteration count %q is not an integer", f[1])
 	}
 	res := BenchResult{Name: f[0], Iterations: iters, Metrics: make(map[string]float64, (len(f)-2)/2)}
-	for i := 2; i+1 < len(f); i += 2 {
+	for i := 2; i < len(f); i += 2 {
 		v, err := strconv.ParseFloat(f[i], 64)
 		if err != nil {
-			return BenchResult{}, false
+			return BenchResult{}, fmt.Errorf("expected a metric value, got %q", f[i])
 		}
-		res.Metrics[f[i+1]] = v
+		if i+1 >= len(f) {
+			return BenchResult{}, fmt.Errorf("metric value %s has no unit", f[i])
+		}
+		unit := f[i+1]
+		if _, err := strconv.ParseFloat(unit, 64); err == nil {
+			return BenchResult{}, fmt.Errorf("metric value %s has no unit (got another value %q)", f[i], unit)
+		}
+		res.Metrics[unit] = v
 	}
-	return res, true
+	return res, nil
 }
 
 func emit(rep *Report, path string) error {

@@ -49,15 +49,103 @@ func TestParseRejectsEmpty(t *testing.T) {
 	}
 }
 
-func TestParseBenchLineMalformed(t *testing.T) {
-	for _, line := range []string{
-		"BenchmarkX",
-		"BenchmarkX abc 1 ns/op",
-		"BenchmarkX 1 abc ns/op",
-		"BenchmarkX 1 5", // odd field count
+// TestParseTolerant pins the relaxed grammar: custom unit metrics in any
+// order and any count, scientific notation, bare announce lines, and
+// metric-free result lines all parse.
+func TestParseTolerant(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		line    string
+		iters   int64
+		metrics map[string]float64
+	}{
+		{
+			name:    "custom units before standard ones",
+			line:    "BenchmarkX-8 4 1.891 oracle-MB 225013141 ns/op 24.61 peakRSS-MB",
+			iters:   4,
+			metrics: map[string]float64{"oracle-MB": 1.891, "ns/op": 225013141, "peakRSS-MB": 24.61},
+		},
+		{
+			name:    "single custom metric only",
+			line:    "BenchmarkY 10 3.5 routes/op",
+			iters:   10,
+			metrics: map[string]float64{"routes/op": 3.5},
+		},
+		{
+			name:    "scientific notation values",
+			line:    "BenchmarkZ-16 1 2.5e+08 ns/op 1e-3 err-rate",
+			iters:   1,
+			metrics: map[string]float64{"ns/op": 2.5e8, "err-rate": 1e-3},
+		},
+		{
+			name:    "no metrics at all",
+			line:    "BenchmarkW 100",
+			iters:   100,
+			metrics: map[string]float64{},
+		},
 	} {
-		if _, ok := parseBenchLine(line); ok {
-			t.Errorf("parseBenchLine(%q) accepted malformed line", line)
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := parseBenchLine(tc.line)
+			if err != nil {
+				t.Fatalf("parseBenchLine(%q): %v", tc.line, err)
+			}
+			if res.Iterations != tc.iters {
+				t.Errorf("iterations = %d, want %d", res.Iterations, tc.iters)
+			}
+			if len(res.Metrics) != len(tc.metrics) {
+				t.Errorf("metrics = %v, want %v", res.Metrics, tc.metrics)
+			}
+			for unit, want := range tc.metrics {
+				if got := res.Metrics[unit]; got != want {
+					t.Errorf("metric %s = %v, want %v", unit, got, want)
+				}
+			}
+		})
+	}
+
+	// Bare announce lines (go test's piped-output progress lines) are
+	// skipped, not errors.
+	input := "BenchmarkX\nBenchmarkX-8 4 10 ns/op\nPASS\n"
+	rep, err := parse(strings.NewReader(input))
+	if err != nil {
+		t.Fatalf("parse with announce line: %v", err)
+	}
+	if len(rep.Results) != 1 || rep.Results[0].Name != "BenchmarkX-8" {
+		t.Errorf("results = %+v, want exactly the -8 result line", rep.Results)
+	}
+}
+
+// TestParseMalformed is the fuzz-ish table over malformed bench output:
+// every line must produce a clear error naming the problem (and never a
+// panic), and parse() must attribute it to the offending line.
+func TestParseMalformed(t *testing.T) {
+	for _, tc := range []struct {
+		line    string
+		wantErr string
+	}{
+		{"BenchmarkX abc 1 ns/op", "not an integer"},
+		{"BenchmarkX 1 abc ns/op", "expected a metric value"},
+		{"BenchmarkX 1 5", "has no unit"},
+		{"BenchmarkX 1 5 6", "has no unit"},
+		{"BenchmarkX 1 5 ns/op 7", "has no unit"},
+		{"BenchmarkX 1 ns/op 5", "expected a metric value"},
+		{"BenchmarkX 1 5 ns/op oops 7 B/op", "expected a metric value"},
+		{"BenchmarkX 1 5 ns/op 6 7 B/op", "has no unit"},
+		{"BenchmarkX 1 NaN", "has no unit"}, // NaN parses as a value; unit missing
+	} {
+		res, err := parseBenchLine(tc.line)
+		if err == nil {
+			t.Errorf("parseBenchLine(%q) = %+v, want error", tc.line, res)
+			continue
 		}
+		if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("parseBenchLine(%q) error = %q, want substring %q", tc.line, err, tc.wantErr)
+		}
+	}
+
+	// parse() reports the line number of the malformed line.
+	input := "goos: linux\nBenchmarkOK-8 1 5 ns/op\nBenchmarkBad 1 5\n"
+	if _, err := parse(strings.NewReader(input)); err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("parse error = %v, want line 3 attribution", err)
 	}
 }

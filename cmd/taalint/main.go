@@ -4,24 +4,30 @@
 //
 // Usage:
 //
-//	taalint [-checks maporder,epochbump,...] [-suppressed] [-prune] [-list] [dir]
+//	taalint [-checks maporder,epochbump,...] [-suppressed] [-prune]
+//	        [-format text|json] [-cpuprofile file] [-list] [dir]
 //
 // With no directory argument the module containing the current working
 // directory is scanned. -prune additionally fails on stale //taalint:
-// suppressions that no longer cover any finding. `make lint` is the
-// canonical invocation; the selfscan test in internal/analysis keeps the
-// gate even when make isn't run.
+// suppressions that no longer cover any finding. -format=json emits one
+// machine-readable document (findings with file/line/check/message/
+// suppressed records, plus stale suppressions) for the CI audit artifact.
+// -cpuprofile writes a pprof CPU profile of the scan for lint perf work.
+// `make lint` is the canonical invocation; the selfscan test in
+// internal/analysis keeps the gate even when make isn't run.
 //
 // Exit codes: 0 clean, 1 findings (or stale suppressions under -prune),
 // 2 usage or load error (including a nonexistent directory argument).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"runtime/pprof"
 
 	"repro/internal/analysis"
 )
@@ -40,13 +46,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	showSuppressed := fs.Bool("suppressed", false, "also print suppressed findings (marked, never fatal)")
 	prune := fs.Bool("prune", false, "fail on stale //taalint: suppressions that cover no finding")
 	list := fs.Bool("list", false, "list available checks and exit")
+	format := fs.String("format", "text", "output format: text or json")
+	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile of the scan to this file")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *format != "text" && *format != "json" {
+		return fatal(stderr, fmt.Errorf("unknown format %q (want text or json)", *format))
 	}
 
 	if *list {
 		for _, c := range analysis.All() {
-			fmt.Fprintf(stdout, "%-12s %s\n", c.Name(), c.Doc())
+			fmt.Fprintf(stdout, "%-14s %s\n", c.Name(), c.Doc())
 		}
 		return 0
 	}
@@ -82,6 +93,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return fatal(stderr, err)
 	}
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fatal(stderr, err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fatal(stderr, err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	loader := analysis.NewLoader()
 	pkgs, err := loader.LoadModule(root)
 	if err != nil {
@@ -89,45 +112,109 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	findings := analysis.Run(pkgs, checks)
-	bad := 0
-	for _, f := range findings {
-		if f.Suppressed {
-			if *showSuppressed {
-				fmt.Fprintf(stdout, "%s (suppressed)\n", rel(root, f))
-			}
-			continue
-		}
-		bad++
-		fmt.Fprintln(stdout, rel(root, f))
+	var stale []analysis.Suppression
+	if *prune {
+		stale = analysis.StaleSuppressions(pkgs, findings, checks)
 	}
 
-	stale := 0
-	if *prune {
-		for _, s := range analysis.StaleSuppressions(pkgs, findings, checks) {
-			stale++
-			if r, err := filepath.Rel(root, s.Pos.Filename); err == nil {
-				s.Pos.Filename = r
+	// Module-root-relative file names in both formats.
+	for i := range findings {
+		if r, err := filepath.Rel(root, findings[i].Pos.Filename); err == nil {
+			findings[i].Pos.Filename = r
+		}
+	}
+	for i := range stale {
+		if r, err := filepath.Rel(root, stale[i].Pos.Filename); err == nil {
+			stale[i].Pos.Filename = r
+		}
+	}
+
+	bad := 0
+	for _, f := range findings {
+		if !f.Suppressed {
+			bad++
+		}
+	}
+
+	if *format == "json" {
+		if err := writeJSON(stdout, findings, stale); err != nil {
+			return fatal(stderr, err)
+		}
+	} else {
+		for _, f := range findings {
+			if f.Suppressed {
+				if *showSuppressed {
+					fmt.Fprintf(stdout, "%s (suppressed)\n", f)
+				}
+				continue
 			}
+			fmt.Fprintln(stdout, f)
+		}
+		for _, s := range stale {
 			fmt.Fprintf(stdout, "%s (stale suppression: remove it)\n", s)
 		}
 	}
 
-	if bad > 0 || stale > 0 {
-		fmt.Fprintf(stderr, "taalint: %d finding(s), %d stale suppression(s) in %d package(s)\n", bad, stale, len(pkgs))
+	if bad > 0 || len(stale) > 0 {
+		fmt.Fprintf(stderr, "taalint: %d finding(s), %d stale suppression(s) in %d package(s)\n", bad, len(stale), len(pkgs))
 		return 1
 	}
 	return 0
 }
 
-// rel shortens a finding's file name to be module-root relative.
-func rel(root string, f analysis.Finding) string {
-	if r, err := filepath.Rel(root, f.Pos.Filename); err == nil {
-		f.Pos.Filename = r
-	}
-	return f.String()
-}
-
 func fatal(w io.Writer, err error) int {
 	fmt.Fprintln(w, "taalint:", err)
 	return 2
+}
+
+// jsonFinding is one finding record of the -format=json document.
+type jsonFinding struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Check      string `json:"check"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
+
+// jsonStale is one stale-suppression record.
+type jsonStale struct {
+	File   string   `json:"file"`
+	Line   int      `json:"line"`
+	Checks []string `json:"checks"`
+	Reason string   `json:"reason"`
+}
+
+// jsonReport is the full -format=json document. Findings always include
+// suppressed records (flagged) so the audit artifact is self-contained.
+type jsonReport struct {
+	Findings          []jsonFinding `json:"findings"`
+	StaleSuppressions []jsonStale   `json:"stale_suppressions"`
+}
+
+// writeJSON renders findings and stale suppressions as one indented JSON
+// document. Slices are always non-nil so a clean run emits [] not null.
+func writeJSON(w io.Writer, findings []analysis.Finding, stale []analysis.Suppression) error {
+	rep := jsonReport{Findings: []jsonFinding{}, StaleSuppressions: []jsonStale{}}
+	for _, f := range findings {
+		rep.Findings = append(rep.Findings, jsonFinding{
+			File:       f.Pos.Filename,
+			Line:       f.Pos.Line,
+			Col:        f.Pos.Column,
+			Check:      f.Check,
+			Message:    f.Msg,
+			Suppressed: f.Suppressed,
+		})
+	}
+	for _, s := range stale {
+		rep.StaleSuppressions = append(rep.StaleSuppressions, jsonStale{
+			File:   s.Pos.Filename,
+			Line:   s.Pos.Line,
+			Checks: s.Checks,
+			Reason: s.Reason,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
 }

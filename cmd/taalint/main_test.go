@@ -2,8 +2,12 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"go/token"
 	"strings"
 	"testing"
+
+	"repro/internal/analysis"
 )
 
 // TestListExitsZero pins the cheap happy path: -list needs no module scan.
@@ -12,10 +16,66 @@ func TestListExitsZero(t *testing.T) {
 	if code := run([]string{"-list"}, &out, &errw); code != 0 {
 		t.Fatalf("run(-list) = %d, want 0 (stderr: %s)", code, errw.String())
 	}
-	for _, want := range []string{"maporder", "epochbump", "atomicguard", "errcompare", "mergeorder"} {
+	for _, want := range []string{"maporder", "epochbump", "atomicguard", "errcompare", "mergeorder",
+		"purity", "publishfreeze", "poolescape"} {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("-list output missing check %q:\n%s", want, out.String())
 		}
+	}
+}
+
+// TestUnknownFormatExitsNonzero pins -format validation.
+func TestUnknownFormatExitsNonzero(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-format", "xml"}, &out, &errw); code != 2 {
+		t.Fatalf("run(-format xml) = %d, want 2", code)
+	}
+	if !strings.Contains(errw.String(), "unknown format") {
+		t.Errorf("stderr missing clear error, got: %s", errw.String())
+	}
+}
+
+// TestWriteJSON pins the machine-readable document shape on synthetic
+// findings: file/line/check/message/suppressed records plus stale
+// suppressions, with empty slices (not null) on a clean run.
+func TestWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeJSON(&buf, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	var clean jsonReport
+	if err := json.Unmarshal(buf.Bytes(), &clean); err != nil {
+		t.Fatalf("clean document does not parse: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), `"findings": []`) {
+		t.Errorf("clean run must emit an empty findings array, got:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	findings := []analysis.Finding{{
+		Check:      "purity",
+		Pos:        token.Position{Filename: "internal/netstate/netstate.go", Line: 42, Column: 3},
+		Msg:        "writes on the read path",
+		Suppressed: true,
+	}}
+	stale := []analysis.Suppression{{
+		Pos:    token.Position{Filename: "internal/core/core.go", Line: 7},
+		Checks: []string{"maporder"},
+		Reason: "legacy",
+	}}
+	if err := writeJSON(&buf, findings, stale); err != nil {
+		t.Fatal(err)
+	}
+	var rep jsonReport
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("document does not parse: %v\n%s", err, buf.String())
+	}
+	if len(rep.Findings) != 1 || rep.Findings[0].Check != "purity" ||
+		rep.Findings[0].Line != 42 || !rep.Findings[0].Suppressed {
+		t.Errorf("finding record mismatch: %+v", rep.Findings)
+	}
+	if len(rep.StaleSuppressions) != 1 || rep.StaleSuppressions[0].Reason != "legacy" {
+		t.Errorf("stale record mismatch: %+v", rep.StaleSuppressions)
 	}
 }
 

@@ -12,7 +12,11 @@
 // rngsource, wallclock, oraclebypass). v2 adds a module-level dataflow
 // layer — a lightweight call graph and field-access index (index.go) —
 // and four checks on top of it: epochbump, atomicguard, errcompare and
-// mergeorder (see their files for the precise rules).
+// mergeorder. v3 adds an interprocedural effects layer (effects.go) —
+// per-function write-effect summaries fixed-pointed over the call graph —
+// and three concurrency-readiness checks for the multi-scheduler era:
+// purity, publishfreeze and poolescape (see their files for the precise
+// rules).
 //
 // A finding on a given line is suppressed by a comment of the form
 //
@@ -143,6 +147,9 @@ func All() []Check {
 		AtomicGuard{},
 		ErrCompare{},
 		MergeOrder{},
+		Purity{},
+		PublishFreeze{},
+		PoolEscape{},
 	}
 }
 

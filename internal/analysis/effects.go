@@ -1,0 +1,351 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// This file is taalint v3's interprocedural effects layer: a per-function
+// write-effect summary computed once over the module index and shared by
+// the purity, publishfreeze and poolescape checks.
+//
+// For every declared function the engine records
+//
+//   - Writes: each direct store to a named struct field anywhere in the
+//     body, including nested function literals and deferred calls (a write
+//     inside a defer or a closure is still a write this function may
+//     perform), classified plain vs atomic. Unlike index.go's field-access
+//     classification, an atomic mutator called on an ELEMENT reached
+//     through a field — o.distRows[src].Store(&d) — is recorded here as an
+//     atomic write to the field (distRows), because the effects questions
+//     ("does this function mutate oracle state?") care about the spine,
+//     not just the exact selector.
+//   - FieldWrites: the transitive closure of Writes over the static call
+//     graph, fixed-pointed over recursion with a global worklist (the
+//     epochbump interpreter's optimistic busy-map would under-approximate
+//     here: a summary consumed mid-cycle must not be frozen before the
+//     cycle stabilizes, so the engine iterates to a true fixpoint
+//     instead).
+//   - ParamWrites: per formal slot (receiver first, then parameters),
+//     whether the function may write THROUGH that slot — a deref, index or
+//     field store whose lvalue spine is rooted at the formal, directly or
+//     via a callee that writes through the matching parameter. Only
+//     ident-rooted arguments propagate (x or &x); everything else is
+//     invisible, which is the same fail-safe stance index.go takes for
+//     dynamic calls.
+//
+// Unresolved callees (interface methods, function values, stdlib) are
+// assumed write-free. That is sound for the monitored state because every
+// monitored field is unexported: only module code, which IS indexed, can
+// name it.
+
+// WriteEffect is one direct store to a named struct field.
+type WriteEffect struct {
+	Field  string // full index key: "pkg/path.Struct.field"
+	Pos    token.Pos
+	Atomic bool // performed through sync/atomic (mutator method or pkg func)
+}
+
+// effCall is one resolvable call site with its ident-rooted argument
+// bindings: Args[i] is the types.Object passed in the callee's formal slot
+// i (receiver = 0 for methods), or nil when the argument is not a plain
+// ident / &ident.
+type effCall struct {
+	Callee FuncKey
+	Pos    token.Pos
+	Args   []types.Object
+}
+
+// FuncEffects is the write-effect summary of one declared function.
+type FuncEffects struct {
+	Key    FuncKey
+	Writes []WriteEffect
+	Calls  []effCall
+	// FieldWrites is the set of field keys this function may write,
+	// directly or transitively through module callees.
+	FieldWrites map[string]bool
+	// ParamWrites[i] reports a possible write through formal slot i
+	// (receiver first). Slots without a name are tracked but never match.
+	ParamWrites []bool
+
+	formals []types.Object // formal slot objects, receiver first
+}
+
+// Effects is the module-wide effects table.
+type Effects struct {
+	idx *Index
+	fns map[FuncKey]*FuncEffects
+}
+
+// Effects returns the lazily built effects table shared by all checks of
+// one Run. Run is single-threaded, so no locking is needed.
+func (idx *Index) Effects() *Effects {
+	if idx.effects == nil {
+		idx.effects = buildEffects(idx)
+	}
+	return idx.effects
+}
+
+// Of returns the summary for a key, or nil for unresolved functions.
+func (e *Effects) Of(key FuncKey) *FuncEffects { return e.fns[key] }
+
+func buildEffects(idx *Index) *Effects {
+	e := &Effects{idx: idx, fns: make(map[FuncKey]*FuncEffects)}
+	for _, pkg := range idx.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				key := declKey(pkg, fd)
+				if key == "" {
+					continue
+				}
+				if _, dup := e.fns[key]; dup {
+					continue
+				}
+				e.fns[key] = collectEffects(pkg, key, fd)
+			}
+		}
+	}
+	e.fixpoint()
+	return e
+}
+
+// collectEffects gathers the direct (intraprocedural) summary of one
+// function declaration.
+func collectEffects(pkg *Package, key FuncKey, fd *ast.FuncDecl) *FuncEffects {
+	fe := &FuncEffects{Key: key, FieldWrites: make(map[string]bool)}
+
+	// Formal slots: receiver first, then parameters (variadic included).
+	addFormal := func(names []*ast.Ident) {
+		if len(names) == 0 {
+			fe.formals = append(fe.formals, nil) // unnamed slot
+			return
+		}
+		for _, n := range names {
+			fe.formals = append(fe.formals, pkg.Info.Defs[n])
+		}
+	}
+	if fd.Recv != nil && len(fd.Recv.List) == 1 {
+		addFormal(fd.Recv.List[0].Names)
+	}
+	if fd.Type.Params != nil {
+		for _, f := range fd.Type.Params.List {
+			addFormal(f.Names)
+		}
+	}
+	fe.ParamWrites = make([]bool, len(fe.formals))
+
+	slot := func(obj types.Object) int {
+		if obj == nil {
+			return -1
+		}
+		for i, f := range fe.formals {
+			if f != nil && f == obj {
+				return i
+			}
+		}
+		return -1
+	}
+
+	// addWrite records a field write for every selection on the lvalue (or
+	// receiver) spine, and a param write-through when the spine is
+	// non-trivial and rooted at a formal. A trivial spine (`p = x`) rebinds
+	// the local and has no external effect.
+	addWrite := func(spine ast.Expr, atomic bool) {
+		nontrivial := false
+		e := spine
+		for {
+			switch x := e.(type) {
+			case *ast.ParenExpr:
+				e = x.X
+			case *ast.StarExpr:
+				nontrivial = true
+				e = x.X
+			case *ast.IndexExpr:
+				nontrivial = true
+				e = x.X
+			case *ast.SliceExpr:
+				nontrivial = true
+				e = x.X
+			case *ast.SelectorExpr:
+				if owner, field := fieldOf(pkg, x); field != nil {
+					fe.Writes = append(fe.Writes, WriteEffect{
+						Field:  fieldAccessKey(owner, field),
+						Pos:    x.Sel.Pos(),
+						Atomic: atomic,
+					})
+				}
+				nontrivial = true
+				e = x.X
+			case *ast.Ident:
+				if nontrivial {
+					if i := slot(pkg.Info.ObjectOf(x)); i >= 0 {
+						fe.ParamWrites[i] = true
+					}
+				}
+				return
+			default:
+				return
+			}
+		}
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				addWrite(lhs, false)
+			}
+		case *ast.IncDecStmt:
+			addWrite(s.X, false)
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(s.Fun).(*ast.Ident); ok && id.Name == "delete" {
+				if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); isBuiltin && len(s.Args) > 0 {
+					addWrite(s.Args[0], false)
+				}
+			}
+			// atomic.StoreUint64(&o.f, x) and friends: writes o.f.
+			if isAtomicPkgFunc(pkg, s.Fun) && atomicFuncMutates(pkg, s.Fun) {
+				for _, arg := range s.Args {
+					if ue, ok := ast.Unparen(arg).(*ast.UnaryExpr); ok && ue.Op == token.AND {
+						addWrite(ue.X, true)
+					}
+				}
+			}
+			// o.epoch.Add(1), o.distRows[i].Store(&d): an atomic mutator
+			// whose receiver spine passes through fields writes them.
+			if mSel, ok := ast.Unparen(s.Fun).(*ast.SelectorExpr); ok &&
+				atomicMutatorNames[mSel.Sel.Name] && isAtomicType(pkg.Info.TypeOf(mSel.X)) {
+				addWrite(mSel.X, true)
+			}
+			// Record ident-rooted argument bindings for resolvable calls.
+			if callee := resolveCall(pkg, s); callee != "" {
+				fe.Calls = append(fe.Calls, effCall{
+					Callee: callee,
+					Pos:    s.Pos(),
+					Args:   callArgObjects(pkg, s),
+				})
+			}
+		}
+		return true
+	})
+
+	for _, w := range fe.Writes {
+		fe.FieldWrites[w.Field] = true
+	}
+	return fe
+}
+
+// atomicMutatorNames is the set of sync/atomic method names that mutate
+// their receiver.
+var atomicMutatorNames = map[string]bool{
+	"Add": true, "Store": true, "Swap": true, "CompareAndSwap": true, "Or": true, "And": true,
+}
+
+// atomicFuncMutates reports whether a sync/atomic package function writes
+// through its pointer argument (Load* does not).
+func atomicFuncMutates(p *Package, fun ast.Expr) bool {
+	sel, ok := ast.Unparen(fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	name := sel.Sel.Name
+	for _, prefix := range []string{"Add", "Store", "Swap", "CompareAndSwap", "Or", "And"} {
+		if len(name) >= len(prefix) && name[:len(prefix)] == prefix {
+			return true
+		}
+	}
+	return false
+}
+
+// callArgObjects maps a call's arguments onto the callee's formal slots:
+// slot 0 is the receiver for method calls. Only plain idents and &ident
+// arguments resolve to objects; everything else is nil.
+func callArgObjects(pkg *Package, call *ast.CallExpr) []types.Object {
+	var args []types.Object
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if s, ok := pkg.Info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+			args = append(args, rootIdentObject(pkg, sel.X))
+		}
+	}
+	for _, a := range call.Args {
+		args = append(args, rootIdentObject(pkg, a))
+	}
+	return args
+}
+
+// rootIdentObject returns the object of a plain ident or &ident argument,
+// or nil for anything else (a field selector, call result, literal...).
+func rootIdentObject(pkg *Package, e ast.Expr) types.Object {
+	e = ast.Unparen(e)
+	if ue, ok := e.(*ast.UnaryExpr); ok && ue.Op == token.AND {
+		e = ast.Unparen(ue.X)
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		return pkg.Info.ObjectOf(id)
+	}
+	return nil
+}
+
+// fixpoint closes FieldWrites and ParamWrites over the call graph. The
+// module is small enough that a simple iterate-until-stable loop over all
+// summaries (deterministic key order) converges in a handful of passes
+// even through mutual recursion.
+func (e *Effects) fixpoint() {
+	keys := make([]FuncKey, 0, len(e.fns))
+	for k := range e.fns {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for changed := true; changed; {
+		changed = false
+		for _, k := range keys {
+			fe := e.fns[k]
+			for _, c := range fe.Calls {
+				callee := e.fns[c.Callee]
+				if callee == nil {
+					continue // unresolved or external: assumed write-free
+				}
+				for f := range callee.FieldWrites {
+					if !fe.FieldWrites[f] {
+						fe.FieldWrites[f] = true
+						changed = true
+					}
+				}
+				for i, obj := range c.Args {
+					if obj == nil || i >= len(callee.ParamWrites) || !callee.ParamWrites[i] {
+						continue
+					}
+					for j, formal := range fe.formals {
+						if formal != nil && formal == obj && !fe.ParamWrites[j] {
+							fe.ParamWrites[j] = true
+							changed = true
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// WritesThroughArg reports whether the call may write through the given
+// argument object: some formal slot bound to obj has ParamWrites set in
+// the callee's summary. Unknown callees report false (fail-safe for
+// monitored unexported state, see package comment).
+func (e *Effects) WritesThroughArg(c effCall, obj types.Object) bool {
+	callee := e.fns[c.Callee]
+	if callee == nil || obj == nil {
+		return false
+	}
+	for i, a := range c.Args {
+		if a == obj && i < len(callee.ParamWrites) && callee.ParamWrites[i] {
+			return true
+		}
+	}
+	return false
+}

@@ -34,6 +34,12 @@ var goldenFixtures = []struct {
 	{"atomicguard", "atomicguard", "fixture/netstate"},
 	{"errcompare", "errcompare", "fixture/scheduler"},
 	{"mergeorder", "mergeorder", "fixture/core"},
+	// v3 effects-layer checks. purity's blessed table and poolescape's
+	// slab-field registry key on package-base names, so the fixtures
+	// masquerade as netstate and stablematch.
+	{"purity", "purity", "fixture/netstate"},
+	{"publishfreeze", "publishfreeze", "fixture/netstate"},
+	{"poolescape", "poolescape", "fixture/stablematch"},
 }
 
 // TestGolden runs each check against its fixture package and compares the

@@ -21,23 +21,66 @@ import (
 // every package it loads, so common dependencies (topology, netstate, the
 // stdlib) are type-checked once.
 //
+// The importer is wrapped in a cache keyed by import path that LoadDir
+// feeds with every package it checks directly. Combined with LoadModule's
+// dependency-ordered load this means each module package is type-checked
+// exactly once per run: before the cache, loading cmd/hitbench re-checked
+// topology, netstate and core from source inside the importer, and again
+// for every other importer — roughly doubling (or worse, for deep
+// dependency chains) a full taalint run.
+//
 // The source importer resolves module import paths through the go command,
 // which requires the process working directory to be inside the module —
 // ModuleRoot/Chdir in cmd/taalint and the tests' natural cwd both satisfy
 // that.
 type Loader struct {
 	fset *token.FileSet
-	imp  types.Importer
+	imp  *cachingImporter
 }
 
-// NewLoader returns a loader with a fresh FileSet and source importer.
+// NewLoader returns a loader with a fresh FileSet and caching source
+// importer.
 func NewLoader() *Loader {
 	fset := token.NewFileSet()
-	return &Loader{fset: fset, imp: importer.ForCompiler(fset, "source", nil)}
+	return &Loader{fset: fset, imp: &cachingImporter{
+		src:   importer.ForCompiler(fset, "source", nil),
+		cache: make(map[string]*types.Package),
+	}}
 }
 
 // Fset exposes the loader's position set.
 func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// cachingImporter serves packages the loader has already type-checked
+// directly (or resolved once through the source importer) without
+// re-checking them from source.
+type cachingImporter struct {
+	src   types.Importer
+	cache map[string]*types.Package
+}
+
+func (ci *cachingImporter) Import(path string) (*types.Package, error) {
+	return ci.ImportFrom(path, "", 0)
+}
+
+func (ci *cachingImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if p, ok := ci.cache[path]; ok {
+		return p, nil
+	}
+	var (
+		p   *types.Package
+		err error
+	)
+	if from, ok := ci.src.(types.ImporterFrom); ok {
+		p, err = from.ImportFrom(path, dir, mode)
+	} else {
+		p, err = ci.src.Import(path)
+	}
+	if err == nil && p != nil {
+		ci.cache[path] = p
+	}
+	return p, err
+}
 
 // ModuleRoot walks up from dir to the enclosing go.mod and returns its
 // directory and module path.
@@ -65,36 +108,46 @@ func ModuleRoot(dir string) (root, modPath string, err error) {
 	}
 }
 
-// sourceFiles returns the analyzable file set of dir — exactly the files
-// the compiler would build for the host configuration: build-tag and
-// GOOS/GOARCH constraints honored, _test.go files excluded. Every check
-// sees this one file set; before this helper, a file excluded by a build
-// tag was still scanned, so a `//go:build ignore` scratch file could fail
-// the lint while being invisible to the build. A nil slice (with nil
-// error) means dir holds no buildable non-test Go files.
-func sourceFiles(dir string) ([]string, error) {
+// sourceFiles returns the analyzable file set of dir plus its imports —
+// exactly the files the compiler would build for the host configuration:
+// build-tag and GOOS/GOARCH constraints honored, _test.go files
+// excluded. Every check sees this one file set; before this helper, a
+// file excluded by a build tag was still scanned, so a `//go:build
+// ignore` scratch file could fail the lint while being invisible to the
+// build. A nil file slice (with nil error) means dir holds no buildable
+// non-test Go files.
+func sourceFiles(dir string) (files, imports []string, err error) {
 	pkg, err := build.Default.ImportDir(dir, 0)
 	if err != nil {
 		var noGo *build.NoGoError
 		if errors.As(err, &noGo) {
-			return nil, nil
+			return nil, nil, nil
 		}
-		return nil, err
+		return nil, nil, err
 	}
-	files := append([]string(nil), pkg.GoFiles...)
+	files = append([]string(nil), pkg.GoFiles...)
 	sort.Strings(files)
-	return files, nil
+	return files, pkg.Imports, nil
 }
 
 // LoadModule loads every non-test package under the module rooted at root,
 // skipping testdata, hidden and underscore-prefixed directories. Packages
-// are returned sorted by import path.
+// are loaded in dependency order — each package after everything it
+// imports from the module — so the importer cache is always warm and no
+// package is ever type-checked twice. The returned slice is sorted by
+// import path.
 func (l *Loader) LoadModule(root string) ([]*Package, error) {
 	root, modPath, err := ModuleRoot(root)
 	if err != nil {
 		return nil, err
 	}
-	var dirs []string
+	type modDir struct {
+		dir        string
+		importPath string
+		imports    []string // module-internal imports only
+	}
+	byPath := make(map[string]*modDir)
+	var paths []string
 	err = filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
 		if err != nil {
 			return err
@@ -106,34 +159,85 @@ func (l *Loader) LoadModule(root string) ([]*Package, error) {
 		if p != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
 			return filepath.SkipDir
 		}
-		files, err := sourceFiles(p)
+		files, imports, err := sourceFiles(p)
 		if err != nil {
 			return err
 		}
-		if len(files) > 0 {
-			dirs = append(dirs, p)
+		if len(files) == 0 {
+			return nil
 		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	sort.Strings(dirs)
-	var pkgs []*Package
-	for _, dir := range dirs {
-		rel, err := filepath.Rel(root, dir)
+		rel, err := filepath.Rel(root, p)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		importPath := modPath
 		if rel != "." {
 			importPath = modPath + "/" + filepath.ToSlash(rel)
 		}
-		pkg, err := l.LoadDir(dir, importPath)
+		md := &modDir{dir: p, importPath: importPath}
+		for _, imp := range imports {
+			if imp == modPath || strings.HasPrefix(imp, modPath+"/") {
+				md.imports = append(md.imports, imp)
+			}
+		}
+		byPath[importPath] = md
+		paths = append(paths, importPath)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+
+	// Deterministic Kahn topological sort over module-internal imports:
+	// always pick the lexicographically smallest ready package. Import
+	// cycles cannot type-check anyway; if one sneaks in, the remainder is
+	// loaded in path order and the type checker reports it.
+	indeg := make(map[string]int, len(paths))
+	dependents := make(map[string][]string)
+	for _, p := range paths {
+		for _, imp := range byPath[p].imports {
+			if _, known := byPath[imp]; !known {
+				continue
+			}
+			indeg[p]++
+			dependents[imp] = append(dependents[imp], p)
+		}
+	}
+	var ready, order []string
+	for _, p := range paths {
+		if indeg[p] == 0 {
+			ready = append(ready, p)
+		}
+	}
+	for len(ready) > 0 {
+		sort.Strings(ready)
+		p := ready[0]
+		ready = ready[1:]
+		order = append(order, p)
+		for _, dep := range dependents[p] {
+			if indeg[dep]--; indeg[dep] == 0 {
+				ready = append(ready, dep)
+			}
+		}
+	}
+	for _, p := range paths { // cycle fallback, see above
+		if indeg[p] > 0 {
+			order = append(order, p)
+		}
+	}
+
+	pkgsByPath := make(map[string]*Package, len(order))
+	for _, p := range order {
+		pkg, err := l.LoadDir(byPath[p].dir, p)
 		if err != nil {
 			return nil, err
 		}
-		pkgs = append(pkgs, pkg)
+		pkgsByPath[p] = pkg
+	}
+	pkgs := make([]*Package, 0, len(paths))
+	for _, p := range paths {
+		pkgs = append(pkgs, pkgsByPath[p])
 	}
 	return pkgs, nil
 }
@@ -143,9 +247,10 @@ func (l *Loader) LoadModule(root string) ([]*Package, error) {
 // sourceFiles): test files and tag-excluded files are invisible to every
 // check. The import path is what the per-package scoping rules (decision
 // packages, netstate exemption) match against, so fixtures can masquerade
-// as any package.
+// as any package. The checked package is fed into the importer cache so
+// later packages importing it reuse it directly.
 func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
-	names, err := sourceFiles(dir)
+	names, _, err := sourceFiles(dir)
 	if err != nil {
 		return nil, err
 	}
@@ -171,6 +276,7 @@ func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
 	if err != nil {
 		return nil, fmt.Errorf("analysis: type-checking %s: %w", importPath, err)
 	}
+	l.imp.cache[importPath] = tpkg
 	return &Package{
 		Path:  importPath,
 		Dir:   dir,

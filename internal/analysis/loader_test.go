@@ -11,7 +11,7 @@ import (
 func TestLoaderFileScope(t *testing.T) {
 	dir := filepath.Join("testdata", "src", "loaderscope")
 
-	names, err := sourceFiles(dir)
+	names, _, err := sourceFiles(dir)
 	if err != nil {
 		t.Fatalf("sourceFiles(%s): %v", dir, err)
 	}
@@ -44,7 +44,7 @@ func TestLoaderFileScope(t *testing.T) {
 // compiler view: a directory whose only Go files are tag-excluded or tests
 // must not be loaded (before the fix it was parsed and failed).
 func TestLoadModuleSkipsUnbuildableDirs(t *testing.T) {
-	files, err := sourceFiles(t.TempDir())
+	files, _, err := sourceFiles(t.TempDir())
 	if err != nil {
 		t.Fatalf("sourceFiles(empty dir): %v", err)
 	}

@@ -6,7 +6,7 @@ import (
 	"repro/internal/analysis"
 )
 
-// TestRepoSelfScan runs all nine checks over every non-test package in the
+// TestRepoSelfScan runs all twelve checks over every non-test package in the
 // module and fails on any unsuppressed finding or stale suppression. This
 // is the same gate as `make lint` (which runs with -prune), but wired into
 // `go test ./...` so it holds even when make is never invoked.

@@ -1,0 +1,87 @@
+// Package netstate is the publishfreeze golden fixture: values installed
+// through atomic.Pointer stores must be immutable afterwards. The shapes
+// mirror the real oracle's swdist table and DistRow publishes.
+package netstate
+
+import "sync/atomic"
+
+type table struct {
+	dist []int32
+}
+
+// Holder mirrors the oracle's published-table fields.
+type Holder struct {
+	tab  atomic.Pointer[table]
+	rows [4]atomic.Pointer[[]int32]
+}
+
+// Publish builds the table fully, then stores: the blessed shape
+// (near-miss).
+func (h *Holder) Publish(n int) {
+	t := &table{dist: make([]int32, n)}
+	for i := range t.dist {
+		t.dist[i] = int32(i)
+	}
+	h.tab.Store(t)
+}
+
+// PublishThenPatch stores, then "fixes up" one row readers may already
+// be looking at (trigger).
+func (h *Holder) PublishThenPatch(n int) {
+	t := &table{dist: make([]int32, n)}
+	h.tab.Store(t)
+	t.dist[0] = 1
+}
+
+// PublishThenPatchAlias mutates the published value through a copied
+// pointer (trigger: the alias set covers plain copies).
+func (h *Holder) PublishThenPatchAlias(n int) {
+	t := &table{dist: make([]int32, n)}
+	q := t
+	h.tab.Store(t)
+	q.dist[0] = 1
+}
+
+// PublishRowThenFill hands the published row to a helper that writes
+// through its parameter (trigger: interprocedural, via ParamWrites).
+func (h *Holder) PublishRowThenFill(n int) {
+	d := make([]int32, n)
+	h.rows[0].Store(&d)
+	fill(d)
+}
+
+func fill(d []int32) {
+	for i := range d {
+		d[i] = 1
+	}
+}
+
+// RepublishLoop publishes a fresh value per iteration; the writes before
+// each store touch the not-yet-published value (near-miss: fresh per
+// iteration, no wraparound).
+func (h *Holder) RepublishLoop(rounds, n int) {
+	for r := 0; r < rounds; r++ {
+		t := &table{dist: make([]int32, n)}
+		t.dist[0] = int32(r)
+		h.tab.Store(t)
+	}
+}
+
+// PatchLoop keeps one value across iterations: the write at the top of
+// iteration r+1 mutates the value published in iteration r (trigger:
+// loop wraparound, value declared outside the loop).
+func (h *Holder) PatchLoop(rounds int) {
+	t := &table{dist: make([]int32, 4)}
+	for r := 0; r < rounds; r++ {
+		t.dist[0] = int32(r)
+		h.tab.Store(t)
+	}
+}
+
+// PublishThenCount bumps a published row under an explicit suppression —
+// the reviewable escape hatch.
+func (h *Holder) PublishThenCount(n int) {
+	t := &table{dist: make([]int32, n)}
+	h.tab.Store(t)
+	t.dist[0]++ //taalint:publishfreeze monotonic count, readers tolerate staleness here
+}

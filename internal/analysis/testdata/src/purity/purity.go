@@ -1,0 +1,68 @@
+// Package netstate is the purity golden fixture: a miniature oracle
+// whose read API must stay write-free on monitored shared state except
+// the blessed memo-install sites. Loaded as fixture/netstate so the
+// check's monitored/blessed tables key exactly as they do for the real
+// package.
+package netstate
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Oracle mirrors the real oracle's shape: a memo map installed under a
+// lock by a blessed site, an exempt observability counter, and a scalar
+// a buggy read path might be tempted to poke.
+type Oracle struct {
+	mu        sync.Mutex
+	distRows  map[int][]int32
+	lastQuery int
+	routeHits atomic.Uint64
+}
+
+// DistRow is a read root whose memo install is blessed in puBlessed
+// (near-miss: the write is allowed for exactly this function+field pair).
+func (o *Oracle) DistRow(src int) []int32 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if d, ok := o.distRows[src]; ok {
+		return d
+	}
+	d := make([]int32, 8)
+	o.distRows[src] = d
+	return d
+}
+
+// Dist bumps an exempt counter (near-miss) but also records the last
+// query — an unblessed write on the read path (trigger).
+func (o *Oracle) Dist(a, b int) int {
+	o.routeHits.Add(1)
+	o.lastQuery = a
+	return int(o.DistRow(a)[b])
+}
+
+// BestRoute reaches a violation through a helper: purity follows the
+// call graph, not just root bodies.
+func (o *Oracle) BestRoute(src, dst int) int {
+	return o.noteRoute(src, dst)
+}
+
+func (o *Oracle) noteRoute(src, dst int) int {
+	o.lastQuery = dst
+	return int(o.DistRow(src)[dst])
+}
+
+// Reset rebuilds the memo outside any read path: not reachable from the
+// read API, so purity does not fire (reachability near-miss).
+func (o *Oracle) Reset() {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.distRows = make(map[int][]int32)
+}
+
+// Headroom pokes a scalar on the read path under an explicit suppression
+// — the reviewable escape hatch.
+func (o *Oracle) Headroom(server int) float64 {
+	o.lastQuery = server //taalint:purity grandfathered scalar poke pending the headroom snapshot refactor
+	return 1
+}

@@ -1,0 +1,97 @@
+package netstate_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/netstate"
+	"repro/internal/topology"
+)
+
+// TestMemoryStatsConcurrentReaders drives the MemoryStats census while
+// other goroutines hammer the lazy caches it walks. The contract under
+// test: MemoryStats takes the same locks the caches use, so a census
+// racing a cache rebuild must be race-detector clean and return sane
+// counts — never a torn view that the -race build would flag.
+//
+// Liveness flips stay on a single goroutine between reader waves
+// (SetNodeAlive is single-writer by contract); inside a wave everything
+// is reads plus lazy memo installs, which is exactly the concurrency the
+// oracle advertises.
+func TestMemoryStatsConcurrentReaders(t *testing.T) {
+	topo := buildFatTree(t)
+	o := netstate.New(topo)
+	servers := topo.Servers()
+	if len(servers) < 4 {
+		t.Fatal("fat-tree too small for the census test")
+	}
+	// A non-access switch to flip: killing it invalidates the liveness-
+	// aware caches, so each round's readers trigger a fresh rebuild.
+	var victim topology.NodeID = topology.None
+	for _, id := range topo.Switches() {
+		if topo.Node(id).Tier > 0 {
+			victim = id
+			break
+		}
+	}
+	if victim == topology.None {
+		t.Fatal("no non-access switch in the fat-tree")
+	}
+
+	const (
+		rounds  = 6
+		readers = 4
+	)
+	for round := 0; round < rounds; round++ {
+		// Single-threaded liveness flip between waves.
+		alive := round%2 == 0
+		if err := topo.SetNodeAlive(victim, !alive); err != nil {
+			t.Fatal(err)
+		}
+
+		var wg sync.WaitGroup
+		for r := 0; r < readers; r++ {
+			wg.Add(1)
+			go func(seed int) {
+				defer wg.Done()
+				for i := 0; i < 8; i++ {
+					a := servers[(seed+i)%len(servers)]
+					b := servers[(seed+i+1)%len(servers)]
+					if a == b {
+						continue
+					}
+					// Queries that install memo entries while the census
+					// walks the same tables.
+					_ = o.Dist(a, b)
+					_ = o.DistRow(a)
+					_ = o.ShortestPath(a, b)
+					if _, err := o.TypeTemplate(a, b); err != nil {
+						t.Errorf("TypeTemplate(%d,%d): %v", a, b, err)
+					}
+				}
+			}(r)
+		}
+		// The census runs concurrently with the query goroutines above.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				s := o.MemoryStats()
+				if s.ApproxBytes < 0 {
+					t.Errorf("census returned negative byte estimate: %+v", s)
+				}
+				if s.DistRows < 0 || s.Paths < 0 || s.Templates < 0 {
+					t.Errorf("census returned negative counts: %+v", s)
+				}
+			}
+		}()
+		wg.Wait()
+	}
+
+	// After the last wave the census must agree with a quiescent one.
+	q1 := o.MemoryStats()
+	q2 := o.MemoryStats()
+	if q1 != q2 {
+		t.Errorf("quiescent census not stable:\n%+v\n%+v", q1, q2)
+	}
+}

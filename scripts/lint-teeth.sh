@@ -1,0 +1,39 @@
+#!/bin/sh
+# lint-teeth: prove the taalint gates bite on the real module, not just on
+# fixtures. For every patch in internal/analysis/testdata/teeth/ this script
+# checks out HEAD into a throwaway git worktree, applies the deliberate
+# mutation (drop a pool Put, write a published row, dirty a read path, skip
+# an epoch bump), runs only the check named by the patch file's basename,
+# and asserts taalint exits with code 1 — findings, not a crash (2) and not
+# a pass (0). Any toothless check fails the script.
+#
+# Usage: scripts/lint-teeth.sh   (from anywhere inside the repo)
+set -eu
+
+root=$(git rev-parse --show-toplevel)
+teeth="$root/internal/analysis/testdata/teeth"
+[ -d "$teeth" ] || { echo "lint-teeth: no patch directory $teeth" >&2; exit 2; }
+
+fail=0
+for patch in "$teeth"/*.patch; do
+    [ -e "$patch" ] || { echo "lint-teeth: no patches in $teeth" >&2; exit 2; }
+    check=$(basename "$patch" .patch)
+    wt=$(mktemp -d /tmp/lint-teeth.XXXXXX)
+    # --detach: a throwaway checkout of HEAD, no branch to clean up.
+    git -C "$root" worktree add --detach --quiet "$wt" HEAD
+    git -C "$wt" apply "$patch"
+
+    set +e
+    (cd "$wt" && go run ./cmd/taalint -checks "$check" .) >/dev/null 2>&1
+    code=$?
+    set -e
+
+    git -C "$root" worktree remove --force "$wt"
+    if [ "$code" -eq 1 ]; then
+        echo "lint-teeth: $check PASS (mutation caught, exit 1)"
+    else
+        echo "lint-teeth: $check FAIL (exit $code, want 1 — the check is toothless or broken)" >&2
+        fail=1
+    fi
+done
+exit "$fail"
