@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint teeth test race shuffle bench bench-json chaos verify
+.PHONY: all build vet lint teeth test race shuffle bench bench-json bench-gate bench-baseline chaos verify
 
 all: verify
 
@@ -17,11 +17,11 @@ build:
 vet:
 	$(GO) vet ./...
 
-# lint runs the twelve taalint checks (maporder, floateq, rngsource,
+# lint runs the thirteen taalint checks (maporder, floateq, rngsource,
 # wallclock, oraclebypass, epochbump, atomicguard, errcompare, mergeorder,
-# purity, publishfreeze, poolescape) over every non-test package, fails on
-# any unsuppressed finding, and with -prune also fails on stale //taalint:
-# suppressions.
+# purity, publishfreeze, poolescape, arbitercommit) over every non-test
+# package, fails on any unsuppressed finding, and with -prune also fails
+# on stale //taalint: suppressions.
 lint:
 	$(GO) run ./cmd/taalint -prune
 
@@ -46,11 +46,29 @@ shuffle:
 bench:
 	$(GO) test -run XXX -bench . -benchtime 1x .
 
-# bench-json runs the scalability/oracle benchmarks and archives one
-# machine-readable BENCH_local.json (CI emits BENCH_<sha>.json per commit,
-# forming the benchmark trajectory).
+# bench-json runs the scalability/oracle/multi-scheduler benchmarks and
+# archives one machine-readable BENCH_local.json (CI emits BENCH_<sha>.json
+# per commit, forming the benchmark trajectory).
 bench-json:
-	$(GO) test -run XXX -bench 'HitScalability|PathOracle' -benchtime 1x . | $(GO) run ./cmd/benchjson -o BENCH_local.json
+	$(GO) test -run XXX -bench 'HitScalability|PathOracle|MultiScheduler' -benchtime 1x . | $(GO) run ./cmd/benchjson -o BENCH_local.json
+
+# bench-gate is the regression gate: a fresh run is diffed against the
+# committed BENCH_baseline.json and any benchmark past its per-metric
+# threshold fails the target loudly — allocs/op +20% (deterministic
+# count, the tight gate) and ns/op +100% (wall-clock on shared hosts
+# drifts ±50% with neighbor load, so it only gates doublings).
+# Unlike the bench-json smoke artifact this run uses the default
+# -benchtime (stable ns/op instead of a single noisy sample) and
+# -count=3: benchjson collapses repeated results to the per-benchmark
+# minimum on both sides, so transient machine load — which only ever
+# inflates a sample — cannot fake a regression. Refresh the baseline
+# deliberately (and say why in the commit) with:
+#   make bench-baseline
+bench-gate:
+	$(GO) test -run XXX -bench 'HitScalability|PathOracle|MultiScheduler' -count=3 . | $(GO) run ./cmd/benchjson -o BENCH_local.json -baseline BENCH_baseline.json
+
+bench-baseline:
+	$(GO) test -run XXX -bench 'HitScalability|PathOracle|MultiScheduler' -count=3 . | $(GO) run ./cmd/benchjson -o BENCH_baseline.json
 
 # chaos runs the fault-injection harness under the race detector: randomized
 # seeded fault schedules replayed bit-identically, with the run-time

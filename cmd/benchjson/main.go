@@ -6,12 +6,22 @@
 //
 // Usage:
 //
-//	go test -run XXX -bench . -benchtime 1x . | benchjson [-o BENCH_abc.json]
+//	go test -run XXX -bench . -benchtime 1x . | benchjson [-o BENCH_abc.json] [-baseline BENCH_baseline.json]
 //
 // Without -o the JSON goes to stdout. Lines that are not benchmark results
 // or recognized headers (goos/goarch/pkg/cpu) pass through untouched; the
 // exit status is nonzero only when no benchmark line was seen at all, so a
 // broken pipeline cannot silently archive an empty artifact.
+//
+// With -baseline the run is additionally gated against an archived
+// report: any benchmark whose gated metric grew past its threshold over
+// the baseline (allocs/op +20%, ns/op +100% — see gateThresholds for why
+// they differ) fails the command loudly (stderr lists every regression,
+// exit status 1) AFTER the artifact is written, so the evidence survives
+// the failure. Repeated results from a -count=N run collapse to the
+// per-benchmark best on both sides, and names are matched with the "-N"
+// GOMAXPROCS suffix stripped, keeping baselines portable across machines
+// with different core counts.
 package main
 
 import (
@@ -45,6 +55,7 @@ type Report struct {
 
 func main() {
 	out := flag.String("o", "", "write the JSON report to this file (default stdout)")
+	baseline := flag.String("baseline", "", "compare against this archived BENCH_*.json and fail on regressions")
 	flag.Parse()
 
 	rep, err := parse(os.Stdin)
@@ -56,6 +67,118 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
+	if *baseline != "" {
+		regs, err := diffBaseline(rep, *baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		if len(regs) > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: PERFORMANCE REGRESSION against %s:\n", *baseline)
+			for _, r := range regs {
+				fmt.Fprintf(os.Stderr, "  %s\n", r)
+			}
+			os.Exit(1)
+		}
+	}
+}
+
+// gateThresholds maps each gated metric to the relative growth over
+// baseline that fails the comparison. The thresholds differ because the
+// metrics differ in kind: allocs/op is a deterministic count (measured
+// cross-run spread on the scheduling benchmarks is under 5%), so it
+// carries the tight 20% gate; ns/op on shared hosts spikes past +60%
+// with neighbor load even as a best-of-N statistic, so wall-clock gates
+// only on doubling — unambiguously a real regression — and relies on the
+// allocation gate to catch the quiet ones. The census metrics
+// (oracle-MB, peakRSS-MB) track machine state too loosely to gate at all.
+var gateThresholds = map[string]float64{
+	"allocs/op": 0.20,
+	"ns/op":     1.00,
+}
+
+// stripProcSuffix removes the "-N" GOMAXPROCS suffix go test appends to
+// benchmark names, so results from machines with different core counts
+// compare by logical benchmark identity.
+func stripProcSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// collapseMin folds a result list into per-name best observations: for
+// repeated names (a `go test -count=N` run) each metric keeps its
+// minimum. Best-of-N is the standard robust timing estimator — transient
+// machine load only ever inflates a sample, so the minimum is the
+// sample least polluted by noise, and comparing best against best makes
+// the gate trip on genuine regressions rather than load spikes.
+func collapseMin(results []BenchResult) (map[string]map[string]float64, []string) {
+	byName := make(map[string]map[string]float64, len(results))
+	var order []string
+	for _, r := range results {
+		name := stripProcSuffix(r.Name)
+		m, seen := byName[name]
+		if !seen {
+			m = make(map[string]float64, len(r.Metrics))
+			byName[name] = m
+			order = append(order, name)
+		}
+		for unit, v := range r.Metrics {
+			if cur, ok := m[unit]; !ok || v < cur {
+				m[unit] = v
+			}
+		}
+	}
+	return byName, order
+}
+
+// diffBaseline compares rep's gated metrics against the archived baseline
+// report, returning one message per regression. Both sides collapse to
+// best-of-N per benchmark first (collapseMin). Benchmarks present on
+// only one side are skipped (new and retired benchmarks are not
+// regressions); a baseline that shares no benchmark at all with the run
+// is an error, so a renamed suite cannot silently disarm the gate.
+func diffBaseline(rep *Report, path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var base Report
+	if err := json.Unmarshal(data, &base); err != nil {
+		return nil, fmt.Errorf("parsing baseline %s: %v", path, err)
+	}
+	baseByName, _ := collapseMin(base.Results)
+	repByName, order := collapseMin(rep.Results)
+	var regs []string
+	matched := 0
+	for _, name := range order {
+		b, ok := baseByName[name]
+		if !ok {
+			continue
+		}
+		matched++
+		for _, unit := range []string{"ns/op", "allocs/op"} {
+			threshold := gateThresholds[unit]
+			got, gotOK := repByName[name][unit]
+			want, wantOK := b[unit]
+			if !gotOK || !wantOK || want <= 0 {
+				continue
+			}
+			if got > want*(1+threshold) {
+				regs = append(regs, fmt.Sprintf("%s: %s %.4g vs baseline %.4g (%+.1f%%, threshold %+.0f%%)",
+					name, unit, got, want, (got/want-1)*100, threshold*100))
+			}
+		}
+	}
+	if matched == 0 {
+		return nil, fmt.Errorf("baseline %s shares no benchmark names with this run", path)
+	}
+	return regs, nil
 }
 
 // parse scans bench output for header and Benchmark lines.

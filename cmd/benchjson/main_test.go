@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -147,5 +150,123 @@ func TestParseMalformed(t *testing.T) {
 	input := "goos: linux\nBenchmarkOK-8 1 5 ns/op\nBenchmarkBad 1 5\n"
 	if _, err := parse(strings.NewReader(input)); err == nil || !strings.Contains(err.Error(), "line 3") {
 		t.Errorf("parse error = %v, want line 3 attribution", err)
+	}
+}
+
+func TestStripProcSuffix(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkHit-8":                       "BenchmarkHit",
+		"BenchmarkHit":                         "BenchmarkHit",
+		"BenchmarkHit/servers=1024/shards=4-8": "BenchmarkHit/servers=1024/shards=4",
+		"BenchmarkHit/servers=1024":            "BenchmarkHit/servers=1024",
+	} {
+		if got := stripProcSuffix(in); got != want {
+			t.Errorf("stripProcSuffix(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestDiffBaseline pins the gate semantics: growth past the per-metric
+// threshold (ns/op +100%, allocs/op +20%) regresses, improvements and
+// unknown benchmarks don't, and a baseline sharing no names is a hard
+// error.
+func TestDiffBaseline(t *testing.T) {
+	writeBaseline := func(t *testing.T, base Report) string {
+		t.Helper()
+		data, err := json.Marshal(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(t.TempDir(), "BENCH_base.json")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	base := Report{Results: []BenchResult{
+		{Name: "BenchmarkA-4", Metrics: map[string]float64{"ns/op": 100, "allocs/op": 1000}},
+		{Name: "BenchmarkB-4", Metrics: map[string]float64{"ns/op": 100}},
+	}}
+	path := writeBaseline(t, base)
+
+	rep := &Report{Results: []BenchResult{
+		// 2.5x slower: past the +100% wall-clock threshold. Different -N
+		// suffix must still match.
+		{Name: "BenchmarkA-8", Metrics: map[string]float64{"ns/op": 250, "allocs/op": 900}},
+		// 80% slower: within the wall-clock threshold (noise headroom).
+		{Name: "BenchmarkB-8", Metrics: map[string]float64{"ns/op": 180}},
+		// Not in the baseline: skipped.
+		{Name: "BenchmarkNew-8", Metrics: map[string]float64{"ns/op": 1e9}},
+	}}
+	regs, err := diffBaseline(rep, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || !strings.Contains(regs[0], "BenchmarkA: ns/op") {
+		t.Fatalf("regs = %v, want exactly the BenchmarkA ns/op regression", regs)
+	}
+
+	// Alloc regression gates too.
+	rep.Results[0].Metrics = map[string]float64{"ns/op": 100, "allocs/op": 1300}
+	regs, err = diffBaseline(rep, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || !strings.Contains(regs[0], "allocs/op") {
+		t.Fatalf("regs = %v, want the allocs/op regression", regs)
+	}
+
+	// No shared names: hard error, not a silent pass.
+	disjoint := &Report{Results: []BenchResult{
+		{Name: "BenchmarkZ-8", Metrics: map[string]float64{"ns/op": 1}},
+	}}
+	if _, err := diffBaseline(disjoint, path); err == nil {
+		t.Fatal("want an error when the baseline shares no benchmark names")
+	}
+}
+
+// TestDiffBaselineBestOfN pins the -count=N semantics: repeated results
+// collapse to the per-metric minimum on both sides, so one load-spiked
+// sample among N cannot fake a regression, while a run whose best sample
+// still exceeds the baseline's best by the threshold does regress.
+func TestDiffBaselineBestOfN(t *testing.T) {
+	base := Report{Results: []BenchResult{
+		{Name: "BenchmarkA-4", Metrics: map[string]float64{"ns/op": 130}},
+		{Name: "BenchmarkA-4", Metrics: map[string]float64{"ns/op": 100}},
+		{Name: "BenchmarkA-4", Metrics: map[string]float64{"ns/op": 160}},
+	}}
+	data, err := json.Marshal(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_base.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// One sample 4x over baseline-best, but the best sample is clean.
+	noisy := &Report{Results: []BenchResult{
+		{Name: "BenchmarkA-8", Metrics: map[string]float64{"ns/op": 400}},
+		{Name: "BenchmarkA-8", Metrics: map[string]float64{"ns/op": 105}},
+	}}
+	regs, err := diffBaseline(noisy, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("regs = %v, want none: best-of-N 105 vs 100 is within threshold", regs)
+	}
+
+	// Every sample over threshold: a real regression survives the collapse.
+	slow := &Report{Results: []BenchResult{
+		{Name: "BenchmarkA-8", Metrics: map[string]float64{"ns/op": 230}},
+		{Name: "BenchmarkA-8", Metrics: map[string]float64{"ns/op": 220}},
+	}}
+	regs, err = diffBaseline(slow, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || !strings.Contains(regs[0], "BenchmarkA: ns/op") {
+		t.Fatalf("regs = %v, want the BenchmarkA regression", regs)
 	}
 }

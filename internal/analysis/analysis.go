@@ -150,6 +150,7 @@ func All() []Check {
 		Purity{},
 		PublishFreeze{},
 		PoolEscape{},
+		ArbiterCommit{},
 	}
 }
 
@@ -377,6 +378,7 @@ var decisionPackages = map[string]bool{
 	"yarn":        true,
 	"experiments": true,
 	"faults":      true,
+	"multisched":  true,
 }
 
 // wallclockPackages are the import-path base names that must use the

@@ -1,0 +1,281 @@
+package analysis
+
+import (
+	"go/ast"
+	"sort"
+	"strings"
+)
+
+// arbitercommit: no cluster/controller mutator — and no direct write to
+// their state — may be reachable from a goroutine launched in the
+// multisched package.
+//
+// The sharded scheduler's determinism argument (DESIGN.md §10) rests on a
+// single structural invariant: shard workers SPECULATE and the arbiter
+// COMMITS. Workers may read the oracle's concurrent API, the locator, and
+// prefetched immutable policy objects; every Install, Uninstall, Place —
+// anything that moves controller or cluster state — must run on the
+// scheduling goroutine, through the arbiter, in canonical flow order. One
+// mutation from a worker and outputs stop being Float64bits-identical
+// across shard counts (and -race starts firing, but only when a test
+// happens to interleave it). This check pins the invariant statically.
+//
+// Mechanics: the check seeds the transitive call closure from every
+// worker entry point in packages whose base name is "multisched" —
+//
+//   - the callee of every `go` statement, and every call made inside a
+//     `go func() { ... }()` literal;
+//   - every function literal passed to a parallel fan-out entry point
+//     (acPoolEntrypoints): those literals run on pool worker goroutines.
+//
+// It then walks the closure over the static call graph (index.go). A
+// finding is any call edge whose callee is a blessed mutator
+// (acMutators), and any direct write — plain or atomic, including writes
+// inside nested literals (effects.go attribution) — to a field of a
+// monitored owner (acMonitoredOwners) from a worker-reachable function.
+//
+// The arbiter's own methods call the same mutators legitimately: they are
+// never launched with `go`, so they enter the closure only if a worker
+// path actually reaches them — which is exactly the bug to report.
+//
+// Like all index-based checks the tables key on package-base short forms,
+// and — because the golden fixture is a single package declaring its own
+// miniature Controller/Cluster — mutator methods match on the
+// "(Receiver).Method" suffix, gated by acMutatorPkgs so an unrelated
+// type that happens to be called Controller elsewhere cannot collide.
+
+// acMutators is the blessed-mutator inventory: the controller/cluster
+// methods that move scheduler-visible state. Keyed "(Receiver).Method".
+var acMutators = map[string]bool{
+	"(Controller).Install":       true,
+	"(Controller).Uninstall":     true,
+	"(Controller).Reset":         true,
+	"(Controller).AdoptIfCheaper": true,
+	"(Cluster).Place":             true,
+	"(Cluster).Unplace":           true,
+	"(Cluster).SetServerCapacity": true,
+	"(Cluster).NewContainer":      true,
+}
+
+// acMutatorPkgs gates receiver-suffix matching to the packages that
+// declare the real mutators, plus multisched itself for the fixture.
+var acMutatorPkgs = map[string]bool{
+	"controller": true,
+	"cluster":    true,
+	"multisched": true,
+}
+
+// acMonitoredOwners are the struct owners whose direct field writes from
+// worker-reachable code are findings, keyed by bare struct name (gated by
+// acMutatorPkgs on the owning package).
+var acMonitoredOwners = map[string]bool{
+	"Controller":  true,
+	"Cluster":     true,
+	"serverState": true,
+}
+
+// acPoolEntrypoints are the parallel fan-out calls whose function-literal
+// arguments run on worker goroutines.
+var acPoolEntrypoints = map[string]bool{
+	"parallel.(Group).ForEach": true,
+	"parallel.ForEach":         true,
+	"parallel.Map":             true,
+}
+
+// ArbiterCommit is the sharded-scheduler mutation-funnel check.
+type ArbiterCommit struct{}
+
+// Name implements Check.
+func (ArbiterCommit) Name() string { return "arbitercommit" }
+
+// Doc implements Check.
+func (ArbiterCommit) Doc() string {
+	return "multisched worker goroutines must not reach cluster/controller mutators; commits go through the arbiter"
+}
+
+// acRecvMethod extracts the "(Receiver).Method" suffix of a method key,
+// or "" for plain functions.
+func acRecvMethod(key FuncKey) string {
+	i := strings.Index(key, ".(")
+	if i < 0 {
+		return ""
+	}
+	return key[i+1:]
+}
+
+// acPkgBase extracts the package base name of an index key.
+func acPkgBase(key FuncKey) string {
+	s := shortKey(key)
+	if i := strings.IndexByte(s, '.'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+func acIsMutator(callee FuncKey) bool {
+	rm := acRecvMethod(callee)
+	return rm != "" && acMutators[rm] && acMutatorPkgs[acPkgBase(callee)]
+}
+
+// acOwnerMonitored reports whether a field key ("pkg/path.Owner.field")
+// names monitored cluster/controller state.
+func acOwnerMonitored(fieldKey string) bool {
+	s := shortKey(fieldKey) // "pkg.Owner.field"
+	parts := strings.Split(s, ".")
+	if len(parts) != 3 {
+		return false
+	}
+	return acMutatorPkgs[parts[0]] && acMonitoredOwners[parts[1]]
+}
+
+// RunModule implements ModuleCheck.
+func (ArbiterCommit) RunModule(mp *ModulePass) {
+	eff := mp.Index.Effects()
+
+	// via maps every worker-reachable function to the shortKey of the
+	// function whose `go` statement (or pool literal) roots it, for the
+	// diagnostic. Seeds are gathered package-by-package in load order, so
+	// the report order is deterministic.
+	via := make(map[FuncKey]string)
+	var queue []FuncKey
+	seed := func(callee FuncKey, root string) {
+		if callee == "" {
+			return
+		}
+		if _, seen := via[callee]; !seen {
+			via[callee] = root
+			queue = append(queue, callee)
+		}
+	}
+
+	// acWorkerBody scans one worker-side body (a go-literal or a pool
+	// literal): resolved calls become closure seeds, mutator calls and
+	// monitored writes are immediate findings.
+	workerBody := func(pkg *Package, root string, body ast.Node) {
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				callee := resolveCall(pkg, x)
+				if callee == "" {
+					return true
+				}
+				if acIsMutator(callee) {
+					mp.Reportf(pkg, x.Pos(),
+						"goroutine launched in %s calls mutator %s; sharded mutations must go through the arbiter on the scheduling goroutine",
+						root, shortKey(callee))
+					return true
+				}
+				seed(callee, root)
+			case *ast.AssignStmt:
+				for _, lhs := range x.Lhs {
+					acCheckWriteSpine(mp, pkg, root, lhs)
+				}
+			case *ast.IncDecStmt:
+				acCheckWriteSpine(mp, pkg, root, x.X)
+			}
+			return true
+		})
+	}
+
+	for _, pkg := range mp.Pkgs {
+		if pkg.Base() != "multisched" {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				root := shortKey(declKey(pkg, fd))
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					switch x := n.(type) {
+					case *ast.GoStmt:
+						if fl, isLit := ast.Unparen(x.Call.Fun).(*ast.FuncLit); isLit {
+							workerBody(pkg, root, fl.Body)
+							return false // workerBody walked it
+						}
+						callee := resolveCall(pkg, x.Call)
+						if acIsMutator(callee) {
+							mp.Reportf(pkg, x.Pos(),
+								"goroutine launched in %s calls mutator %s; sharded mutations must go through the arbiter on the scheduling goroutine",
+								root, shortKey(callee))
+							return true
+						}
+						seed(callee, root)
+					case *ast.CallExpr:
+						if !acPoolEntrypoints[shortKey(resolveCall(pkg, x))] {
+							return true
+						}
+						for _, a := range x.Args {
+							if fl, isLit := ast.Unparen(a).(*ast.FuncLit); isLit {
+								workerBody(pkg, root, fl.Body)
+							}
+						}
+					}
+					return true
+				})
+			}
+		}
+	}
+
+	// Flood the call closure from the seeds, flagging mutator edges and
+	// direct monitored writes as they are reached.
+	for len(queue) > 0 {
+		k := queue[0]
+		queue = queue[1:]
+		info := mp.Index.Funcs[k]
+		if info == nil {
+			continue
+		}
+		for _, c := range info.Calls {
+			if acIsMutator(c.Callee) {
+				mp.Reportf(info.Pkg, c.Pos,
+					"%s, reachable from a goroutine launched in %s, calls mutator %s; sharded mutations must go through the arbiter on the scheduling goroutine",
+					shortKey(k), via[k], shortKey(c.Callee))
+				continue
+			}
+			seed(c.Callee, via[k])
+		}
+		if fe := eff.Of(k); fe != nil {
+			writes := append([]WriteEffect(nil), fe.Writes...)
+			sort.Slice(writes, func(i, j int) bool { return writes[i].Pos < writes[j].Pos })
+			for _, w := range writes {
+				if acOwnerMonitored(w.Field) {
+					mp.Reportf(info.Pkg, w.Pos,
+						"%s, reachable from a goroutine launched in %s, writes %s directly; sharded mutations must go through the arbiter on the scheduling goroutine",
+						shortKey(k), via[k], shortKey(w.Field))
+				}
+			}
+		}
+	}
+}
+
+// acCheckWriteSpine reports a finding when an lvalue's selector spine
+// touches a monitored cluster/controller field (direct writes inside a
+// worker literal, which effects.go attributes to the enclosing declared
+// function and the closure walk would therefore miss).
+func acCheckWriteSpine(mp *ModulePass, pkg *Package, root string, e ast.Expr) {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			if owner, field := fieldOf(pkg, x); field != nil {
+				if acOwnerMonitored(fieldAccessKey(owner, field)) {
+					mp.Reportf(pkg, x.Pos(),
+						"goroutine launched in %s writes %s directly; sharded mutations must go through the arbiter on the scheduling goroutine",
+						root, shortKey(fieldAccessKey(owner, field)))
+					return
+				}
+			}
+			e = x.X
+		default:
+			return
+		}
+	}
+}

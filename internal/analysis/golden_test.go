@@ -40,6 +40,10 @@ var goldenFixtures = []struct {
 	{"purity", "purity", "fixture/netstate"},
 	{"publishfreeze", "publishfreeze", "fixture/netstate"},
 	{"poolescape", "poolescape", "fixture/stablematch"},
+	// arbitercommit matches mutators on "(Receiver).Method" suffixes gated
+	// by package base, so one package masquerading as multisched can
+	// declare its own Controller/Cluster and still hit the real tables.
+	{"arbitercommit", "arbitercommit", "fixture/multisched"},
 }
 
 // TestGolden runs each check against its fixture package and compares the

@@ -60,8 +60,14 @@ var puMonitored = map[string]bool{
 // puCounters are monotonic observability counters (atomic, never read
 // back on a decision path) that reads may bump freely.
 var puCounters = map[string]bool{
-	"netstate.Oracle.routeHits":   true,
-	"netstate.Oracle.routeMisses": true,
+	// The live module stripes the pair-route counters (routeStats); the
+	// scalar routeHits/routeMisses keys remain for the golden fixture,
+	// which models the plain-counter idiom.
+	"netstate.Oracle.routeStats":      true,
+	"netstate.routeStatStripe.hits":   true,
+	"netstate.routeStatStripe.misses": true,
+	"netstate.Oracle.routeHits":       true,
+	"netstate.Oracle.routeMisses":     true,
 }
 
 // puBlessed maps a function short key to the set of monitored field short

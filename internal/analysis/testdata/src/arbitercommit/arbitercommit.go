@@ -1,0 +1,95 @@
+// Package multisched is the arbitercommit golden fixture: a miniature
+// sharded scheduler with its own local Controller/Cluster (the check
+// matches mutators on the "(Receiver).Method" suffix, gated to the
+// controller/cluster/multisched package bases, precisely so this
+// single-package fixture exercises the same tables as the real module).
+// Loaded as fixture/multisched.
+package multisched
+
+// Policy is a stand-in for flow.Policy.
+type Policy struct{ Cost float64 }
+
+// Controller mirrors the real controller's mutator surface.
+type Controller struct {
+	policies map[int]*Policy
+}
+
+// Install is a blessed mutator: arbiter-only.
+func (c *Controller) Install(id int, p *Policy) error {
+	c.policies[id] = p
+	return nil
+}
+
+// Policy is a read: workers may call it.
+func (c *Controller) Policy(id int) *Policy { return c.policies[id] }
+
+// Cluster mirrors the real cluster's mutator surface.
+type Cluster struct {
+	srv map[int]int
+}
+
+// Place is a blessed mutator: arbiter-only.
+func (c *Cluster) Place(id, s int) error {
+	c.srv[id] = s
+	return nil
+}
+
+// Candidates is a read: workers may call it.
+func (c *Cluster) Candidates(id int) []int { return []int{0, 1} }
+
+// Service owns the worker fan-out.
+type Service struct {
+	ctl *Controller
+	cl  *Cluster
+}
+
+// Arbiter commits on the scheduling goroutine.
+type Arbiter struct{ s *Service }
+
+// commit calls Install legitimately: the arbiter runs on the scheduling
+// goroutine and is never launched with `go` (near-miss — no finding).
+func (a *Arbiter) commit(id int, p *Policy) error {
+	return a.s.ctl.Install(id, p)
+}
+
+// presolve is worker code: reads are fine.
+func (s *Service) presolve(i int) *Policy {
+	old := s.ctl.Policy(i)
+	if old == nil {
+		return &Policy{Cost: 1}
+	}
+	return &Policy{Cost: old.Cost / 2}
+}
+
+// runCell is worker code that commits its own result instead of handing
+// it to the arbiter (trigger: transitive mutator call, reported at the
+// Install edge).
+func (s *Service) runCell(i int) {
+	p := s.presolve(i)
+	_ = s.ctl.Install(i, p)
+}
+
+// start launches the workers. The literal's call to runCell seeds the
+// closure; the direct map poke inside the literal is a monitored write
+// from a goroutine (trigger).
+func (s *Service) start() {
+	go func() {
+		s.runCell(0)
+		s.ctl.policies[1] = nil
+	}()
+}
+
+// scrub is launched directly with `go` and writes monitored state in its
+// own body (trigger: effects-based direct-write detection).
+func (s *Service) scrub() {
+	s.ctl.policies = nil
+}
+
+// reset fires scrub on a goroutine and also places one container from a
+// worker with an explicit, reviewed escape hatch (the suppressed
+// violation proving //taalint:arbitercommit works).
+func (s *Service) reset() {
+	go s.scrub()
+	//taalint:arbitercommit fixture escape-hatch demonstration
+	go s.cl.Place(0, 0)
+}

@@ -34,6 +34,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/controller"
 	"repro/internal/flow"
+	"repro/internal/multisched"
 	"repro/internal/parallel"
 	"repro/internal/scheduler"
 	"repro/internal/stablematch"
@@ -64,6 +65,32 @@ type HitScheduler struct {
 	// either way (the incremental path only skips work it can prove is a
 	// no-op), so this switch exists for parity tests and perf comparison.
 	DisableIncremental bool
+	// Shards > 1 runs the wave through the sharded optimistic scheduler
+	// (internal/multisched): candidate scans, Algorithm-1 presolves and the
+	// preference build fan out over up to Shards goroutines organized by
+	// topology cell, and a deterministic arbiter commits in sequential flow
+	// order. Output is Float64bits-identical to Shards <= 1 at any shard
+	// count (DESIGN.md §10); with Shards <= 1 the sequential code paths run
+	// byte-for-byte unchanged.
+	Shards int
+	// Workers caps the fan-out of the parallel inner phases (preference
+	// build, stable-match validation). Zero derives the cap from Shards
+	// when sharded, else from GOMAXPROCS exactly as before — set it only
+	// to keep a sharded scheduler from oversubscribing shared cores.
+	Workers int
+}
+
+// fanout resolves the inner-phase worker cap: an explicit Workers wins,
+// a sharded run reuses its shard budget, and the sequential default (0,
+// meaning GOMAXPROCS inside parallel.ForEach) stays as it always was.
+func (h *HitScheduler) fanout() int {
+	if h.Workers > 0 {
+		return h.Workers
+	}
+	if h.Shards > 1 {
+		return h.Shards
+	}
+	return 0
 }
 
 // Name implements scheduler.Scheduler.
@@ -106,6 +133,13 @@ func (h *HitScheduler) Schedule(req *scheduler.Request) error {
 	movable := h.movableTasks(req)
 	flows := req.Flows
 
+	// The sharded service (nil when Shards <= 1, which leaves every
+	// sequential code path below byte-for-byte untouched).
+	var ms *multisched.Service
+	if h.Shards > 1 {
+		ms = multisched.New(req.Controller, req.Cluster, h.Shards)
+	}
+
 	var report *scheduler.ScheduleReport
 	if req.Degraded {
 		report = req.Report
@@ -119,23 +153,29 @@ func (h *HitScheduler) Schedule(req *scheduler.Request) error {
 	// degraded mode a container with no feasible server is reported and
 	// skipped (with its flows) instead of aborting the wave.
 	dropped := make(map[cluster.ContainerID]bool)
-	var candBuf []topology.NodeID
-	for _, t := range movable {
-		if req.Cluster.Container(t.Container).Placed() {
-			continue
+	if ms != nil {
+		if err := h.placeInitialSharded(ms, req, movable, report, dropped); err != nil {
+			return err
 		}
-		cands := req.Cluster.AppendCandidates(candBuf[:0], t.Container)
-		candBuf = cands
-		if len(cands) == 0 {
-			if report != nil {
-				report.UnplacedContainers = append(report.UnplacedContainers, t.Container)
-				dropped[t.Container] = true
+	} else {
+		var candBuf []topology.NodeID
+		for _, t := range movable {
+			if req.Cluster.Container(t.Container).Placed() {
 				continue
 			}
-			return fmt.Errorf("core: %w for container %d", scheduler.ErrNoFeasibleServer, t.Container)
-		}
-		if err := req.Cluster.Place(t.Container, cands[req.Rand.Intn(len(cands))]); err != nil {
-			return err
+			cands := req.Cluster.AppendCandidates(candBuf[:0], t.Container)
+			candBuf = cands
+			if len(cands) == 0 {
+				if report != nil {
+					report.UnplacedContainers = append(report.UnplacedContainers, t.Container)
+					dropped[t.Container] = true
+					continue
+				}
+				return fmt.Errorf("core: %w for container %d", scheduler.ErrNoFeasibleServer, t.Container)
+			}
+			if err := req.Cluster.Place(t.Container, cands[req.Rand.Intn(len(cands))]); err != nil {
+				return err
+			}
 		}
 	}
 	if len(dropped) > 0 {
@@ -164,6 +204,12 @@ func (h *HitScheduler) Schedule(req *scheduler.Request) error {
 		}
 		flows = kept
 	}
+	// Sharded runs pre-warm the oracle's template/stage caches on the
+	// shard workers; the sequential draw-and-install loop below then runs
+	// against warm caches. Pure reads — results are unchanged.
+	if ms != nil {
+		ms.WarmTemplates(flows, loc)
+	}
 	routable := flows[:0:0]
 	for _, f := range flows {
 		p, err := req.Controller.RandomPolicy(f, loc, req.Rand)
@@ -184,7 +230,7 @@ func (h *HitScheduler) Schedule(req *scheduler.Request) error {
 	if h.isSubsequentWave(req, movable, flows) {
 		return h.scheduleSubsequentWave(req, movable, flows)
 	}
-	return h.scheduleInitialWave(req, movable, flows)
+	return h.scheduleInitialWave(ms, req, movable, flows)
 }
 
 // movableTasks returns the tasks whose containers this round may move.
@@ -312,7 +358,8 @@ func (st *runState) cleanFlow(req *scheduler.Request, f *flow.Flow, loc flow.Loc
 
 // scheduleInitialWave runs the full joint optimization loop over the
 // round's working flow set (req.Flows minus any degraded-mode exclusions).
-func (h *HitScheduler) scheduleInitialWave(req *scheduler.Request, movable []scheduler.Task, flows []*flow.Flow) error {
+// ms is the sharded service, or nil for the sequential path.
+func (h *HitScheduler) scheduleInitialWave(ms *multisched.Service, req *scheduler.Request, movable []scheduler.Task, flows []*flow.Flow) error {
 	loc := req.Locator()
 	st := newRunState()
 	best, err := req.Controller.TotalCost(flows, loc)
@@ -328,15 +375,21 @@ func (h *HitScheduler) scheduleInitialWave(req *scheduler.Request, movable []sch
 		// unfiltered now) are clean: re-solving is a proven no-op, so the
 		// sweep touches only the dirty set.
 		if !h.DisablePolicyOpt {
-			for _, f := range flows {
-				if h.incremental() && st.cleanFlow(req, f, loc) {
-					continue
-				}
-				_, opt, info, err := req.Controller.OptimizeInstalledDetailed(f, loc)
-				if err != nil {
+			if ms != nil {
+				if err := h.optimizeFlowsSharded(ms, req, flows, loc, st); err != nil {
 					return err
 				}
-				st.record(f, loc, opt, info)
+			} else {
+				for _, f := range flows {
+					if h.incremental() && st.cleanFlow(req, f, loc) {
+						continue
+					}
+					_, opt, info, err := req.Controller.OptimizeInstalledDetailed(f, loc)
+					if err != nil {
+						return err
+					}
+					st.record(f, loc, opt, info)
+				}
 			}
 		}
 
@@ -348,7 +401,7 @@ func (h *HitScheduler) scheduleInitialWave(req *scheduler.Request, movable []sch
 
 		// Phase 3 — policies must follow the new placement (type templates
 		// change when endpoints move racks).
-		if err := h.reinstallPolicies(req, flows, loc, st); err != nil {
+		if err := h.reinstallPolicies(ms, req, flows, loc, st); err != nil {
 			return err
 		}
 
@@ -368,7 +421,7 @@ func (h *HitScheduler) scheduleInitialWave(req *scheduler.Request, movable []sch
 			if err := req.Cluster.Restore(bestSnap); err != nil {
 				return err
 			}
-			if err := h.reinstallPolicies(req, flows, loc, st); err != nil {
+			if err := h.reinstallPolicies(ms, req, flows, loc, st); err != nil {
 				return err
 			}
 		}
@@ -383,11 +436,16 @@ func (h *HitScheduler) scheduleInitialWave(req *scheduler.Request, movable []sch
 // flows (cleanFlow) reinstall their recorded solve output without paying
 // for the DP again; the uninstall/install sequence itself always runs in
 // full flow order, so switch loads accumulate in the historical order.
-func (h *HitScheduler) reinstallPolicies(req *scheduler.Request, flows []*flow.Flow, loc flow.Locator, st *runState) error {
+func (h *HitScheduler) reinstallPolicies(ms *multisched.Service, req *scheduler.Request, flows []*flow.Flow, loc flow.Locator, st *runState) error {
 	// Release the old routes first: stale switch loads from pre-move policies
 	// must not make the post-move optimum look infeasible.
 	for _, f := range flows {
 		req.Controller.Uninstall(f.ID)
+	}
+	// The sharded path covers the Algorithm-1 reinstalls; random policies
+	// (DisablePolicyOpt) draw from the sequential RNG and stay here.
+	if ms != nil && !h.DisablePolicyOpt {
+		return h.reinstallSharded(ms, req, flows, loc, st)
 	}
 	for _, f := range flows {
 		var p *flow.Policy
@@ -882,7 +940,7 @@ func (h *HitScheduler) assignGroup(req *scheduler.Request, group []scheduler.Tas
 	propPrefs := make([][]int, len(containers))
 	votes := make([][]int, len(containers)) // per incident flow: voted server index, -1 = none
 	prefRows := make([]*prefRow, len(containers))
-	workers := 0
+	workers := h.fanout()
 	if len(containers)*len(servers) < parallelThreshold {
 		workers = 1
 	}
@@ -1130,7 +1188,7 @@ func (h *HitScheduler) assignGroup(req *scheduler.Request, group []scheduler.Tas
 	var res *stablematch.Result
 	if h.incremental() {
 		if st.matchers[gi] == nil {
-			st.matchers[gi] = &stablematch.Matcher{}
+			st.matchers[gi] = &stablematch.Matcher{Workers: h.fanout()}
 		}
 		res, err = st.matchers[gi].Match(inst)
 	} else {
@@ -1198,5 +1256,7 @@ func (h *HitScheduler) scheduleSubsequentWave(req *scheduler.Request, movable []
 			return err
 		}
 	}
-	return h.reinstallPolicies(req, flows, loc, newRunState())
+	// Subsequent waves stay sequential: the greedy per-container scan is
+	// RNG- and order-free but cheap, and not worth a sharded variant.
+	return h.reinstallPolicies(nil, req, flows, loc, newRunState())
 }

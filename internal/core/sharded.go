@@ -1,0 +1,125 @@
+// Sharded-path phase implementations. Each function here is the fan-out
+// twin of a sequential loop in core.go: workers presolve against an
+// oracle snapshot on up to Shards goroutines, and every mutation funnels
+// through the multisched arbiter in the exact order the sequential loop
+// would have produced — so the two paths are Float64bits-identical and
+// only wall-clock differs. See DESIGN.md §10 for the determinism
+// argument.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/controller"
+	"repro/internal/flow"
+	"repro/internal/multisched"
+	"repro/internal/scheduler"
+)
+
+// placeInitialSharded is the Shards>1 twin of Schedule's §5.3.1 random
+// placement loop. Candidate scans run per demand class on the shard
+// workers; the RNG draws and Places stay sequential and land through the
+// arbiter, which keeps each later container's candidate view identical
+// to a live commit-time scan (multisched.CandidateSet).
+func (h *HitScheduler) placeInitialSharded(ms *multisched.Service, req *scheduler.Request, movable []scheduler.Task, report *scheduler.ScheduleReport, dropped map[cluster.ContainerID]bool) error {
+	var unplaced []cluster.ContainerID
+	for _, t := range movable {
+		if !req.Cluster.Container(t.Container).Placed() {
+			unplaced = append(unplaced, t.Container)
+		}
+	}
+	if len(unplaced) == 0 {
+		return nil
+	}
+	cs, err := ms.PresolveCandidates(unplaced)
+	if err != nil {
+		return err
+	}
+	arb := ms.Arbiter()
+	for _, id := range unplaced {
+		if req.Cluster.Container(id).Placed() {
+			continue
+		}
+		cands := cs.Candidates(id)
+		if len(cands) == 0 {
+			if report != nil {
+				report.UnplacedContainers = append(report.UnplacedContainers, id)
+				dropped[id] = true
+				continue
+			}
+			return fmt.Errorf("core: %w for container %d", scheduler.ErrNoFeasibleServer, id)
+		}
+		if err := arb.Place(cs, id, cands[req.Rand.Intn(len(cands))]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// optimizeFlowsSharded is the Shards>1 twin of phase 1. The skip slice is
+// only a presolve HINT (don't spend workers on flows that look clean at
+// fan-out time); the authoritative clean check reruns per flow at commit
+// time exactly like the sequential loop, because FitsEverywhere can flip
+// as installs accumulate. A flow hinted clean but dirty at commit has no
+// proposal and replays live; a flow hinted dirty but clean at commit is
+// skipped without touching its proposal. Both match sequential exactly.
+func (h *HitScheduler) optimizeFlowsSharded(ms *multisched.Service, req *scheduler.Request, flows []*flow.Flow, loc flow.Locator, st *runState) error {
+	var skip []bool
+	if h.incremental() {
+		skip = make([]bool, len(flows))
+		for i, f := range flows {
+			skip[i] = st.cleanFlow(req, f, loc)
+		}
+	}
+	ps := ms.PresolveOptimize(flows, skip, loc)
+	defer ps.Drain()
+	arb := ms.Arbiter()
+	for i, f := range flows {
+		if h.incremental() && st.cleanFlow(req, f, loc) {
+			continue
+		}
+		_, opt, info, err := arb.CommitOptimize(ps, i, loc)
+		if err != nil {
+			return err
+		}
+		st.record(f, loc, opt, info)
+	}
+	return nil
+}
+
+// reinstallSharded is the Shards>1 twin of reinstallPolicies' solve loop
+// (the caller has already uninstalled every flow in order, and has
+// already routed DisablePolicyOpt to the sequential RNG path). Same
+// hint-then-recheck structure as phase 1; the Install itself funnels
+// through the arbiter flow by flow.
+func (h *HitScheduler) reinstallSharded(ms *multisched.Service, req *scheduler.Request, flows []*flow.Flow, loc flow.Locator, st *runState) error {
+	var skip []bool
+	if h.incremental() {
+		skip = make([]bool, len(flows))
+		for i, f := range flows {
+			skip[i] = st.cleanFlow(req, f, loc)
+		}
+	}
+	ps := ms.PresolveRoutes(flows, skip, loc)
+	defer ps.Drain()
+	arb := ms.Arbiter()
+	for i, f := range flows {
+		var p *flow.Policy
+		if h.incremental() && st.cleanFlow(req, f, loc) {
+			p = st.solves[f.ID].policy
+		} else {
+			var info controller.SolveInfo
+			var err error
+			p, info, err = arb.CommitRoute(ps, i, loc)
+			if err != nil {
+				return err
+			}
+			st.record(f, loc, p, info)
+		}
+		if err := arb.Install(f, p); err != nil {
+			return fmt.Errorf("core: reinstall flow %d: %w", f.ID, err)
+		}
+	}
+	return nil
+}

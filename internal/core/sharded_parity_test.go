@@ -1,0 +1,206 @@
+package core_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/controller"
+	"repro/internal/core"
+	"repro/internal/netstate"
+	"repro/internal/scheduler"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// TestHitShardedParity asserts the sharded optimistic path is invisible:
+// for any shard count, placements, routes, and total cost (compared by
+// Float64bits) are identical to the sequential scheduler. Both capacity
+// regimes run — tight caps make FitsEverywhere flip mid-wave so commits
+// actually take the replay path, infinite caps keep every proposal
+// adoptable — and a multi-job instance exercises multi-cell fan-out.
+func TestHitShardedParity(t *testing.T) {
+	type outcome struct {
+		placements []topology.NodeID
+		routes     [][]topology.NodeID
+		cost       float64
+	}
+
+	run := func(t *testing.T, shards int, seed int64, switchCap float64, jobs int) outcome {
+		t.Helper()
+		topo, err := topology.NewTree(3, 4, topology.LinkParams{
+			Bandwidth: 10, Latency: 0.1, SwitchCapacity: switchCap,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl, err := cluster.New(topo, cluster.Resources{CPU: 4, Memory: 8192})
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := netstate.New(topo)
+		ctl := controller.NewWithOracle(topo, o)
+
+		rng := rand.New(rand.NewSource(seed))
+		var ws []*workload.Job
+		for j := 0; j < jobs; j++ {
+			job := &workload.Job{ID: j, NumMaps: 6, NumReduces: 4, InputGB: 6}
+			job.Shuffle = make([][]float64, job.NumMaps)
+			for i := range job.Shuffle {
+				job.Shuffle[i] = make([]float64, job.NumReduces)
+				for k := range job.Shuffle[i] {
+					job.Shuffle[i][k] = rng.Float64() * 5
+				}
+			}
+			job.MapComputeSec = make([]float64, job.NumMaps)
+			job.ReduceComputeSec = make([]float64, job.NumReduces)
+			ws = append(ws, job)
+		}
+
+		req, _, err := scheduler.NewJobRequest(cl, ctl, ws,
+			cluster.Resources{CPU: 1, Memory: 1024}, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := &core.HitScheduler{Shards: shards}
+		if err := h.Schedule(req); err != nil {
+			t.Fatal(err)
+		}
+		var out outcome
+		for _, task := range req.Tasks {
+			out.placements = append(out.placements, cl.Container(task.Container).Server())
+		}
+		for _, f := range req.Flows {
+			if p := ctl.Policy(f.ID); p != nil {
+				out.routes = append(out.routes, append([]topology.NodeID{}, p.List...))
+			} else {
+				out.routes = append(out.routes, nil)
+			}
+		}
+		c, err := ctl.TotalCost(req.Flows, req.Locator())
+		if err != nil {
+			t.Fatal(err)
+		}
+		out.cost = c
+		return out
+	}
+
+	for _, caps := range []struct {
+		name string
+		cap  float64
+	}{
+		{"tight-caps", 150},
+		{"infinite-caps", topology.InfiniteCapacity},
+	} {
+		t.Run(caps.name, func(t *testing.T) {
+			for seed := int64(1); seed <= 3; seed++ {
+				seq := run(t, 0, seed, caps.cap, 3)
+				for _, shards := range []int{2, 4} {
+					got := run(t, shards, seed, caps.cap, 3)
+					if len(got.placements) != len(seq.placements) {
+						t.Fatalf("seed %d shards %d: placement count %d vs %d",
+							seed, shards, len(got.placements), len(seq.placements))
+					}
+					for i := range got.placements {
+						if got.placements[i] != seq.placements[i] {
+							t.Fatalf("seed %d shards %d: placement %d differs: sharded %d, sequential %d",
+								seed, shards, i, got.placements[i], seq.placements[i])
+						}
+					}
+					for i := range got.routes {
+						a, b := got.routes[i], seq.routes[i]
+						if len(a) != len(b) {
+							t.Fatalf("seed %d shards %d: route %d length %d vs %d",
+								seed, shards, i, len(a), len(b))
+						}
+						for k := range a {
+							if a[k] != b[k] {
+								t.Fatalf("seed %d shards %d: route %d differs at hop %d: %v vs %v",
+									seed, shards, i, k, a, b)
+							}
+						}
+					}
+					if math.Float64bits(got.cost) != math.Float64bits(seq.cost) {
+						t.Fatalf("seed %d shards %d: total cost sharded %v (bits %x), sequential %v (bits %x)",
+							seed, shards, got.cost, math.Float64bits(got.cost),
+							seq.cost, math.Float64bits(seq.cost))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestHitShardedDegradedParity repeats the parity check in degraded mode
+// (report attached, zero-capacity servers forcing unplaced containers) so
+// the sharded phase-0 dropped/degraded branches are covered too.
+func TestHitShardedDegradedParity(t *testing.T) {
+	run := func(t *testing.T, shards int) ([]cluster.ContainerID, []topology.NodeID) {
+		t.Helper()
+		topo, err := topology.NewTree(3, 3, topology.LinkParams{
+			Bandwidth: 10, Latency: 0.1, SwitchCapacity: 200,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Capacity for only part of the workload: some containers must drop.
+		cl, err := cluster.New(topo, cluster.Resources{CPU: 1, Memory: 1024})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range topo.Servers() {
+			if int(s)%2 == 0 {
+				if err := cl.SetServerCapacity(s, cluster.Resources{}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		ctl := controller.New(topo)
+		job := &workload.Job{ID: 0, NumMaps: 14, NumReduces: 6, InputGB: 6}
+		job.Shuffle = make([][]float64, job.NumMaps)
+		rng := rand.New(rand.NewSource(7))
+		for i := range job.Shuffle {
+			job.Shuffle[i] = make([]float64, job.NumReduces)
+			for k := range job.Shuffle[i] {
+				job.Shuffle[i][k] = rng.Float64() * 5
+			}
+		}
+		job.MapComputeSec = make([]float64, job.NumMaps)
+		job.ReduceComputeSec = make([]float64, job.NumReduces)
+		req, _, err := scheduler.NewJobRequest(cl, ctl, []*workload.Job{job},
+			cluster.Resources{CPU: 1, Memory: 1024}, rand.New(rand.NewSource(7)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Degraded = true
+		h := &core.HitScheduler{Shards: shards}
+		if err := h.Schedule(req); err != nil {
+			t.Fatal(err)
+		}
+		var placements []topology.NodeID
+		for _, task := range req.Tasks {
+			placements = append(placements, cl.Container(task.Container).Server())
+		}
+		return req.Report.UnplacedContainers, placements
+	}
+
+	seqUnplaced, seqPlaced := run(t, 0)
+	if len(seqUnplaced) == 0 {
+		t.Fatal("degraded fixture placed everything; test needs unplaced containers")
+	}
+	shUnplaced, shPlaced := run(t, 4)
+	if len(shUnplaced) != len(seqUnplaced) {
+		t.Fatalf("unplaced count differs: sharded %v, sequential %v", shUnplaced, seqUnplaced)
+	}
+	for i := range seqUnplaced {
+		if shUnplaced[i] != seqUnplaced[i] {
+			t.Fatalf("unplaced[%d] differs: sharded %d, sequential %d", i, shUnplaced[i], seqUnplaced[i])
+		}
+	}
+	for i := range seqPlaced {
+		if shPlaced[i] != seqPlaced[i] {
+			t.Fatalf("placement %d differs: sharded %d, sequential %d", i, shPlaced[i], seqPlaced[i])
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package multisched
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/controller"
+	"repro/internal/flow"
+	"repro/internal/topology"
+)
+
+// Arbiter is the single mutation funnel of a sharded schedule. Every
+// Install, Uninstall and Place of the sharded path goes through a method
+// on this type, invoked on the scheduling goroutine in canonical
+// (sequential flow) order — never from a worker. The taalint
+// `arbitercommit` check pins that statically.
+//
+// Each commit either ADOPTS a proposal the validation protocol proves
+// equal to a live sequential solve, or REPLAYS the exact sequential
+// controller call. Both land the same bits; adoption just skips the DP.
+type Arbiter struct {
+	s     *Service
+	stats Stats
+}
+
+// Stats counts commit outcomes. All three counters are deterministic for
+// a fixed input — validation depends only on the deterministic state
+// sequence, never on worker timing — so tests may assert on them.
+type Stats struct {
+	// Adopted proposals passed validation and were committed as-is.
+	Adopted int
+	// Replayed commits fell back to the live sequential solve (invalid,
+	// failed, or skip-hinted-then-dirty proposals).
+	Replayed int
+	// Installs and Places count the funnelled raw mutations.
+	Installs int
+	Places   int
+}
+
+// Stats returns the commit counters accumulated so far.
+func (a *Arbiter) Stats() Stats { return a.stats }
+
+// valid is the commit-time validation protocol shared by both commit
+// kinds. A proposal may be adopted when:
+//
+//  1. the worker produced one (OK) — else nothing to judge;
+//  2. liveness is unchanged since the snapshot (epoch-CAS on the liveness
+//     component): every structure cache the worker read is still current;
+//  3. the flow's endpoints sit where the worker saw them — checked via
+//     the full epoch-CAS short-circuit first: if Oracle.Epoch() still
+//     equals the snapshot, nothing at all has moved and the field checks
+//     are skipped;
+//  4. FitsEverywhere(f.Rate) holds LIVE. This is required even when the
+//     epoch is unchanged: workers skip the load-derived feasibility
+//     prescan, so the proposal is the unfiltered-stages solve, and only
+//     cluster-wide headroom at commit time proves the sequential solve
+//     would also have been unfiltered. Eq. 2 costs are load-independent,
+//     so this is the ONLY load-sensitive input — with it, the proposal
+//     equals the live solve bit for bit.
+func (a *Arbiter) valid(ps *ProposalSet, pr *Proposal, f *flow.Flow) bool {
+	if pr == nil || !pr.OK || !ps.snap.LiveUnchanged() {
+		return false
+	}
+	if !ps.snap.Current() {
+		if ps.loc.ServerOf(f.Src) != pr.Src || ps.loc.ServerOf(f.Dst) != pr.Dst {
+			return false
+		}
+	}
+	return a.s.ctl.FitsEverywhere(f.Rate)
+}
+
+// CommitOptimize commits flow i of a PresolveOptimize set: the sharded
+// equivalent of controller.OptimizeInstalledDetailed. Adoption
+// additionally requires the incumbent policy to be the exact object the
+// worker costed against (pointer CAS; installed policies are immutable
+// clones), then funnels the decision through the controller's shared
+// AdoptIfCheaper rule. Anything else replays live.
+func (a *Arbiter) CommitOptimize(ps *ProposalSet, i int, loc flow.Locator) (float64, *flow.Policy, controller.SolveInfo, error) {
+	f := ps.flows[i]
+	pr := ps.wait(i)
+	if pr != nil && a.valid(ps, pr, f) &&
+		(ps.snap.Current() || a.s.ctl.Policy(f.ID) == pr.OldPolicy) {
+		a.stats.Adopted++
+		util, err := a.s.ctl.AdoptIfCheaper(f, pr.Policy, pr.OldCost, pr.NewCost)
+		return util, pr.Policy, pr.Info, err
+	}
+	a.stats.Replayed++
+	return a.s.ctl.OptimizeInstalledDetailed(f, loc)
+}
+
+// CommitRoute commits flow i of a PresolveRoutes set: the sharded
+// equivalent of controller.OptimizePolicyDetailed for an uninstalled flow
+// (phase 3 reinstalls). The result is NOT installed — the caller funnels
+// it through Install next, exactly like the sequential loop.
+func (a *Arbiter) CommitRoute(ps *ProposalSet, i int, loc flow.Locator) (*flow.Policy, controller.SolveInfo, error) {
+	f := ps.flows[i]
+	pr := ps.wait(i)
+	if pr != nil && a.valid(ps, pr, f) {
+		a.stats.Adopted++
+		return pr.Policy, pr.Info, nil
+	}
+	a.stats.Replayed++
+	return a.s.ctl.OptimizePolicyDetailed(f, loc)
+}
+
+// Install funnels a policy install through the arbiter.
+func (a *Arbiter) Install(f *flow.Flow, p *flow.Policy) error {
+	a.stats.Installs++
+	return a.s.ctl.Install(f, p)
+}
+
+// Place funnels a container placement through the arbiter and updates the
+// candidate set's per-class feasibility (candidates.go), keeping later
+// draws exactly equal to sequential commit-time scans. cs may be nil when
+// no candidate set is in play.
+func (a *Arbiter) Place(cs *CandidateSet, id cluster.ContainerID, s topology.NodeID) error {
+	a.stats.Places++
+	if err := a.s.cl.Place(id, s); err != nil {
+		return err
+	}
+	if cs != nil {
+		cs.notePlaced(s)
+	}
+	return nil
+}

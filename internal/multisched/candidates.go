@@ -1,0 +1,105 @@
+package multisched
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/topology"
+)
+
+// CandidateSet is the sharded form of the initial-placement candidate
+// scans (§5.3.1). The sequential loop scans every server per container,
+// AFTER all earlier placements of the wave — so lists shrink as servers
+// fill, and the scan order is load-bearing for the RNG draws. The sharded
+// form exploits that containers sharing a demand vector see identical
+// scans: one parallel scan per distinct demand class at wave start, then
+// a commit-time subtraction of the servers that have since filled below
+// the class demand. Capacity only decreases during a wave (phase 0 only
+// places), so "class list minus newly-full servers" is EXACTLY the list a
+// live scan would produce — same members, same order, same RNG draw.
+type CandidateSet struct {
+	cl      *cluster.Cluster
+	classes map[cluster.Resources]*demandClass
+}
+
+type demandClass struct {
+	demand cluster.Resources
+	// base is the feasible server list at scan time, in server-ID order
+	// (the sequential scan order).
+	base []topology.NodeID
+	// removed marks base members that stopped fitting the class demand
+	// after a commit; scratch holds the filtered view.
+	removed map[topology.NodeID]bool
+	scratch []topology.NodeID
+}
+
+// PresolveCandidates scans the candidate lists for every distinct demand
+// class among ids, one class per shard task. Call before the first Place
+// of the wave; read back per container via Candidates, and route every
+// subsequent placement through Arbiter.Place so the set tracks fills.
+func (s *Service) PresolveCandidates(ids []cluster.ContainerID) (*CandidateSet, error) {
+	cs := &CandidateSet{cl: s.cl, classes: make(map[cluster.Resources]*demandClass)}
+	var order []*demandClass
+	reps := make([]cluster.ContainerID, 0, 4)
+	for _, id := range ids {
+		ct := s.cl.Container(id)
+		if ct == nil {
+			continue
+		}
+		if _, ok := cs.classes[ct.Demand]; !ok {
+			dc := &demandClass{demand: ct.Demand}
+			cs.classes[ct.Demand] = dc
+			order = append(order, dc)
+			reps = append(reps, id)
+		}
+	}
+	err := s.grp.ForEach(len(order), func(k int) error {
+		order[k].base = s.cl.AppendCandidates(nil, reps[k])
+		return nil
+	})
+	return cs, err
+}
+
+// Candidates returns container id's feasible-server list as a live scan
+// at this instant would: the class base minus servers that filled since
+// the scan, order preserved. The returned slice is only valid until the
+// next Arbiter.Place.
+func (cs *CandidateSet) Candidates(id cluster.ContainerID) []topology.NodeID {
+	ct := cs.cl.Container(id)
+	if ct == nil {
+		return nil
+	}
+	dc := cs.classes[ct.Demand]
+	if dc == nil {
+		// Not presolved (shouldn't happen on the core path); fall back to
+		// a live scan so the answer stays exact.
+		return cs.cl.Candidates(id)
+	}
+	if len(dc.removed) == 0 {
+		return dc.base
+	}
+	dc.scratch = dc.scratch[:0]
+	for _, s := range dc.base {
+		if !dc.removed[s] {
+			dc.scratch = append(dc.scratch, s)
+		}
+	}
+	return dc.scratch
+}
+
+// notePlaced records that server s just received a container: any class
+// whose demand no longer fits s's free capacity drops s from its view.
+// Called by Arbiter.Place; runs on the arbiter goroutine.
+func (cs *CandidateSet) notePlaced(s topology.NodeID) {
+	free := cs.cl.Free(s)
+	//taalint:maporder each class is updated independently from s and free alone; no cross-class state, so iteration order is unobservable
+	for _, dc := range cs.classes {
+		if dc.removed[s] {
+			continue
+		}
+		if dc.demand.CPU > free.CPU || dc.demand.Memory > free.Memory {
+			if dc.removed == nil {
+				dc.removed = make(map[topology.NodeID]bool)
+			}
+			dc.removed[s] = true
+		}
+	}
+}

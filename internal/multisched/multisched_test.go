@@ -1,0 +1,251 @@
+package multisched_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/controller"
+	"repro/internal/flow"
+	"repro/internal/multisched"
+	"repro/internal/netstate"
+	"repro/internal/scheduler"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// instance is one scheduled workload ready for optimization: containers
+// placed and random policies installed, so OptimizeInstalledDetailed has an
+// incumbent to improve on. Two instances built with the same seed are
+// bit-identical.
+type instance struct {
+	ctl *controller.Controller
+	cl  *cluster.Cluster
+	req *scheduler.Request
+}
+
+func buildInstance(t *testing.T, seed int64, switchCap float64) *instance {
+	t.Helper()
+	topo, err := topology.NewTree(3, 4, topology.LinkParams{
+		Bandwidth: 10, Latency: 0.1, SwitchCapacity: switchCap,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := cluster.New(topo, cluster.Resources{CPU: 4, Memory: 8192})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl := controller.NewWithOracle(topo, netstate.New(topo))
+	job := &workload.Job{ID: 0, NumMaps: 8, NumReduces: 4, InputGB: 8}
+	job.Shuffle = make([][]float64, job.NumMaps)
+	rng := rand.New(rand.NewSource(seed))
+	for i := range job.Shuffle {
+		job.Shuffle[i] = make([]float64, job.NumReduces)
+		for k := range job.Shuffle[i] {
+			job.Shuffle[i][k] = rng.Float64() * 5
+		}
+	}
+	job.MapComputeSec = make([]float64, job.NumMaps)
+	job.ReduceComputeSec = make([]float64, job.NumReduces)
+	req, _, err := scheduler.NewJobRequest(cl, ctl, []*workload.Job{job},
+		cluster.Resources{CPU: 1, Memory: 1024}, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := (scheduler.Random{}).Schedule(req); err != nil {
+		t.Fatal(err)
+	}
+	return &instance{ctl: ctl, cl: cl, req: req}
+}
+
+func samePolicy(a, b *flow.Policy) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if a == nil {
+		return true
+	}
+	if a.Flow != b.Flow || len(a.List) != len(b.List) || len(a.Types) != len(b.Types) {
+		return false
+	}
+	for i := range a.List {
+		if a.List[i] != b.List[i] {
+			return false
+		}
+	}
+	for i := range a.Types {
+		if a.Types[i] != b.Types[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestCommitOptimizeMatchesSequential drives the presolve/commit cycle by
+// hand against a twin instance optimized with the plain sequential calls,
+// on a congested fabric where commits themselves invalidate later
+// proposals (installs bump the epoch and shift switch loads), so both the
+// adopt and the replay paths run — and asserts per-flow utilities, final
+// policies, and total cost are bit-identical.
+func TestCommitOptimizeMatchesSequential(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		a := buildInstance(t, seed, 150)
+		b := buildInstance(t, seed, 150)
+		ms := multisched.New(a.ctl, a.cl, 4)
+		arb := ms.Arbiter()
+		loc := a.req.Locator()
+		ps := ms.PresolveOptimize(a.req.Flows, nil, loc)
+		defer ps.Drain()
+		for i, f := range a.req.Flows {
+			util, pol, _, err := arb.CommitOptimize(ps, i, loc)
+			if err != nil {
+				t.Fatalf("seed %d: commit flow %d: %v", seed, f.ID, err)
+			}
+			wantUtil, wantPol, _, err := b.ctl.OptimizeInstalledDetailed(b.req.Flows[i], b.req.Locator())
+			if err != nil {
+				t.Fatalf("seed %d: sequential flow %d: %v", seed, f.ID, err)
+			}
+			if math.Float64bits(util) != math.Float64bits(wantUtil) {
+				t.Fatalf("seed %d flow %d: utility %v vs sequential %v", seed, f.ID, util, wantUtil)
+			}
+			if !samePolicy(pol, wantPol) {
+				t.Fatalf("seed %d flow %d: policy %+v vs sequential %+v", seed, f.ID, pol, wantPol)
+			}
+		}
+		ca, err := a.ctl.TotalCost(a.req.Flows, a.req.Locator())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cb, err := b.ctl.TotalCost(b.req.Flows, b.req.Locator())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(ca) != math.Float64bits(cb) {
+			t.Fatalf("seed %d: total cost %v vs sequential %v", seed, ca, cb)
+		}
+		st := arb.Stats()
+		if st.Adopted+st.Replayed != len(a.req.Flows) {
+			t.Fatalf("seed %d: stats %+v don't cover %d flows", seed, st, len(a.req.Flows))
+		}
+	}
+}
+
+// TestArbiterStatsDeterministic runs the same presolve/commit cycle twice
+// on identical instances and asserts the adopt/replay split is identical:
+// validation must depend only on the deterministic state sequence, never
+// on worker timing.
+func TestArbiterStatsDeterministic(t *testing.T) {
+	run := func(shards int) multisched.Stats {
+		in := buildInstance(t, 11, 150)
+		ms := multisched.New(in.ctl, in.cl, shards)
+		arb := ms.Arbiter()
+		loc := in.req.Locator()
+		ps := ms.PresolveOptimize(in.req.Flows, nil, loc)
+		defer ps.Drain()
+		for i := range in.req.Flows {
+			if _, _, _, err := arb.CommitOptimize(ps, i, loc); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return arb.Stats()
+	}
+	first := run(4)
+	if again := run(4); again != first {
+		t.Fatalf("stats differ across identical runs: %+v vs %+v", first, again)
+	}
+}
+
+// TestCommitRouteStaleSnapshotReplays forces staleness between presolve
+// and commit — an unrelated install bumps the oracle epoch AND moves
+// switch loads — and asserts the commits still equal the sequential
+// solves on a twin instance.
+func TestCommitRouteStaleSnapshotReplays(t *testing.T) {
+	a := buildInstance(t, 5, 150)
+	b := buildInstance(t, 5, 150)
+	loc := a.req.Locator()
+	// Uninstall everything (phase-3 shape: flows have no incumbent).
+	for _, f := range a.req.Flows {
+		a.ctl.Uninstall(f.ID)
+	}
+	for _, f := range b.req.Flows {
+		b.ctl.Uninstall(f.ID)
+	}
+	ms := multisched.New(a.ctl, a.cl, 2)
+	arb := ms.Arbiter()
+	ps := ms.PresolveRoutes(a.req.Flows, nil, loc)
+	ps.Drain() // everything presolved against the pre-install snapshot
+	for i, f := range a.req.Flows {
+		pol, _, err := arb.CommitRoute(ps, i, loc)
+		if err != nil {
+			t.Fatalf("commit flow %d: %v", f.ID, err)
+		}
+		if err := arb.Install(f, pol); err != nil {
+			t.Fatalf("install flow %d: %v", f.ID, err)
+		}
+		wantPol, _, err := b.ctl.OptimizePolicyDetailed(b.req.Flows[i], b.req.Locator())
+		if err != nil {
+			t.Fatalf("sequential flow %d: %v", f.ID, err)
+		}
+		if err := b.ctl.Install(b.req.Flows[i], wantPol); err != nil {
+			t.Fatal(err)
+		}
+		if !samePolicy(pol, wantPol) {
+			t.Fatalf("flow %d: policy %+v vs sequential %+v", f.ID, pol, wantPol)
+		}
+	}
+}
+
+// TestCandidateSetTracksFills places containers through the arbiter and
+// asserts the precomputed candidate view stays equal to a live scan after
+// every single placement.
+func TestCandidateSetTracksFills(t *testing.T) {
+	topo, err := topology.NewTree(2, 3, topology.LinkParams{Bandwidth: 10, SwitchCapacity: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tiny servers: each holds exactly one container, so every Place
+	// shrinks the candidate lists.
+	cl, err := cluster.New(topo, cluster.Resources{CPU: 1, Memory: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl := controller.New(topo)
+	var ids []cluster.ContainerID
+	for i := 0; i < 6; i++ {
+		ct, err := cl.NewContainer(cluster.Resources{CPU: 1, Memory: 1024})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, ct.ID)
+	}
+	ms := multisched.New(ctl, cl, 2)
+	cs, err := ms.PresolveCandidates(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arb := ms.Arbiter()
+	rng := rand.New(rand.NewSource(3))
+	for _, id := range ids {
+		got := cs.Candidates(id)
+		want := cl.Candidates(id)
+		if len(got) != len(want) {
+			t.Fatalf("container %d: candidate view %v vs live scan %v", id, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("container %d: candidate view %v vs live scan %v", id, got, want)
+			}
+		}
+		if len(got) == 0 {
+			t.Fatalf("container %d: no candidates left", id)
+		}
+		if err := arb.Place(cs, id, got[rng.Intn(len(got))]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := arb.Stats(); st.Places != len(ids) {
+		t.Fatalf("Places = %d, want %d", st.Places, len(ids))
+	}
+}

@@ -1,0 +1,183 @@
+package multisched
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/controller"
+	"repro/internal/flow"
+	"repro/internal/netstate"
+	"repro/internal/topology"
+)
+
+// Proposal is one flow's presolved result, produced by a worker against
+// the ProposalSet's snapshot and judged by the arbiter at commit time. OK
+// is false when the flow was skip-hinted, its endpoints were unresolvable,
+// or the snapshot solve failed — the commit then replays live.
+type Proposal struct {
+	Src, Dst topology.NodeID
+	// OldPolicy is the flow's installed policy at fan-out time, prefetched
+	// sequentially (cost presolves only). Install stores clones, so the
+	// pointed-to object is immutable; pointer equality at commit time
+	// proves the incumbent — and thus OldCost — is still current.
+	OldPolicy *flow.Policy
+	Policy    *flow.Policy
+	Info      controller.SolveInfo
+	// OldCost/NewCost are Eq. 2 costs, load-independent and therefore
+	// valid at any later epoch with unchanged liveness and endpoints.
+	OldCost, NewCost float64
+	OK               bool
+}
+
+// ProposalSet is one phase's fan-out: the immutable inputs, the per-flow
+// proposals, and the cell completion signals the arbiter blocks on. Create
+// via PresolveOptimize or PresolveRoutes; always Drain before abandoning
+// the set (e.g. on an error-path return), so no worker outlives the
+// state it reads.
+type ProposalSet struct {
+	svc       *Service
+	flows     []*flow.Flow
+	loc       flow.Locator
+	snap      netstate.Snapshot
+	withCosts bool
+
+	props []Proposal
+	// cells[k] lists the (ascending) flow indices of the k-th cell, cells
+	// ordered by first flow index so workers claim the earliest-committing
+	// work first. cellIdx[i] = k, or -1 for skip-hinted flows.
+	cells    [][]int32
+	cellDone []chan struct{}
+	cellIdx  []int32
+
+	next atomic.Int64
+	wg   sync.WaitGroup
+}
+
+// PresolveOptimize fans out phase-1 presolves (route plus old/new cost)
+// for every non-skip flow and returns immediately; workers fill proposals
+// cell by cell. The old-policy pointers and the snapshot are captured
+// sequentially, before any worker starts.
+func (s *Service) PresolveOptimize(flows []*flow.Flow, skip []bool, loc flow.Locator) *ProposalSet {
+	ps := s.newSet(flows, skip, loc, true)
+	for i, f := range flows {
+		if skip == nil || !skip[i] {
+			ps.props[i].OldPolicy = s.ctl.Policy(f.ID)
+		}
+	}
+	ps.start()
+	return ps
+}
+
+// PresolveRoutes fans out phase-3 presolves (route only; flows are
+// uninstalled, so there is no incumbent to cost against).
+func (s *Service) PresolveRoutes(flows []*flow.Flow, skip []bool, loc flow.Locator) *ProposalSet {
+	ps := s.newSet(flows, skip, loc, false)
+	ps.start()
+	return ps
+}
+
+func (s *Service) newSet(flows []*flow.Flow, skip []bool, loc flow.Locator, withCosts bool) *ProposalSet {
+	ps := &ProposalSet{
+		svc:       s,
+		flows:     flows,
+		loc:       loc,
+		snap:      s.oracle.Snapshot(),
+		withCosts: withCosts,
+		props:     make([]Proposal, len(flows)),
+		cellIdx:   make([]int32, len(flows)),
+	}
+	slotOf := make(map[int]int)
+	for i, f := range flows {
+		if skip != nil && skip[i] {
+			ps.cellIdx[i] = -1
+			continue
+		}
+		cell := s.oracle.CellOf(loc.ServerOf(f.Src))
+		slot, ok := slotOf[cell]
+		if !ok {
+			slot = len(ps.cells)
+			slotOf[cell] = slot
+			ps.cells = append(ps.cells, nil)
+			ps.cellDone = append(ps.cellDone, make(chan struct{}))
+		}
+		ps.cells[slot] = append(ps.cells[slot], int32(i))
+		ps.cellIdx[i] = int32(slot)
+	}
+	return ps
+}
+
+// start launches min(shards, cells) workers. Workers claim cells from an
+// atomic counter in slot order (earliest first flow first), presolve every
+// flow of the cell, and close the cell's done channel — the arbiter's
+// Wait unblocks per cell, overlapping commits with later presolves.
+func (ps *ProposalSet) start() {
+	n := ps.svc.shards
+	if n > len(ps.cells) {
+		n = len(ps.cells)
+	}
+	for w := 0; w < n; w++ {
+		ps.wg.Add(1)
+		go func() {
+			defer ps.wg.Done()
+			for {
+				c := int(ps.next.Add(1)) - 1
+				if c >= len(ps.cells) {
+					return
+				}
+				ps.runCell(c)
+			}
+		}()
+	}
+}
+
+// runCell presolves one cell. A panic abandons the cell's remaining
+// proposals (left !OK) rather than killing the process: the ordered
+// replay recomputes them sequentially and reproduces any genuine failure
+// in deterministic order.
+func (ps *ProposalSet) runCell(c int) {
+	defer close(ps.cellDone[c])
+	defer func() { _ = recover() }()
+	for _, fi := range ps.cells[c] {
+		ps.solveFlow(int(fi))
+	}
+}
+
+func (ps *ProposalSet) solveFlow(i int) {
+	f := ps.flows[i]
+	pr := &ps.props[i]
+	pr.Src, pr.Dst = ps.loc.ServerOf(f.Src), ps.loc.ServerOf(f.Dst)
+	pol, info, ok := ps.svc.solveBetween(f, pr.Src, pr.Dst)
+	if !ok {
+		return
+	}
+	pr.Policy, pr.Info = pol, info
+	if ps.withCosts {
+		cost := ps.svc.ctl.CostModel()
+		oldCost, err := cost.FlowCost(f, pr.OldPolicy, ps.loc)
+		if err != nil {
+			return
+		}
+		newCost, err := cost.FlowCost(f, pol, ps.loc)
+		if err != nil {
+			return
+		}
+		pr.OldCost, pr.NewCost = oldCost, newCost
+	}
+	pr.OK = true
+}
+
+// wait blocks until flow i's cell has been fully presolved and returns
+// its proposal, or nil for skip-hinted flows.
+func (ps *ProposalSet) wait(i int) *Proposal {
+	slot := ps.cellIdx[i]
+	if slot < 0 {
+		return nil
+	}
+	<-ps.cellDone[slot]
+	return &ps.props[i]
+}
+
+// Drain blocks until every worker has exited. Defer it wherever a
+// ProposalSet is created: the workers read the locator, cluster and
+// oracle, and must not overlap whatever mutation follows an early return.
+func (ps *ProposalSet) Drain() { ps.wg.Wait() }

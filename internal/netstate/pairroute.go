@@ -223,11 +223,12 @@ func (o *Oracle) BestRoute(src, dst topology.NodeID, q RouteQuery) (list []topol
 	if o.cached {
 		o.ensureLive()
 		o.routeInit()
+		st := &o.routeStats[int(src)&(routeStatStripes-1)]
 		if e := o.routeLoad(src, dst); e != nil && e.matches(&q, rateBits, unitBits) {
-			o.routeHits.Add(1)
+			st.hits.Add(1)
 			return e.List, e.Cost, true, true
 		}
-		o.routeMisses.Add(1)
+		st.misses.Add(1)
 	}
 	list, cost, ok = o.solveStages(q.Rate, q.UnitCost, src, dst, q.Stages)
 	if !ok || !o.cached {
@@ -250,9 +251,16 @@ func (o *Oracle) RouteCost(src, dst topology.NodeID, q RouteQuery) (float64, boo
 	return cost, ok
 }
 
-// PairRouteStats reports cache hits and misses since construction.
+// PairRouteStats reports cache hits and misses since construction. The
+// counters are striped by source server (parallel presolves bump disjoint
+// cache lines); the merge walks stripes in fixed index order, so for any
+// fixed multiset of recorded events the totals are deterministic.
 func (o *Oracle) PairRouteStats() (hits, misses uint64) {
-	return o.routeHits.Load(), o.routeMisses.Load()
+	for i := range o.routeStats {
+		hits += o.routeStats[i].hits.Load()
+		misses += o.routeStats[i].misses.Load()
+	}
+	return hits, misses
 }
 
 // dpScratch holds one solve's DP buffers (two cost columns plus the

@@ -1,0 +1,64 @@
+package netstate_test
+
+import (
+	"testing"
+
+	"repro/internal/netstate"
+)
+
+// TestSnapshotVersioning checks the copy-free snapshot handle: Current()
+// is an epoch CAS that trips on ANY oracle change, LiveUnchanged() only on
+// liveness changes — the exact distinction the multisched arbiter's
+// validation protocol relies on.
+func TestSnapshotVersioning(t *testing.T) {
+	topo := buildTree(t, 3, 3)
+	o := netstate.New(topo)
+	snap := o.Snapshot()
+	if !snap.Current() || !snap.LiveUnchanged() {
+		t.Fatal("fresh snapshot not current")
+	}
+	if snap.Epoch() != o.Epoch() {
+		t.Fatalf("snapshot epoch %d, oracle %d", snap.Epoch(), o.Epoch())
+	}
+
+	// Controller-state bump (install/uninstall): stale epoch, same liveness.
+	o.BumpEpoch()
+	if snap.Current() {
+		t.Fatal("snapshot still current after BumpEpoch")
+	}
+	if !snap.LiveUnchanged() {
+		t.Fatal("liveness view changed without a liveness event")
+	}
+
+	// Liveness bump: both trip.
+	snap = o.Snapshot()
+	srv := topo.Servers()
+	if err := topo.SetNodeAlive(srv[0], false); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Current() || snap.LiveUnchanged() {
+		t.Fatal("snapshot survived a node crash")
+	}
+
+	var zero netstate.Snapshot
+	if zero.Current() || zero.LiveUnchanged() {
+		t.Fatal("zero snapshot claims currency")
+	}
+}
+
+// TestCellOf checks the consumer-facing cell API: structural cells match
+// topology.ServerCell, and every server gets SOME cell (the scheduling
+// partition never refuses).
+func TestCellOf(t *testing.T) {
+	topo := buildTree(t, 3, 3)
+	o := netstate.New(topo)
+	for _, s := range topo.Servers() {
+		want, ok := topo.ServerCell(s)
+		if !ok {
+			t.Fatalf("tree server %d has no structural cell", s)
+		}
+		if got := o.CellOf(s); got != want {
+			t.Fatalf("CellOf(%d) = %d, want structural cell %d", s, got, want)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/topology"
+)
+
+// BenchmarkMultiScheduler measures the sharded optimistic scheduler
+// (internal/multisched) against its own sequential baseline on the large
+// rack-tree fabrics. shards=1 takes the sequential path verbatim and
+// seeds the baseline; the sharded runs report a derived `speedup` metric
+// (sequential ns/op over sharded ns/op, so >1 is faster). Outputs are
+// Float64bits-identical at every shard count — only wall-clock may move —
+// and on a single-core host speedup hovers around 1 by design: the
+// presolve fan-out needs parallel hardware to pay off.
+//
+// msBaselineNs carries the shards=1 ns/op between sub-benchmarks of one
+// invocation; sub-benchmarks run in declaration order, so the baseline is
+// always recorded before it is read.
+var msBaselineNs = map[int]float64{}
+
+func BenchmarkMultiScheduler(b *testing.B) {
+	fabrics := []struct{ servers, fanout, perRack int }{
+		{1024, 4, 64},
+		{4096, 8, 64},
+	}
+	for _, f := range fabrics {
+		for _, shards := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("servers=%d/shards=%d", f.servers, shards), func(b *testing.B) {
+				fanout, perRack := f.fanout, f.perRack
+				benchSchedule(b, &core.HitScheduler{Shards: shards}, func() (*topology.Topology, error) {
+					return topology.NewTreeWithRacks(3, fanout, perRack,
+						topology.LinkParams{Bandwidth: 1, SwitchCapacity: 1e9})
+				}, 96, 48)
+				ns := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+				if shards == 1 {
+					msBaselineNs[f.servers] = ns
+				} else if base, ok := msBaselineNs[f.servers]; ok && ns > 0 {
+					b.ReportMetric(base/ns, "speedup")
+				}
+			})
+		}
+	}
+}
