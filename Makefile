@@ -17,11 +17,11 @@ build:
 vet:
 	$(GO) vet ./...
 
-# lint runs the thirteen taalint checks (maporder, floateq, rngsource,
+# lint runs the fourteen taalint checks (maporder, floateq, rngsource,
 # wallclock, oraclebypass, epochbump, atomicguard, errcompare, mergeorder,
-# purity, publishfreeze, poolescape, arbitercommit) over every non-test
-# package, fails on any unsuppressed finding, and with -prune also fails
-# on stale //taalint: suppressions.
+# purity, publishfreeze, poolescape, arbitercommit, panicpath) over every
+# non-test package, fails on any unsuppressed finding, and with -prune
+# also fails on stale //taalint: suppressions.
 lint:
 	$(GO) run ./cmd/taalint -prune
 
@@ -73,8 +73,10 @@ bench-baseline:
 # chaos runs the fault-injection harness under the race detector: randomized
 # seeded fault schedules replayed bit-identically, with the run-time
 # invariants (no policy through a dead switch, zero overload after reaction)
-# enforced inside the simulator.
+# enforced inside the simulator. The supervise leg injects
+# scheduler-internal faults — worker panics, stalls, poisoned proposals —
+# and demands sharded output stay bit-identical to sequential.
 chaos:
-	$(GO) test -race -run Chaos ./internal/faults/... ./internal/sim/...
+	$(GO) test -race -run Chaos ./internal/faults/... ./internal/sim/... ./internal/supervise/...
 
 verify: build vet lint test

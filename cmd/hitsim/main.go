@@ -6,12 +6,18 @@
 //	hitsim [-scheduler hit|capacity|pna|random]
 //	       [-topology tree|fattree|bcube|vl2] [-servers N]
 //	       [-jobs N] [-class heavy|medium|light|mixed]
-//	       [-bandwidth F] [-seed N]
+//	       [-bandwidth F] [-seed N] [-shards N]
+//	       [-checkpoint FILE] [-resume FILE] [-halt-after-wave N]
+//
+// Exit codes: 0 success (including an orderly -halt-after-wave stop),
+// 1 run failure, 2 configuration error, 3 checkpoint/restore mismatch.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/cluster"
@@ -19,35 +25,88 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/scheduler"
 	"repro/internal/sim"
+	"repro/internal/supervise"
 	"repro/internal/taasearch"
 	"repro/internal/topology"
 	"repro/internal/workload"
 )
 
+// config is one scenario's full parameterization (the flag set, testable
+// without a process boundary).
+type config struct {
+	schedName  string
+	topoName   string
+	servers    int
+	nJobs      int
+	class      string
+	bandwidth  float64
+	seed       int64
+	gantt      bool
+	tracePath  string
+	traceOut   string
+	shards     int
+	checkpoint string
+	resume     string
+	haltAfter  int
+}
+
+// usageError marks a configuration mistake (unknown scheduler, class,
+// flag combination) as opposed to a run failure; main maps it to exit 2.
+type usageError struct{ err error }
+
+func (u usageError) Error() string { return u.err.Error() }
+func (u usageError) Unwrap() error { return u.err }
+
+func usagef(format string, args ...any) error {
+	return usageError{fmt.Errorf(format, args...)}
+}
+
 func main() {
-	schedName := flag.String("scheduler", "hit", "scheduler: hit, capacity, pna, cam, anneal, random")
-	topoName := flag.String("topology", "tree", "architecture: tree, fattree, bcube, vl2")
-	servers := flag.Int("servers", 64, "minimum server count")
-	nJobs := flag.Int("jobs", 6, "number of jobs")
-	class := flag.String("class", "mixed", "job class: heavy, medium, light, mixed")
-	bandwidth := flag.Float64("bandwidth", 1.0, "link bandwidth (GB per time unit)")
-	seed := flag.Int64("seed", 1, "random seed")
-	gantt := flag.Bool("gantt", false, "print an ASCII job timeline")
-	tracePath := flag.String("trace", "", "replay a workload trace file (overrides -jobs/-class)")
-	traceOut := flag.String("trace-out", "", "save the generated workload as a trace file")
+	var cfg config
+	flag.StringVar(&cfg.schedName, "scheduler", "hit", "scheduler: hit, capacity, pna, cam, anneal, random")
+	flag.StringVar(&cfg.topoName, "topology", "tree", "architecture: tree, fattree, bcube, vl2")
+	flag.IntVar(&cfg.servers, "servers", 64, "minimum server count")
+	flag.IntVar(&cfg.nJobs, "jobs", 6, "number of jobs")
+	flag.StringVar(&cfg.class, "class", "mixed", "job class: heavy, medium, light, mixed")
+	flag.Float64Var(&cfg.bandwidth, "bandwidth", 1.0, "link bandwidth (GB per time unit)")
+	flag.Int64Var(&cfg.seed, "seed", 1, "random seed")
+	flag.BoolVar(&cfg.gantt, "gantt", false, "print an ASCII job timeline")
+	flag.StringVar(&cfg.tracePath, "trace", "", "replay a workload trace file (overrides -jobs/-class)")
+	flag.StringVar(&cfg.traceOut, "trace-out", "", "save the generated workload as a trace file")
+	flag.IntVar(&cfg.shards, "shards", 0, "presolve shard workers for the hit scheduler (0 = sequential)")
+	flag.StringVar(&cfg.checkpoint, "checkpoint", "", "write a resumable checkpoint to FILE at every wave boundary")
+	flag.StringVar(&cfg.resume, "resume", "", "resume the run from a checkpoint FILE")
+	flag.IntVar(&cfg.haltAfter, "halt-after-wave", 0, "stop after N map waves (with the boundary checkpoint written)")
 	flag.Parse()
 
-	if err := run(*schedName, *topoName, *servers, *nJobs, *class, *bandwidth, *seed, *gantt, *tracePath, *traceOut); err != nil {
+	if err := run(cfg, os.Stdout); err != nil {
+		if errors.Is(err, sim.ErrHalted) {
+			fmt.Fprintf(os.Stderr, "hitsim: %v\n", err)
+			return // orderly stop: the checkpoint is the result
+		}
 		fmt.Fprintf(os.Stderr, "hitsim: %v\n", err)
-		os.Exit(1)
+		switch {
+		case errors.Is(err, sim.ErrCheckpointMismatch):
+			os.Exit(3)
+		case errors.As(err, &usageError{}):
+			os.Exit(2)
+		default:
+			os.Exit(1)
+		}
 	}
 }
 
-func run(schedName, topoName string, servers, nJobs int, class string, bandwidth float64, seed int64, gantt bool, tracePath, traceOut string) error {
+func run(cfg config, out io.Writer) error {
+	var sup *supervise.Supervisor
 	var sched scheduler.Scheduler
-	switch schedName {
+	switch cfg.schedName {
 	case "hit":
-		sched = &core.HitScheduler{}
+		hs := &core.HitScheduler{Shards: cfg.shards}
+		if cfg.shards > 1 {
+			sup = supervise.New(supervise.Config{})
+			hs.Supervisor = sup
+		}
+		sched = hs
 	case "capacity":
 		sched = scheduler.Capacity{}
 	case "pna":
@@ -59,21 +118,30 @@ func run(schedName, topoName string, servers, nJobs int, class string, bandwidth
 	case "anneal":
 		sched = &taasearch.Annealer{}
 	default:
-		return fmt.Errorf("unknown scheduler %q", schedName)
+		return usagef("unknown scheduler %q", cfg.schedName)
+	}
+	if cfg.shards != 0 && cfg.schedName != "hit" {
+		return usagef("-shards applies only to the hit scheduler")
+	}
+	if cfg.haltAfter > 0 && cfg.checkpoint == "" {
+		return usagef("-halt-after-wave requires -checkpoint (the boundary checkpoint is the resume point)")
+	}
+	if cfg.resume != "" && cfg.tracePath == "" && cfg.nJobs == 0 {
+		return usagef("-resume needs the identical workload (same -jobs/-class/-seed or -trace)")
 	}
 
-	topo, err := topology.NewArchitecture(topoName, servers, topology.LinkParams{
-		Bandwidth:      bandwidth,
-		SwitchCapacity: bandwidth * 48,
+	topo, err := topology.NewArchitecture(cfg.topoName, cfg.servers, topology.LinkParams{
+		Bandwidth:      cfg.bandwidth,
+		SwitchCapacity: cfg.bandwidth * 48,
 	})
 	if err != nil {
-		return err
+		return usageError{err}
 	}
 
 	var jobs []*workload.Job
 	var arrivals []float64
-	if tracePath != "" {
-		f, err := os.Open(tracePath)
+	if cfg.tracePath != "" {
+		f, err := os.Open(cfg.tracePath)
 		if err != nil {
 			return err
 		}
@@ -85,16 +153,16 @@ func run(schedName, topoName string, servers, nJobs int, class string, bandwidth
 		jobs = tr.Jobs
 		arrivals = tr.Arrivals
 	} else {
-		cfg := workload.DefaultConfig()
-		cfg.MaxMaps = 16
-		gen, err := workload.NewGenerator(cfg, seed)
+		wcfg := workload.DefaultConfig()
+		wcfg.MaxMaps = 16
+		gen, err := workload.NewGenerator(wcfg, cfg.seed)
 		if err != nil {
 			return err
 		}
-		for i := 0; i < nJobs; i++ {
+		for i := 0; i < cfg.nJobs; i++ {
 			var j *workload.Job
 			var err error
-			switch class {
+			switch cfg.class {
 			case "heavy":
 				j, err = gen.SampleClass(workload.ShuffleHeavy)
 			case "medium":
@@ -104,7 +172,7 @@ func run(schedName, topoName string, servers, nJobs int, class string, bandwidth
 			case "mixed":
 				j = gen.Sample()
 			default:
-				return fmt.Errorf("unknown class %q", class)
+				return usagef("unknown class %q", cfg.class)
 			}
 			if err != nil {
 				return err
@@ -112,8 +180,8 @@ func run(schedName, topoName string, servers, nJobs int, class string, bandwidth
 			jobs = append(jobs, j)
 		}
 	}
-	if traceOut != "" {
-		f, err := os.Create(traceOut)
+	if cfg.traceOut != "" {
+		f, err := os.Create(cfg.traceOut)
 		if err != nil {
 			return err
 		}
@@ -125,10 +193,27 @@ func run(schedName, topoName string, servers, nJobs int, class string, bandwidth
 		if err := f.Close(); err != nil {
 			return err
 		}
-		fmt.Printf("trace written to %s\n", traceOut)
+		fmt.Fprintf(out, "trace written to %s\n", cfg.traceOut)
 	}
 
-	eng, err := sim.New(topo, cluster.Resources{CPU: 4, Memory: 8192}, sched, sim.Options{Seed: seed})
+	opts := sim.Options{Seed: cfg.seed, HaltAfterWave: cfg.haltAfter}
+	if cfg.checkpoint != "" {
+		opts.CheckpointSink = checkpointSink(cfg.checkpoint, sup)
+	}
+	if cfg.resume != "" {
+		ck, err := loadCheckpoint(cfg.resume)
+		if err != nil {
+			return err
+		}
+		opts.Resume = ck
+		// Resume the resilience trajectory too, so a resumed sharded run
+		// continues the same hysteresis state it halted with.
+		if sup != nil {
+			sup.Restore(ck.Supervisor)
+		}
+	}
+
+	eng, err := sim.New(topo, cluster.Resources{CPU: 4, Memory: 8192}, sched, opts)
 	if err != nil {
 		return err
 	}
@@ -137,8 +222,8 @@ func run(schedName, topoName string, servers, nJobs int, class string, bandwidth
 		return err
 	}
 
-	fmt.Printf("topology=%s servers=%d switches=%d scheduler=%s jobs=%d bandwidth=%.2f seed=%d\n\n",
-		topo.Name(), topo.NumServers(), topo.NumSwitches(), res.Scheduler, len(jobs), bandwidth, seed)
+	fmt.Fprintf(out, "topology=%s servers=%d switches=%d scheduler=%s jobs=%d bandwidth=%.2f seed=%d\n\n",
+		topo.Name(), topo.NumServers(), topo.NumSwitches(), res.Scheduler, len(jobs), cfg.bandwidth, cfg.seed)
 
 	tb := metrics.NewTable("Per-job results",
 		"job", "benchmark", "class", "maps", "reduces", "waves", "shuffle(GB)", "cost", "JCT")
@@ -148,7 +233,7 @@ func run(schedName, topoName string, servers, nJobs int, class string, bandwidth
 			jobs[i].NumMaps, jobs[i].NumReduces, js.MapWaves,
 			js.ShuffleBytes, js.TrafficCost, js.Completion)
 	}
-	fmt.Println(tb.String())
+	fmt.Fprintln(out, tb.String())
 
 	agg := metrics.NewTable("Aggregate", "metric", "value")
 	agg.AddRowf([]string{"%s", "%.2f"}, "mean JCT", res.JCT.Mean())
@@ -163,9 +248,71 @@ func run(schedName, topoName string, servers, nJobs int, class string, bandwidth
 	agg.AddRowf([]string{"%s", "%.2f"}, "shuffle makespan", res.ShuffleMakespan)
 	agg.AddRowf([]string{"%s", "%.2f"}, "shuffle throughput (GB/t)", res.ShuffleThroughput)
 	agg.AddRowf([]string{"%s", "%d"}, "network flows", res.NumFlows)
-	fmt.Println(agg.String())
-	if gantt {
-		fmt.Println(sim.RenderGantt(res, 72))
+	fmt.Fprintln(out, agg.String())
+
+	// Supervision summary: only for supervised (sharded) runs, so the
+	// default sequential output stays byte-identical to earlier versions.
+	if sup != nil {
+		st := sup.Stats()
+		sv := metrics.NewTable("Supervision", "metric", "value")
+		sv.AddRowf([]string{"%s", "%d"}, "commits adopted", st.Adopted)
+		for _, r := range supervise.ReplayReasons() {
+			sv.AddRowf([]string{"%s", "%d"}, "replays: "+r.String(), st.Replays[r])
+		}
+		sv.AddRowf([]string{"%s", "%d"}, "worker panics isolated", st.Panics)
+		sv.AddRowf([]string{"%s", "%d"}, "worker stalls", st.Stalls)
+		sv.AddRowf([]string{"%s", "%d"}, "cells over budget", st.OverBudget)
+		sv.AddRowf([]string{"%s", "%d"}, "proposals poisoned", st.Poisons)
+		sv.AddRowf([]string{"%s", "%d"}, "degradations", st.Degradations)
+		sv.AddRowf([]string{"%s", "%d"}, "re-escalations", st.Reescalations)
+		sv.AddRowf([]string{"%s", "%d"}, "degradation level", st.Level)
+		mode := "full fan-out"
+		switch {
+		case st.Pinned:
+			mode = "pinned sequential (storm limit)"
+		case st.Level > 0:
+			mode = "degraded (conflict storm)"
+		}
+		sv.AddRowf([]string{"%s", "%s"}, "mode", mode)
+		fmt.Fprintln(out, sv.String())
+	}
+	if cfg.gantt {
+		fmt.Fprintln(out, sim.RenderGantt(res, 72))
 	}
 	return nil
+}
+
+// checkpointSink writes each wave-boundary checkpoint atomically
+// (temp file + rename) so a kill mid-write never corrupts the resume
+// point, attaching the supervisor's resilience state when present.
+func checkpointSink(path string, sup *supervise.Supervisor) func(*sim.Checkpoint) error {
+	return func(ck *sim.Checkpoint) error {
+		if sup != nil {
+			ck.Supervisor = sup.Export()
+		}
+		tmp := path + ".tmp"
+		f, err := os.Create(tmp)
+		if err != nil {
+			return err
+		}
+		if err := ck.Save(f); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return err
+		}
+		if err := f.Close(); err != nil {
+			os.Remove(tmp)
+			return err
+		}
+		return os.Rename(tmp, path)
+	}
+}
+
+func loadCheckpoint(path string) (*sim.Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return sim.LoadCheckpoint(f)
 }

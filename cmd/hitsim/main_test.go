@@ -1,53 +1,174 @@
 package main
 
 import (
+	"bytes"
+	"errors"
+	"io"
 	"path/filepath"
 	"testing"
+
+	"repro/internal/sim"
 )
 
+// base is the small-but-real scenario the tests perturb.
+func base() config {
+	return config{
+		schedName: "hit", topoName: "tree", servers: 8, nJobs: 1,
+		class: "mixed", bandwidth: 1.0, seed: 1,
+	}
+}
+
 func TestRunValidScenario(t *testing.T) {
-	if err := run("hit", "tree", 8, 1, "mixed", 1.0, 1, true, "", ""); err != nil {
+	cfg := base()
+	cfg.gantt = true
+	if err := run(cfg, io.Discard); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 }
 
 func TestRunEachSchedulerAndClass(t *testing.T) {
 	for _, sched := range []string{"capacity", "pna", "random", "cam", "anneal"} {
-		if err := run(sched, "tree", 8, 1, "light", 1.0, 2, false, "", ""); err != nil {
+		cfg := base()
+		cfg.schedName, cfg.class, cfg.seed = sched, "light", 2
+		if err := run(cfg, io.Discard); err != nil {
 			t.Errorf("%s: %v", sched, err)
 		}
 	}
 	for _, class := range []string{"heavy", "medium"} {
-		if err := run("hit", "fattree", 8, 1, class, 1.0, 3, false, "", ""); err != nil {
+		cfg := base()
+		cfg.topoName, cfg.class, cfg.seed = "fattree", class, 3
+		if err := run(cfg, io.Discard); err != nil {
 			t.Errorf("class %s: %v", class, err)
 		}
 	}
 }
 
+// TestRunErrors pins the error taxonomy: configuration mistakes are
+// usageErrors (exit 2 in main), distinct from run failures (exit 1).
 func TestRunErrors(t *testing.T) {
-	if err := run("bogus", "tree", 8, 1, "mixed", 1, 1, false, "", ""); err == nil {
-		t.Error("unknown scheduler accepted")
-	}
-	if err := run("hit", "bogus", 8, 1, "mixed", 1, 1, false, "", ""); err == nil {
-		t.Error("unknown topology accepted")
-	}
-	if err := run("hit", "tree", 8, 1, "bogus", 1, 1, false, "", ""); err == nil {
-		t.Error("unknown class accepted")
+	for name, mutate := range map[string]func(*config){
+		"unknown scheduler":           func(c *config) { c.schedName = "bogus" },
+		"unknown topology":            func(c *config) { c.topoName = "bogus" },
+		"unknown class":               func(c *config) { c.class = "bogus" },
+		"shards on non-hit":           func(c *config) { c.schedName = "random"; c.shards = 4 },
+		"halt without checkpoint":     func(c *config) { c.haltAfter = 1 },
+		"resume without any workload": func(c *config) { c.resume = "x"; c.nJobs = 0 },
+	} {
+		cfg := base()
+		mutate(&cfg)
+		err := run(cfg, io.Discard)
+		if err == nil {
+			t.Errorf("%s accepted", name)
+			continue
+		}
+		if !errors.As(err, &usageError{}) {
+			t.Errorf("%s: want usageError, got %T: %v", name, err, err)
+		}
 	}
 }
 
 func TestRunTraceRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	trace := filepath.Join(dir, "w.json")
-	// Generate and save.
-	if err := run("capacity", "tree", 8, 2, "mixed", 1, 4, false, "", trace); err != nil {
+	cfg := base()
+	cfg.schedName, cfg.nJobs, cfg.seed, cfg.traceOut = "capacity", 2, 4, trace
+	if err := run(cfg, io.Discard); err != nil {
 		t.Fatalf("save: %v", err)
 	}
-	// Replay under a different scheduler.
-	if err := run("hit", "tree", 8, 0, "mixed", 1, 4, false, trace, ""); err != nil {
+	replay := base()
+	replay.nJobs, replay.seed, replay.tracePath = 0, 4, trace
+	if err := run(replay, io.Discard); err != nil {
 		t.Fatalf("replay: %v", err)
 	}
-	if err := run("hit", "tree", 8, 0, "mixed", 1, 4, false, filepath.Join(dir, "missing.json"), ""); err == nil {
+	replay.tracePath = filepath.Join(dir, "missing.json")
+	if err := run(replay, io.Discard); err == nil {
 		t.Error("missing trace accepted")
+	}
+	if errors.As(run(replay, io.Discard), &usageError{}) {
+		t.Error("missing trace file reported as a usage error; it is a run failure")
+	}
+}
+
+// TestRunShardedPrintsSupervision: a sharded run appends the supervision
+// summary; the sequential default must not (so its output stays
+// byte-identical to earlier releases).
+func TestRunShardedPrintsSupervision(t *testing.T) {
+	var seq, shard bytes.Buffer
+	cfg := base()
+	if err := run(cfg, &seq); err != nil {
+		t.Fatal(err)
+	}
+	cfg.shards = 4
+	if err := run(cfg, &shard); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(seq.Bytes(), []byte("Supervision")) {
+		t.Error("sequential output grew a Supervision section")
+	}
+	if !bytes.Contains(shard.Bytes(), []byte("Supervision")) {
+		t.Error("sharded output lacks the Supervision section")
+	}
+	if !bytes.Contains(shard.Bytes(), []byte("replays: storm")) {
+		t.Error("sharded output lacks degraded-mode reason codes")
+	}
+	// The metric tables before the supervision section must agree: shard
+	// parity end to end.
+	if !bytes.HasPrefix(shard.Bytes(), seq.Bytes()[:bytes.Index(seq.Bytes(), []byte("Aggregate"))]) {
+		t.Error("sharded per-job tables diverge from sequential")
+	}
+}
+
+// TestRunCheckpointResumeByteIdentical is the CLI-level restore
+// guarantee: a run halted at a wave boundary and resumed from its
+// checkpoint prints byte-identical output to the uninterrupted run —
+// sequential and sharded (supervisor state rides the checkpoint).
+func TestRunCheckpointResumeByteIdentical(t *testing.T) {
+	for _, shards := range []int{0, 4} {
+		dir := t.TempDir()
+		ckPath := filepath.Join(dir, "run.ck")
+		cfg := base()
+		cfg.nJobs, cfg.seed, cfg.shards = 3, 7, shards
+
+		var full bytes.Buffer
+		if err := run(cfg, &full); err != nil {
+			t.Fatalf("shards %d: uninterrupted: %v", shards, err)
+		}
+
+		halted := cfg
+		halted.checkpoint = ckPath
+		halted.haltAfter = 1
+		if err := run(halted, io.Discard); !errors.Is(err, sim.ErrHalted) {
+			t.Fatalf("shards %d: want ErrHalted, got %v", shards, err)
+		}
+
+		resumed := cfg
+		resumed.resume = ckPath
+		var got bytes.Buffer
+		if err := run(resumed, &got); err != nil {
+			t.Fatalf("shards %d: resume: %v", shards, err)
+		}
+		if !bytes.Equal(full.Bytes(), got.Bytes()) {
+			t.Errorf("shards %d: resumed output differs from uninterrupted run", shards)
+		}
+	}
+}
+
+// TestRunCheckpointMismatchSurfaces: resuming under a different seed must
+// fail with sim.ErrCheckpointMismatch (exit 3 in main), not diverge.
+func TestRunCheckpointMismatchSurfaces(t *testing.T) {
+	dir := t.TempDir()
+	ckPath := filepath.Join(dir, "run.ck")
+	cfg := base()
+	cfg.nJobs, cfg.seed = 2, 7
+	cfg.checkpoint = ckPath
+	cfg.haltAfter = 1
+	if err := run(cfg, io.Discard); !errors.Is(err, sim.ErrHalted) {
+		t.Fatalf("want ErrHalted, got %v", err)
+	}
+	bad := base()
+	bad.nJobs, bad.seed = 2, 8
+	bad.resume = ckPath
+	if err := run(bad, io.Discard); !errors.Is(err, sim.ErrCheckpointMismatch) {
+		t.Fatalf("want ErrCheckpointMismatch, got %v", err)
 	}
 }

@@ -151,6 +151,7 @@ func All() []Check {
 		PublishFreeze{},
 		PoolEscape{},
 		ArbiterCommit{},
+		PanicPath{},
 	}
 }
 

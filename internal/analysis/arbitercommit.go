@@ -74,12 +74,15 @@ var acMonitoredOwners = map[string]bool{
 	"serverState": true,
 }
 
-// acPoolEntrypoints are the parallel fan-out calls whose function-literal
-// arguments run on worker goroutines.
+// acPoolEntrypoints are the fan-out calls whose function-literal
+// arguments run on worker goroutines: the parallel pool entry points and
+// the supervisor's recover-wrapped launcher (the only blessed way to
+// start a goroutine in a decision package under the panicpath check).
 var acPoolEntrypoints = map[string]bool{
-	"parallel.(Group).ForEach": true,
-	"parallel.ForEach":         true,
-	"parallel.Map":             true,
+	"parallel.(Group).ForEach":  true,
+	"parallel.ForEach":          true,
+	"parallel.Map":              true,
+	"supervise.(Supervisor).Go": true,
 }
 
 // ArbiterCommit is the sharded-scheduler mutation-funnel check.

@@ -44,6 +44,9 @@ var goldenFixtures = []struct {
 	// by package base, so one package masquerading as multisched can
 	// declare its own Controller/Cluster and still hit the real tables.
 	{"arbitercommit", "arbitercommit", "fixture/multisched"},
+	// panicpath is purely syntactic but scoped to decision packages, so
+	// the fixture masquerades as sim.
+	{"panicpath", "panicpath", "fixture/sim"},
 }
 
 // TestGolden runs each check against its fixture package and compares the

@@ -1,0 +1,45 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// PanicPath forbids naked `go` statements in the decision packages. A
+// worker goroutine launched bare has no recover wrapper: a panic in it
+// kills the whole process instead of poisoning one cell, and the
+// supervised degradation ladder (DESIGN.md §11) never gets to classify
+// the failure or replay the work sequentially. Every fan-out in a
+// decision package must flow through a recover-wrapped entry point —
+// supervise.(Supervisor).Go for supervised cell workers, or the
+// internal/parallel pool (ForEach/Map), whose safeCall wrapper converts
+// panics to errors. Those two packages are deliberately NOT decision
+// packages, so their own launch sites stay legal.
+//
+// The check is purely syntactic — any *ast.GoStmt is a finding — because
+// the contract is structural: there is no "safe" naked goroutine in a
+// decision package, only one whose panic path has not been exercised yet.
+type PanicPath struct{}
+
+// Name implements Check.
+func (PanicPath) Name() string { return "panicpath" }
+
+// Doc implements Check.
+func (PanicPath) Doc() string {
+	return "no naked go statements in decision packages; fan out through supervise.Supervisor.Go or internal/parallel"
+}
+
+// Run implements Check.
+func (PanicPath) Run(p *Pass) {
+	if !decisionPackages[p.Pkg.Base()] {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				p.Reportf(g.Pos(),
+					"naked go statement in a decision package; launch workers through supervise.Supervisor.Go or internal/parallel so panics are isolated and replayed")
+			}
+			return true
+		})
+	}
+}

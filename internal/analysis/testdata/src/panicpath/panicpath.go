@@ -1,0 +1,58 @@
+// Package fixture exercises the panicpath check. It is loaded under the
+// synthetic import path "fixture/sim" so the decision-package rule
+// applies.
+package fixture
+
+import "sync"
+
+// Supervisor stands in for the recover-wrapped launcher a real decision
+// package would get from internal/supervise.
+type Supervisor struct{ wg sync.WaitGroup }
+
+// Go is the blessed launch path; its own body may use `go` only because
+// the real one lives in the supervise package, which is not a decision
+// package. Here it must not, so it runs fn inline.
+func (s *Supervisor) Go(fn func()) { fn() }
+
+// FanOut launches a naked worker goroutine: a panic in the closure kills
+// the process instead of poisoning a cell. Flagged.
+func FanOut(work []int) {
+	var wg sync.WaitGroup
+	for range work {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// Detach launches a named function bare; equally unrecovered. Flagged.
+func Detach(done chan struct{}) {
+	go signal(done)
+}
+
+func signal(done chan struct{}) { close(done) }
+
+// Inline runs the closure on the calling goroutine — deferred, not
+// detached. Not flagged.
+func Inline(fn func()) {
+	defer fn()
+	fn()
+}
+
+// Supervised fans out through the recover-wrapped entry point. Not
+// flagged.
+func Supervised(s *Supervisor, work []int) {
+	for range work {
+		s.Go(func() {})
+	}
+}
+
+// Drain is a deliberate exception with a recorded reason; suppressed.
+func Drain(ch chan int) {
+	go func() { //taalint:panicpath fire-and-forget drain of a closed channel, nothing to replay
+		for range ch {
+		}
+	}()
+}

@@ -38,6 +38,7 @@ import (
 	"repro/internal/parallel"
 	"repro/internal/scheduler"
 	"repro/internal/stablematch"
+	"repro/internal/supervise"
 	"repro/internal/topology"
 	"repro/internal/workload"
 )
@@ -78,6 +79,17 @@ type HitScheduler struct {
 	// when sharded, else from GOMAXPROCS exactly as before — set it only
 	// to keep a sharded scheduler from oversubscribing shared cores.
 	Workers int
+	// Supervisor, when non-nil, is the resilience runtime threaded through
+	// the sharded service (internal/supervise): panic isolation, operation
+	// budgets, conflict-storm degradation, and — for the chaos harness —
+	// deterministic scheduler-internal fault injection. Sharing one
+	// Supervisor across Schedule calls lets its hysteresis span waves;
+	// nil gives each Schedule call a fresh default supervisor. Sequential
+	// runs (Shards <= 1) never consult it. Under every supervised failure
+	// mode the output stays Float64bits-identical to sequential — the
+	// supervisor only ever redirects flows onto the sequential replay
+	// path, never changes a value.
+	Supervisor *supervise.Supervisor
 }
 
 // fanout resolves the inner-phase worker cap: an explicit Workers wins,
@@ -137,7 +149,7 @@ func (h *HitScheduler) Schedule(req *scheduler.Request) error {
 	// sequential code path below byte-for-byte untouched).
 	var ms *multisched.Service
 	if h.Shards > 1 {
-		ms = multisched.New(req.Controller, req.Cluster, h.Shards)
+		ms = multisched.NewSupervised(req.Controller, req.Cluster, h.Shards, h.Supervisor)
 	}
 
 	var report *scheduler.ScheduleReport

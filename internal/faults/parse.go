@@ -1,6 +1,7 @@
 package faults
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
@@ -8,21 +9,40 @@ import (
 	"repro/internal/topology"
 )
 
+// Malformed-timeline sentinels, matchable with errors.Is through the
+// line-context wrapping ParseTimeline applies.
+var (
+	// ErrDuplicateEventID marks two events carrying the same sequence ID
+	// (explicit id= fields, or an explicit ID colliding with an implicit
+	// line ordinal) — the tiebreak order would be ambiguous.
+	ErrDuplicateEventID = errors.New("faults: duplicate event ID")
+	// ErrOutOfOrderEvent marks a line whose timestamp precedes the line
+	// before it; timelines are authored in timeline order so that the
+	// implicit sequence IDs match the tie-break order the run replays.
+	ErrOutOfOrderEvent = errors.New("faults: out-of-order event")
+)
+
 // ParseTimeline reads the declarative timeline format: one event per line,
 //
-//	t=<time> <kind> node=<id> [factor=<f>]
-//	t=<time> <kind> link=<a>-<b> [factor=<f>]
+//	t=<time> <kind> node=<id> [factor=<f>] [id=<n>]
+//	t=<time> <kind> link=<a>-<b> [factor=<f>] [id=<n>]
 //
 // with '#' comments and blank lines ignored. Kinds are the Kind.String
 // names (switch-crash, switch-degrade, switch-recover, link-degrade,
-// link-recover, server-crash, server-recover). Events may appear in any
-// order; the returned slice is in timeline order.
+// link-recover, server-crash, server-recover). Lines must be in
+// nondecreasing time order (ErrOutOfOrderEvent otherwise). The optional
+// id=<n> field overrides the event's sequence ID — the deterministic
+// tiebreak for equal-time events — which defaults to the event's ordinal;
+// duplicated IDs are rejected (ErrDuplicateEventID). The returned slice
+// is in canonical (Time, Seq) order.
 func ParseTimeline(src string) ([]Event, error) {
 	kindOf := make(map[string]Kind, len(kindNames))
 	for k := SwitchCrash; k <= ServerRecover; k++ {
 		kindOf[k.String()] = k
 	}
 	var evs []Event
+	seen := make(map[int]int) // Seq -> 1-based line, for duplicate reports
+	prevTime := 0.0
 	for ln, line := range strings.Split(src, "\n") {
 		if i := strings.IndexByte(line, '#'); i >= 0 {
 			line = line[:i]
@@ -44,6 +64,10 @@ func ParseTimeline(src string) ([]Event, error) {
 			return nil, fmt.Errorf("faults: line %d: bad time %q", ln+1, tv)
 		}
 		ev.Time = t
+		if len(evs) > 0 && t < prevTime {
+			return nil, fmt.Errorf("faults: line %d: t=%g before preceding t=%g: %w", ln+1, t, prevTime, ErrOutOfOrderEvent)
+		}
+		prevTime = t
 		k, ok := kindOf[fields[1]]
 		if !ok {
 			return nil, fmt.Errorf("faults: line %d: unknown event kind %q", ln+1, fields[1])
@@ -76,6 +100,12 @@ func ParseTimeline(src string) ([]Event, error) {
 					return nil, fmt.Errorf("faults: line %d: factor must be in (0,1], got %q", ln+1, f)
 				}
 				ev.Factor = fv
+			case strings.HasPrefix(f, "id="):
+				id, err := strconv.Atoi(f[len("id="):])
+				if err != nil || id < 0 {
+					return nil, fmt.Errorf("faults: line %d: bad event ID %q", ln+1, f)
+				}
+				ev.Seq = id
 			default:
 				return nil, fmt.Errorf("faults: line %d: unknown field %q", ln+1, f)
 			}
@@ -90,6 +120,10 @@ func ParseTimeline(src string) ([]Event, error) {
 				return nil, fmt.Errorf("faults: line %d: %s needs node=<id>", ln+1, ev.Kind)
 			}
 		}
+		if first, dup := seen[ev.Seq]; dup {
+			return nil, fmt.Errorf("faults: line %d: event ID %d already used on line %d: %w", ln+1, ev.Seq, first, ErrDuplicateEventID)
+		}
+		seen[ev.Seq] = ln + 1
 		evs = append(evs, ev)
 	}
 	SortEvents(evs)
@@ -97,10 +131,12 @@ func ParseTimeline(src string) ([]Event, error) {
 }
 
 // Format renders events back into the declarative format ParseTimeline
-// reads (round-trip stable for parsed input).
+// reads (round-trip stable for parsed input). An explicit id= field is
+// emitted only when an event's Seq differs from its ordinal position —
+// i.e. only when the default assignment would not reproduce it.
 func Format(evs []Event) string {
 	var b strings.Builder
-	for _, ev := range evs {
+	for i, ev := range evs {
 		fmt.Fprintf(&b, "t=%g %s", ev.Time, ev.Kind)
 		switch ev.Kind {
 		case LinkDegrade, LinkRecover:
@@ -110,6 +146,9 @@ func Format(evs []Event) string {
 		}
 		if ev.Kind == SwitchDegrade || ev.Kind == LinkDegrade {
 			fmt.Fprintf(&b, " factor=%g", ev.Factor)
+		}
+		if ev.Seq != i {
+			fmt.Fprintf(&b, " id=%d", ev.Seq)
 		}
 		b.WriteByte('\n')
 	}

@@ -1,0 +1,124 @@
+package faults
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestParseTimelineMalformed is the malformed-input table: every rejected
+// shape, with the sentinel classification checked via errors.Is where one
+// applies.
+func TestParseTimelineMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want error // nil = any error acceptable
+	}{
+		{"missing t=", "switch-crash node=3", nil},
+		{"unknown kind", "t=5 melt node=3", nil},
+		{"negative time", "t=-1 switch-crash node=3", nil},
+		{"bad time", "t=soon switch-crash node=3", nil},
+		{"missing node", "t=5 switch-crash", nil},
+		{"link kind without link", "t=5 link-degrade node=3", nil},
+		{"malformed link", "t=5 link-degrade link=27 factor=0.5", nil},
+		{"factor out of range", "t=5 switch-degrade node=3 factor=1.5", nil},
+		{"unknown field", "t=5 switch-crash node=3 color=red", nil},
+		{"bad id", "t=5 switch-crash node=3 id=first", nil},
+		{"negative id", "t=5 switch-crash node=3 id=-2", nil},
+		{
+			"duplicate explicit IDs",
+			"t=5 switch-crash node=3 id=7\nt=6 switch-recover node=3 id=7",
+			ErrDuplicateEventID,
+		},
+		{
+			"explicit ID collides with implicit ordinal",
+			"t=5 switch-crash node=3\nt=6 switch-recover node=3 id=0",
+			ErrDuplicateEventID,
+		},
+		{
+			"timestamps out of order",
+			"t=10 switch-crash node=3\nt=5 switch-recover node=3",
+			ErrOutOfOrderEvent,
+		},
+		{
+			"out of order after comment lines",
+			"# drill\nt=10 switch-crash node=3\n\n# later\nt=9.5 switch-recover node=3",
+			ErrOutOfOrderEvent,
+		},
+	}
+	for _, tc := range cases {
+		_, err := ParseTimeline(tc.src)
+		if err == nil {
+			t.Errorf("%s: accepted %q", tc.name, tc.src)
+			continue
+		}
+		if tc.want != nil && !errors.Is(err, tc.want) {
+			t.Errorf("%s: error %v does not wrap %v", tc.name, err, tc.want)
+		}
+		// Sentinels must stay distinguishable from each other.
+		if tc.want == ErrDuplicateEventID && errors.Is(err, ErrOutOfOrderEvent) {
+			t.Errorf("%s: duplicate-ID error also matches out-of-order", tc.name)
+		}
+	}
+}
+
+// TestParseTimelineExplicitIDs: id= overrides the tiebreak sequence and
+// round-trips through Format.
+func TestParseTimelineExplicitIDs(t *testing.T) {
+	src := "t=5 switch-crash node=3 id=9\nt=5 switch-recover node=3 id=2\n"
+	evs, err := ParseTimeline(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Equal times: canonical order is by Seq, so the recover (id=2) sorts
+	// first.
+	if evs[0].Kind != SwitchRecover || evs[0].Seq != 2 || evs[1].Seq != 9 {
+		t.Fatalf("explicit IDs not honored: %+v", evs)
+	}
+	again, err := ParseTimeline(Format(evs))
+	if err != nil {
+		t.Fatalf("re-parse formatted timeline: %v", err)
+	}
+	if !reflect.DeepEqual(evs, again) {
+		t.Errorf("explicit-ID round trip diverged:\n%v\n%v", evs, again)
+	}
+}
+
+// FuzzParseTimeline is the fuzz-style corpus check: whatever the input,
+// the parser must never panic, and any accepted timeline must round-trip
+// through Format into the identical event list.
+func FuzzParseTimeline(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"# comment only\n",
+		"t=5 switch-degrade node=3 factor=0.25\nt=12.5 switch-crash node=9",
+		"t=20 link-degrade link=2-7 factor=0.5\nt=45 link-recover link=2-7",
+		"t=30 server-crash node=21\nt=50 server-recover node=21",
+		"t=5 switch-crash node=3 id=9\nt=5 switch-recover node=3 id=2",
+		"t=10 switch-crash node=3\nt=5 switch-recover node=3",
+		"t=5 switch-crash node=3 id=7\nt=6 switch-recover node=3 id=7",
+		"t=1e3 switch-crash node=0",
+		"t=5 melt node=3",
+		"t=5 switch-crash node=3 color=red",
+		"t=\x00nope",
+		strings.Repeat("t=1 switch-crash node=1 id=1\n", 3),
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		evs, err := ParseTimeline(src)
+		if err != nil {
+			return // rejection is fine; not panicking is the invariant
+		}
+		out := Format(evs)
+		again, err := ParseTimeline(out)
+		if err != nil {
+			t.Fatalf("Format output rejected: %v\n%q", err, out)
+		}
+		if !reflect.DeepEqual(evs, again) {
+			t.Fatalf("round trip diverged for %q:\n%v\n%v", src, evs, again)
+		}
+	})
+}

@@ -46,13 +46,17 @@ import (
 	"repro/internal/flow"
 	"repro/internal/netstate"
 	"repro/internal/parallel"
+	"repro/internal/supervise"
 	"repro/internal/topology"
 )
 
 // Service owns the shard worker budget and the arbiter for one scheduler.
 // A Service is bound to one controller/cluster pair; create it once per
 // Schedule call (it is two small allocations) or reuse it across calls on
-// the same pair — it holds no per-wave state.
+// the same pair — it holds no per-wave state. Resilience state (the
+// degradation ladder, fault injection, panic accounting) lives in the
+// supervisor, which MAY be shared across Services so hysteresis spans
+// waves and Schedule calls.
 type Service struct {
 	ctl    *controller.Controller
 	cl     *cluster.Cluster
@@ -60,13 +64,24 @@ type Service struct {
 	shards int
 	grp    *parallel.Group
 	arb    Arbiter
+	sup    *supervise.Supervisor
 }
 
 // New returns a Service running presolves on up to shards goroutines
-// (shards < 1 is treated as 1).
+// (shards < 1 is treated as 1) under a fresh default supervisor.
 func New(ctl *controller.Controller, cl *cluster.Cluster, shards int) *Service {
+	return NewSupervised(ctl, cl, shards, nil)
+}
+
+// NewSupervised is New with an explicit resilience runtime. A nil sup
+// gets a fresh default supervisor (no fault injection, effectively
+// unbounded budgets, default storm hysteresis).
+func NewSupervised(ctl *controller.Controller, cl *cluster.Cluster, shards int, sup *supervise.Supervisor) *Service {
 	if shards < 1 {
 		shards = 1
+	}
+	if sup == nil {
+		sup = supervise.New(supervise.Config{})
 	}
 	s := &Service{
 		ctl:    ctl,
@@ -74,6 +89,7 @@ func New(ctl *controller.Controller, cl *cluster.Cluster, shards int) *Service {
 		oracle: ctl.Oracle(),
 		shards: shards,
 		grp:    parallel.NewGroup(shards),
+		sup:    sup,
 	}
 	s.arb.s = s
 	return s
@@ -81,6 +97,9 @@ func New(ctl *controller.Controller, cl *cluster.Cluster, shards int) *Service {
 
 // Shards returns the worker budget.
 func (s *Service) Shards() int { return s.shards }
+
+// Supervisor returns the service's resilience runtime.
+func (s *Service) Supervisor() *supervise.Supervisor { return s.sup }
 
 // Arbiter returns the service's commit funnel. All cluster/controller
 // mutations of a sharded schedule flow through its methods, on the

@@ -1,0 +1,154 @@
+package multisched_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/multisched"
+	"repro/internal/supervise"
+)
+
+// commitParity drives the full presolve/commit cycle on instance a under
+// the supervised service and the plain sequential calls on twin instance
+// b, asserting per-flow utilities, policies and total cost are
+// bit-identical. Returns the supervisor stats for fault assertions.
+func commitParity(t *testing.T, seed int64, shards int, sup *supervise.Supervisor) supervise.Stats {
+	t.Helper()
+	a := buildInstance(t, seed, 150)
+	b := buildInstance(t, seed, 150)
+	ms := multisched.NewSupervised(a.ctl, a.cl, shards, sup)
+	arb := ms.Arbiter()
+	loc := a.req.Locator()
+	ps := ms.PresolveOptimize(a.req.Flows, nil, loc)
+	defer ps.Drain()
+	for i, f := range a.req.Flows {
+		util, pol, _, err := arb.CommitOptimize(ps, i, loc)
+		if err != nil {
+			t.Fatalf("seed %d: commit flow %d: %v", seed, f.ID, err)
+		}
+		wantUtil, wantPol, _, err := b.ctl.OptimizeInstalledDetailed(b.req.Flows[i], b.req.Locator())
+		if err != nil {
+			t.Fatalf("seed %d: sequential flow %d: %v", seed, f.ID, err)
+		}
+		if math.Float64bits(util) != math.Float64bits(wantUtil) {
+			t.Fatalf("seed %d flow %d: utility %v vs sequential %v", seed, f.ID, util, wantUtil)
+		}
+		if !samePolicy(pol, wantPol) {
+			t.Fatalf("seed %d flow %d: policy %+v vs sequential %+v", seed, f.ID, pol, wantPol)
+		}
+	}
+	ca, err := a.ctl.TotalCost(a.req.Flows, a.req.Locator())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := b.ctl.TotalCost(b.req.Flows, b.req.Locator())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(ca) != math.Float64bits(cb) {
+		t.Fatalf("seed %d: total cost %v vs sequential %v", seed, ca, cb)
+	}
+	st := arb.Stats()
+	if st.Adopted+st.Replayed != len(a.req.Flows) {
+		t.Fatalf("seed %d: stats %+v don't cover %d flows", seed, st, len(a.req.Flows))
+	}
+	return ms.Supervisor().Stats()
+}
+
+// TestSupervisedPanicIsolationParity injects worker panics at a rate that
+// poisons most cells and demands the output stay bit-identical to the
+// sequential scheduler: a panicking presolver degrades the wave (its cells
+// replay in order), never the values.
+func TestSupervisedPanicIsolationParity(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		sup := supervise.New(supervise.Config{
+			Faults: &supervise.FaultPlan{Seed: uint64(seed), PanicPerMille: 700},
+		})
+		st := commitParity(t, seed, 4, sup)
+		if st.Panics == 0 {
+			t.Errorf("seed %d: no injected panic fired", seed)
+		}
+		if st.Replays[supervise.ReasonPanic] == 0 {
+			t.Errorf("seed %d: poisoned cells produced no panic replays: %+v", seed, st)
+		}
+	}
+}
+
+// TestSupervisedStallBudgetParity exhausts cell budgets (injected stalls
+// plus a deliberately tight budget) and demands the abandoned flows fall
+// back to ordered sequential replay with identical output.
+func TestSupervisedStallBudgetParity(t *testing.T) {
+	// Tight budget: one flow per cell at most (opsPerFlow=8 + route).
+	sup := supervise.New(supervise.Config{
+		CellOpBudget: 18,
+		Faults:       &supervise.FaultPlan{Seed: 9, StallPerMille: 400},
+	})
+	st := commitParity(t, 2, 4, sup)
+	if st.Stalls == 0 {
+		t.Errorf("no injected stall fired: %+v", st)
+	}
+	if st.OverBudget == 0 || st.Replays[supervise.ReasonBudget] == 0 {
+		t.Errorf("tight budget abandoned nothing: %+v", st)
+	}
+}
+
+// TestSupervisedPoisonChecksumParity corrupts every solved proposal after
+// its checksum was stamped; the arbiter must catch every corruption
+// (ReasonChecksum), adopt nothing it cannot trust, and still produce the
+// sequential bits.
+func TestSupervisedPoisonChecksumParity(t *testing.T) {
+	sup := supervise.New(supervise.Config{
+		Faults: &supervise.FaultPlan{Seed: 5, PoisonPerMille: 1000},
+	})
+	st := commitParity(t, 3, 4, sup)
+	if st.Poisons == 0 {
+		t.Fatalf("no proposal poisoned: %+v", st)
+	}
+	if st.Adopted != 0 {
+		t.Errorf("adopted %d poisoned proposals", st.Adopted)
+	}
+	if st.Replays[supervise.ReasonChecksum] == 0 {
+		t.Errorf("checksum caught nothing: %+v", st)
+	}
+}
+
+// TestSupervisedStormSkipsPresolve pre-trips the conflict-storm ladder on
+// a 2-shard service (one degradation step disables presolve entirely) and
+// asserts the whole wave replays sequentially — with identical output and
+// every replay classified ReasonStorm.
+func TestSupervisedStormSkipsPresolve(t *testing.T) {
+	sup := supervise.New(supervise.Config{Window: 4, QuietPeriod: 1 << 20})
+	for i := 0; i < 4; i++ {
+		sup.Commit(supervise.ReasonStale) // trip the window by hand
+	}
+	if sup.Stats().Level != 1 {
+		t.Fatalf("ladder did not trip: %+v", sup.Stats())
+	}
+	pre := sup.Stats()
+	st := commitParity(t, 1, 2, sup)
+	storms := st.Replays[supervise.ReasonStorm] - pre.Replays[supervise.ReasonStorm]
+	adopts := st.Adopted - pre.Adopted
+	if adopts != 0 || storms == 0 {
+		t.Errorf("degraded service still presolved: adopts=%d storms=%d (%+v)", adopts, storms, st)
+	}
+}
+
+// TestSupervisedStatsDeterministic reruns an injected-fault cycle and
+// demands identical supervisor stats: injection draws hash stable
+// coordinates, so worker timing never reaches a counter the tests read.
+func TestSupervisedStatsDeterministic(t *testing.T) {
+	run := func() supervise.Stats {
+		sup := supervise.New(supervise.Config{
+			CellOpBudget: 40,
+			Faults:       &supervise.FaultPlan{Seed: 77, PanicPerMille: 300, StallPerMille: 300, PoisonPerMille: 300},
+		})
+		return commitParity(t, 4, 4, sup)
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("supervisor stats diverge across identical runs:\n%+v\n%+v", a, b)
+	}
+	if a.Panics+a.Stalls+a.Poisons == 0 {
+		t.Fatalf("mixed schedule injected nothing: %+v", a)
+	}
+}

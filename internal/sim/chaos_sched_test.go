@@ -1,0 +1,111 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/supervise"
+)
+
+// TestChaosSchedulerFaultsShardedMatchesSequential is the
+// scheduler-internal fault leg of the chaos harness: 4 seeds x 3 fault
+// schedules (panic-heavy, stall-heavy, poison-heavy) x Shards in {2,4},
+// every sharded run under injected worker failures required to produce a
+// fingerprint bit-identical to the plain sequential run. This is the
+// tentpole guarantee of the supervised runtime — panics poison cells,
+// stalls abandon them, poisons fail the checksum, and every one of those
+// paths degrades to the ordered sequential replay, never to different
+// bits. `make chaos` runs it under the race detector.
+func TestChaosSchedulerFaultsShardedMatchesSequential(t *testing.T) {
+	schedules := []struct {
+		name string
+		plan supervise.FaultPlan
+		cfg  supervise.Config
+	}{
+		{"panic-heavy", supervise.FaultPlan{PanicPerMille: 500}, supervise.Config{}},
+		// The stall schedule also tightens the op budget so injected
+		// stalls and genuine budget exhaustion both fire.
+		{"stall-heavy", supervise.FaultPlan{StallPerMille: 400}, supervise.Config{CellOpBudget: 64}},
+		{"poison-heavy", supervise.FaultPlan{PoisonPerMille: 600}, supervise.Config{}},
+	}
+	for _, sp := range schedules {
+		sp := sp
+		t.Run(sp.name, func(t *testing.T) {
+			var injected int
+			for _, seed := range []int64{1, 2, 3, 4} {
+				jobs := chaosJobs(t, 2, seed)
+				run := func(shards int) (*Result, supervise.Stats) {
+					var sup *supervise.Supervisor
+					sched := &core.HitScheduler{Shards: shards}
+					if shards > 0 {
+						cfg := sp.cfg
+						plan := sp.plan
+						plan.Seed = uint64(seed)
+						cfg.Faults = &plan
+						sup = supervise.New(cfg)
+						sched.Supervisor = sup
+					}
+					eng, err := New(chaosTopo(t), cluster.Resources{CPU: 4, Memory: 8192}, sched, Options{Seed: seed})
+					if err != nil {
+						t.Fatal(err)
+					}
+					res, err := eng.Run(jobs)
+					if err != nil {
+						t.Fatalf("seed %d shards %d: %v", seed, shards, err)
+					}
+					var st supervise.Stats
+					if sup != nil {
+						st = sup.Stats()
+					}
+					return res, st
+				}
+				sequential, _ := run(0)
+				for _, shards := range []int{2, 4} {
+					sharded, st := run(shards)
+					if !reflect.DeepEqual(resultFingerprint(sequential), resultFingerprint(sharded)) {
+						t.Errorf("seed %d shards %d: fingerprint diverges from sequential under %s faults",
+							seed, shards, sp.name)
+					}
+					injected += st.Panics + st.Stalls + st.Poisons
+					if st.TotalReplays()+st.Adopted == 0 {
+						t.Errorf("seed %d shards %d: supervisor saw no commits", seed, shards)
+					}
+				}
+			}
+			if injected == 0 {
+				t.Errorf("%s schedule injected no faults across all seeds; rates too low to test anything", sp.name)
+			}
+		})
+	}
+}
+
+// TestChaosSupervisorSharedAcrossWaves drives one shared supervisor
+// through a whole mixed-fault run at both shard counts and pins the stats
+// determinism end to end: same seed, same schedule, same counters.
+func TestChaosSupervisorSharedAcrossWaves(t *testing.T) {
+	jobs := chaosJobs(t, 3, 6)
+	run := func() supervise.Stats {
+		sup := supervise.New(supervise.Config{
+			CellOpBudget: 512,
+			Faults:       &supervise.FaultPlan{Seed: 6, PanicPerMille: 250, StallPerMille: 250, PoisonPerMille: 250},
+		})
+		eng, err := New(chaosTopo(t), cluster.Resources{CPU: 4, Memory: 8192},
+			&core.HitScheduler{Shards: 4, Supervisor: sup}, Options{Seed: 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.Run(jobs); err != nil {
+			t.Fatal(err)
+		}
+		return sup.Stats()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("shared-supervisor stats diverge across identical runs:\n%+v\n%+v", a, b)
+	}
+	if a.Panics+a.Stalls+a.Poisons == 0 {
+		t.Fatal("mixed schedule injected nothing across a full run")
+	}
+}

@@ -1,0 +1,312 @@
+package sim
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/flow"
+	"repro/internal/supervise"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// Checkpoint/restore serializes the joint scheduling loop's run state at a
+// wave boundary so an interrupted run can resume and produce byte-identical
+// output. The boundary is chosen deliberately: at the end of a wave body
+// every flow policy of the wave has already been recorded and uninstalled,
+// so the controller carries no installed state — the whole run reduces to
+// placements, per-job progress, recorded flows, and the RNG stream
+// position. Everything else (wave timelines, the shuffle simulation, all
+// aggregate metrics) is recomputed deterministically from those inputs.
+//
+// Determinism argument: the only stateful inputs a later wave reads are
+// (a) the cluster's placements and container set, restored exactly, by
+// ascending container ID so the sequential NewContainer IDs and the
+// order-independent Place accounting reproduce bit-identically; (b) the
+// shared RNG, restored by replaying the recorded number of source draws
+// (supervise.CountingSource.FastForward) — the generator is a pure
+// function of seed and draw count; and (c) nextFlowID, stored directly.
+// A configuration digest over every run input guards against resuming
+// into a different world (ErrCheckpointMismatch).
+
+// Sentinel errors of the checkpoint path, errors.Is-able through the
+// wrapping applied by RunWithArrivals and cmd/hitsim.
+var (
+	// ErrHalted marks a run deliberately stopped by Options.HaltAfterWave
+	// after writing its boundary checkpoint; it is an orderly exit, not a
+	// failure.
+	ErrHalted = errors.New("sim: run halted at wave boundary")
+	// ErrCheckpointMismatch marks a resume whose checkpoint was taken
+	// under a different configuration (scheduler, topology, seed,
+	// workload, arrivals) than the resuming engine's.
+	ErrCheckpointMismatch = errors.New("sim: checkpoint does not match run configuration")
+)
+
+// checkpointVersion gates the gob wire format.
+const checkpointVersion = 1
+
+// ContainerCK records one container: its sequential ID and the server it
+// is placed on (topology.None when currently unplaced).
+type ContainerCK struct {
+	ID     cluster.ContainerID
+	Server topology.NodeID
+}
+
+// FlowCK records one scheduled shuffle flow plus its frozen route metrics
+// (the policy itself was uninstalled at the wave boundary; the metrics are
+// what the rest of the run consumes).
+type FlowCK struct {
+	ID                    flow.ID
+	MapIndex, ReduceIndex int
+	Src, Dst              cluster.ContainerID
+	SizeGB, Rate          float64
+	Route                 []topology.NodeID
+	Hops                  int
+	Cost, Delay, LatT     float64
+}
+
+// JobCheckpoint is one job's scheduling progress.
+type JobCheckpoint struct {
+	NextMap   int
+	NumWaves  int
+	ReduceCts []ContainerCK
+	// MapCts has one entry per map task; Server is topology.None for maps
+	// whose containers have been released, and ID is cluster.NoContainer
+	// for maps not yet created.
+	MapCts    []ContainerCK
+	MapWaveOf []int
+	// PrevWave lists the container IDs of the job's most recent map wave
+	// (still placed at the boundary; the next wave releases them).
+	PrevWave []cluster.ContainerID
+	Flows    []FlowCK
+}
+
+// Checkpoint is the joint-loop run state at one wave boundary.
+type Checkpoint struct {
+	Version int
+	// Digest fingerprints every run input (scheduler, topology, options,
+	// workload, arrivals); Restore refuses a mismatch.
+	Digest uint64
+	// Wave is the just-completed wave index; the resumed loop starts at
+	// Wave+1.
+	Wave       int
+	NextFlowID flow.ID
+	// RNGDraws is the number of source-level draws consumed so far; resume
+	// fast-forwards a fresh seeded source by exactly this count.
+	RNGDraws uint64
+	// Supervisor optionally carries the scheduler-side resilience state
+	// (degradation ladder, reason counters) so a resumed sharded run
+	// continues the same hysteresis trajectory. The engine itself does not
+	// read it — cmd/hitsim attaches and restores it.
+	Supervisor *supervise.State
+	Jobs       []JobCheckpoint
+}
+
+// Save gob-encodes the checkpoint.
+func (c *Checkpoint) Save(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(c)
+}
+
+// LoadCheckpoint decodes a checkpoint written by Save.
+func LoadCheckpoint(r io.Reader) (*Checkpoint, error) {
+	var c Checkpoint
+	if err := gob.NewDecoder(r).Decode(&c); err != nil {
+		return nil, fmt.Errorf("sim: decoding checkpoint: %w", err)
+	}
+	if c.Version != checkpointVersion {
+		return nil, fmt.Errorf("sim: checkpoint version %d, want %d: %w", c.Version, checkpointVersion, ErrCheckpointMismatch)
+	}
+	return &c, nil
+}
+
+// configDigest fingerprints every input that shapes the run: if any of
+// them differs between checkpoint and resume, the resumed trajectory would
+// silently diverge, so Restore fails instead.
+func (e *Engine) configDigest(jobs []*workload.Job, arrivals []float64) uint64 {
+	var d supervise.Digest
+	d.Str(e.sched.Name())
+	d.Str(e.topo.Name())
+	d.Int(int64(e.topo.NumServers()))
+	d.Int(int64(e.topo.NumSwitches()))
+	d.Int(e.opts.Seed)
+	d.Int(int64(e.opts.ContainerDemand.CPU))
+	d.Int(int64(e.opts.ContainerDemand.Memory))
+	d.Float(e.opts.MapFetchBandwidth)
+	d.Float(e.opts.StragglerProb)
+	d.Float(e.opts.StragglerFactor)
+	d.Bool(e.opts.Speculation)
+	d.Int(int64(len(jobs)))
+	for _, j := range jobs {
+		d.Int(int64(j.ID))
+		d.Str(j.Benchmark)
+		d.Int(int64(j.Class))
+		d.Float(j.InputGB)
+		d.Float(j.RemoteMapGB)
+		d.Int(int64(j.NumMaps))
+		d.Int(int64(j.NumReduces))
+		for _, row := range j.Shuffle {
+			for _, v := range row {
+				d.Float(v)
+			}
+		}
+		for _, v := range j.MapComputeSec {
+			d.Float(v)
+		}
+		for _, v := range j.ReduceComputeSec {
+			d.Float(v)
+		}
+	}
+	for _, a := range arrivals {
+		d.Float(a)
+	}
+	return d.Sum64()
+}
+
+// checkpointable rejects run modes the checkpoint format does not cover:
+// fault injection re-randomizes at boundaries the checkpoint cannot see,
+// HDFS mode carries NameNode block state outside the engine, and a reused
+// engine starts from a non-pristine RNG/cluster.
+func (e *Engine) checkpointable() error {
+	switch {
+	case !e.opts.Faults.Empty():
+		return fmt.Errorf("sim: checkpoint/restore is incompatible with fault injection")
+	case e.opts.NameNode != nil:
+		return fmt.Errorf("sim: checkpoint/restore is incompatible with HDFS mode")
+	case e.runSeq != 1:
+		return fmt.Errorf("sim: checkpoint/restore requires a fresh engine (run %d)", e.runSeq)
+	}
+	return nil
+}
+
+// checkpoint captures the run state at the end of wave's body.
+func (e *Engine) checkpoint(states []*jobState, jobs []*workload.Job, arrivals []float64, wave int, nextFlowID flow.ID) *Checkpoint {
+	ck := &Checkpoint{
+		Version:    checkpointVersion,
+		Digest:     e.configDigest(jobs, arrivals),
+		Wave:       wave,
+		NextFlowID: nextFlowID,
+		RNGDraws:   e.rngSrc.Draws(),
+	}
+	for _, st := range states {
+		jc := JobCheckpoint{
+			NextMap:   st.nextMap,
+			NumWaves:  st.numWaves,
+			MapWaveOf: append([]int(nil), st.mapWaveOf...),
+			PrevWave:  append([]cluster.ContainerID(nil), st.prevWave...),
+		}
+		for _, c := range st.reduceCts {
+			jc.ReduceCts = append(jc.ReduceCts, ContainerCK{ID: c, Server: e.cl.Container(c).Server()})
+		}
+		for _, c := range st.mapCts {
+			mk := ContainerCK{ID: c, Server: topology.None}
+			if c != cluster.NoContainer {
+				mk.Server = e.cl.Container(c).Server()
+			}
+			jc.MapCts = append(jc.MapCts, mk)
+		}
+		for _, fr := range st.flows {
+			jc.Flows = append(jc.Flows, FlowCK{
+				ID: fr.flow.ID, MapIndex: fr.flow.MapIndex, ReduceIndex: fr.flow.ReduceIndex,
+				Src: fr.flow.Src, Dst: fr.flow.Dst,
+				SizeGB: fr.flow.SizeGB, Rate: fr.flow.Rate,
+				Route: append([]topology.NodeID(nil), fr.route...),
+				Hops:  fr.hops, Cost: fr.cost, Delay: fr.delay, LatT: fr.latT,
+			})
+		}
+		ck.Jobs = append(ck.Jobs, jc)
+	}
+	return ck
+}
+
+// restore rebuilds the joint-loop state from a checkpoint on a fresh
+// engine: containers are recreated in ascending ID order (reproducing the
+// sequential NewContainer IDs), placed ones are re-placed, per-job
+// progress and flow records are reinstated, and the RNG source is
+// fast-forwarded to the recorded draw count. Returns the state slice,
+// next flow ID, and the wave index the loop should continue from.
+func (e *Engine) restore(ck *Checkpoint, jobs []*workload.Job, arrivals []float64) ([]*jobState, flow.ID, int, error) {
+	if ck.Version != checkpointVersion {
+		return nil, 0, 0, fmt.Errorf("sim: checkpoint version %d, want %d: %w", ck.Version, checkpointVersion, ErrCheckpointMismatch)
+	}
+	if got := e.configDigest(jobs, arrivals); got != ck.Digest {
+		return nil, 0, 0, fmt.Errorf("sim: config digest %#x, checkpoint has %#x: %w", got, ck.Digest, ErrCheckpointMismatch)
+	}
+	if len(ck.Jobs) != len(jobs) {
+		return nil, 0, 0, fmt.Errorf("sim: checkpoint has %d jobs, run has %d: %w", len(ck.Jobs), len(jobs), ErrCheckpointMismatch)
+	}
+
+	// Recreate every recorded container in ascending ID order so the
+	// sequential NewContainer counter reproduces each recorded ID exactly;
+	// a gap or duplicate means the checkpoint is corrupt.
+	var all []ContainerCK
+	for i := range ck.Jobs {
+		jc := &ck.Jobs[i]
+		if len(jc.MapCts) != jobs[i].NumMaps || len(jc.MapWaveOf) != jobs[i].NumMaps || len(jc.ReduceCts) != jobs[i].NumReduces {
+			return nil, 0, 0, fmt.Errorf("sim: checkpoint job %d shape does not match workload: %w", i, ErrCheckpointMismatch)
+		}
+		all = append(all, jc.ReduceCts...)
+		for _, mk := range jc.MapCts {
+			if mk.ID != cluster.NoContainer {
+				all = append(all, mk)
+			}
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].ID < all[j].ID })
+	demand := e.opts.ContainerDemand
+	for _, rec := range all {
+		ct, err := e.cl.NewContainer(demand)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		if ct.ID != rec.ID {
+			return nil, 0, 0, fmt.Errorf("sim: restored container ID %d, checkpoint recorded %d: %w", ct.ID, rec.ID, ErrCheckpointMismatch)
+		}
+		if rec.Server != topology.None {
+			if err := e.cl.Place(rec.ID, rec.Server); err != nil {
+				return nil, 0, 0, err
+			}
+		}
+	}
+
+	states := make([]*jobState, len(jobs))
+	for i, job := range jobs {
+		jc := &ck.Jobs[i]
+		st := &jobState{
+			job:       job,
+			arrival:   arrivals[i],
+			nextMap:   jc.NextMap,
+			numWaves:  jc.NumWaves,
+			mapWaveOf: append([]int(nil), jc.MapWaveOf...),
+			prevWave:  append([]cluster.ContainerID(nil), jc.PrevWave...),
+			mapCts:    make([]cluster.ContainerID, job.NumMaps),
+		}
+		for m, mk := range jc.MapCts {
+			st.mapCts[m] = mk.ID
+		}
+		for _, c := range jc.ReduceCts {
+			st.reduceCts = append(st.reduceCts, c.ID)
+		}
+		for _, fc := range jc.Flows {
+			fl := &flow.Flow{
+				ID: fc.ID, JobID: job.ID, MapIndex: fc.MapIndex, ReduceIndex: fc.ReduceIndex,
+				Src: fc.Src, Dst: fc.Dst, SizeGB: fc.SizeGB, Rate: fc.Rate,
+			}
+			st.flows = append(st.flows, &flowRecord{
+				flow: fl, job: job,
+				route: append([]topology.NodeID(nil), fc.Route...),
+				hops:  fc.Hops, cost: fc.Cost, delay: fc.Delay, latT: fc.LatT,
+			})
+		}
+		states[i] = st
+	}
+	if e.rngSrc.Draws() > ck.RNGDraws {
+		return nil, 0, 0, fmt.Errorf("sim: RNG already past checkpoint position (%d > %d): %w",
+			e.rngSrc.Draws(), ck.RNGDraws, ErrCheckpointMismatch)
+	}
+	e.rngSrc.FastForward(ck.RNGDraws)
+	return states, ck.NextFlowID, ck.Wave + 1, nil
+}

@@ -1,0 +1,186 @@
+package sim
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/workload"
+)
+
+// ckTopo/ckJobs shape a run that needs several map waves: one CPU per
+// server makes slots scarce, so each job's maps spread across waves and
+// every wave boundary is a real checkpoint site.
+func ckRes() cluster.Resources { return cluster.Resources{CPU: 1, Memory: 2048} }
+
+func ckJobs(t *testing.T, seed int64) []*workload.Job {
+	t.Helper()
+	return chaosJobs(t, 3, seed)
+}
+
+// runUninterrupted executes the full run, capturing every boundary
+// checkpoint along the way.
+func runUninterrupted(t *testing.T, seed int64, jobs []*workload.Job) (*Result, []*Checkpoint) {
+	t.Helper()
+	var cks []*Checkpoint
+	eng, err := New(chaosTopo(t), ckRes(), &core.HitScheduler{}, Options{
+		Seed:           seed,
+		CheckpointSink: func(c *Checkpoint) error { cks = append(cks, c); return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, cks
+}
+
+// TestCheckpointResumeBitIdentical is the core restore guarantee: a run
+// killed at ANY wave boundary and resumed from that boundary's checkpoint
+// produces a result fingerprint bit-identical to the uninterrupted run.
+func TestCheckpointResumeBitIdentical(t *testing.T) {
+	for _, seed := range []int64{1, 5} {
+		jobs := ckJobs(t, seed)
+		want, cks := runUninterrupted(t, seed, jobs)
+		if len(cks) < 2 {
+			t.Fatalf("seed %d: only %d wave boundaries; workload too small to exercise restore", seed, len(cks))
+		}
+		for halt := 1; halt <= len(cks); halt++ {
+			// Halted leg: run to the boundary and stop with ErrHalted.
+			var last *Checkpoint
+			eng, err := New(chaosTopo(t), ckRes(), &core.HitScheduler{}, Options{
+				Seed:           seed,
+				CheckpointSink: func(c *Checkpoint) error { last = c; return nil },
+				HaltAfterWave:  halt,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := eng.Run(jobs); !errors.Is(err, ErrHalted) {
+				t.Fatalf("seed %d halt %d: want ErrHalted, got %v", seed, halt, err)
+			}
+			if last == nil || last.Wave != halt-1 {
+				t.Fatalf("seed %d halt %d: final checkpoint %+v", seed, halt, last)
+			}
+
+			// Resumed leg: fresh engine, continue from the checkpoint.
+			resumed, err := New(chaosTopo(t), ckRes(), &core.HitScheduler{}, Options{
+				Seed:   seed,
+				Resume: last,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := resumed.Run(jobs)
+			if err != nil {
+				t.Fatalf("seed %d halt %d: resumed run: %v", seed, halt, err)
+			}
+			if !reflect.DeepEqual(resultFingerprint(want), resultFingerprint(got)) {
+				t.Errorf("seed %d: resume from wave %d diverges from uninterrupted run", seed, halt-1)
+			}
+		}
+	}
+}
+
+// TestCheckpointSaveLoadRoundTrip pins the gob wire format: a checkpoint
+// survives encode/decode unchanged, and the decoded copy still resumes to
+// the identical result.
+func TestCheckpointSaveLoadRoundTrip(t *testing.T) {
+	jobs := ckJobs(t, 2)
+	want, cks := runUninterrupted(t, 2, jobs)
+	ck := cks[0]
+	var buf bytes.Buffer
+	if err := ck.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ck, loaded) {
+		t.Fatalf("checkpoint changed across encode/decode:\n%+v\n%+v", ck, loaded)
+	}
+	eng, err := New(chaosTopo(t), ckRes(), &core.HitScheduler{}, Options{Seed: 2, Resume: loaded})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := eng.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(resultFingerprint(want), resultFingerprint(got)) {
+		t.Error("resume from decoded checkpoint diverges")
+	}
+}
+
+// TestCheckpointMismatchRejected: resuming under ANY changed input —
+// different seed, different workload — fails with ErrCheckpointMismatch
+// instead of silently diverging.
+func TestCheckpointMismatchRejected(t *testing.T) {
+	jobs := ckJobs(t, 3)
+	_, cks := runUninterrupted(t, 3, jobs)
+	ck := cks[0]
+
+	otherSeed, err := New(chaosTopo(t), ckRes(), &core.HitScheduler{}, Options{Seed: 4, Resume: ck})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := otherSeed.Run(jobs); !errors.Is(err, ErrCheckpointMismatch) {
+		t.Errorf("changed seed: want ErrCheckpointMismatch, got %v", err)
+	}
+
+	otherJobs, err := New(chaosTopo(t), ckRes(), &core.HitScheduler{}, Options{Seed: 3, Resume: ck})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := otherJobs.Run(ckJobs(t, 9)); !errors.Is(err, ErrCheckpointMismatch) {
+		t.Errorf("changed workload: want ErrCheckpointMismatch, got %v", err)
+	}
+
+	badVersion := *ck
+	badVersion.Version = 99
+	vEng, err := New(chaosTopo(t), ckRes(), &core.HitScheduler{}, Options{Seed: 3, Resume: &badVersion})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vEng.Run(jobs); !errors.Is(err, ErrCheckpointMismatch) {
+		t.Errorf("bad version: want ErrCheckpointMismatch, got %v", err)
+	}
+}
+
+// TestCheckpointRefusesUncoveredModes: fault injection and engine reuse
+// carry state the checkpoint format does not capture, so enabling
+// checkpointing there must error out rather than write resumable lies.
+func TestCheckpointRefusesUncoveredModes(t *testing.T) {
+	jobs := ckJobs(t, 1)
+	sink := func(*Checkpoint) error { return nil }
+
+	faulty, err := New(chaosTopo(t), ckRes(), &core.HitScheduler{}, Options{
+		Seed:           1,
+		Faults:         &faults.Plan{Tasks: faults.TaskModel{FailureProb: 0.1, Seed: 1}},
+		CheckpointSink: sink,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := faulty.Run(jobs); err == nil {
+		t.Error("checkpointing a fault-injected run did not error")
+	}
+
+	reused, err := New(chaosTopo(t), ckRes(), &core.HitScheduler{}, Options{Seed: 1, CheckpointSink: sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reused.Run(jobs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reused.Run(jobs); err == nil {
+		t.Error("checkpointing a reused engine did not error")
+	}
+}

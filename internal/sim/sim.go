@@ -32,6 +32,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/scheduler"
+	"repro/internal/supervise"
 	"repro/internal/topology"
 	"repro/internal/workload"
 )
@@ -67,6 +68,22 @@ type Options struct {
 	// the Result carries a RunReport. An empty plan leaves the legacy
 	// fault-free path — and its exact RNG draw sequence — untouched.
 	Faults *faults.Plan
+	// CheckpointSink, when non-nil, receives the joint-loop run state at
+	// every wave boundary (checkpoint.go). Checkpointing is restricted to
+	// fault-free, non-HDFS runs on a fresh engine — the only modes whose
+	// full state the format captures.
+	CheckpointSink func(*Checkpoint) error
+	// Resume, when non-nil, restores the run from a wave-boundary
+	// checkpoint instead of starting at round 0; the resumed run's output
+	// is bit-identical to the uninterrupted run. Fails with
+	// ErrCheckpointMismatch when the checkpoint was taken under a
+	// different configuration.
+	Resume *Checkpoint
+	// HaltAfterWave, when positive, stops the run after that many map
+	// waves (immediately after the boundary checkpoint is written) with an
+	// error wrapping ErrHalted — the orderly kill half of a
+	// checkpoint/resume pair.
+	HaltAfterWave int
 }
 
 func (o Options) withDefaults() Options {
@@ -91,6 +108,7 @@ type Engine struct {
 	sched  scheduler.Scheduler
 	opts   Options
 	rng    *rand.Rand
+	rngSrc *supervise.CountingSource
 	runSeq int
 }
 
@@ -108,14 +126,19 @@ func New(topo *topology.Topology, serverRes cluster.Resources, sched scheduler.S
 		return nil, err
 	}
 	ctl := controller.New(topo)
+	// The counting wrapper is value-stream-transparent (see supervise's
+	// stream-identity test); it exists so checkpoints can record — and
+	// resumes replay — the exact RNG position.
+	src := supervise.NewCountingSource(opts.Seed)
 	return &Engine{
-		topo:  topo,
-		cl:    cl,
-		ctl:   ctl,
-		net:   netsim.NewNetwork(ctl.Oracle()),
-		sched: sched,
-		opts:  opts,
-		rng:   rand.New(rand.NewSource(opts.Seed)),
+		topo:   topo,
+		cl:     cl,
+		ctl:    ctl,
+		net:    netsim.NewNetwork(ctl.Oracle()),
+		sched:  sched,
+		opts:   opts,
+		rng:    rand.New(src),
+		rngSrc: src,
 	}, nil
 }
 
@@ -135,6 +158,24 @@ type flowRecord struct {
 	delay     float64 // size x route latency, GB·T
 	latT      float64 // route latency in T
 	startHint float64
+}
+
+// jobState is one job's progress through the wave loop. It lives at
+// package scope (rather than inside RunWithArrivals) so checkpoint.go can
+// serialize and rebuild it at wave boundaries.
+type jobState struct {
+	job       *workload.Job
+	arrival   float64
+	reduceCts []cluster.ContainerID
+	mapCts    []cluster.ContainerID // index by map task
+	mapWaveOf []int
+	waveEnd   []float64 // map wave end times
+	numWaves  int
+	nextMap   int
+	prevWave  []cluster.ContainerID // containers of the previous map wave
+	flows     []*flowRecord
+	file      *hdfs.File // input blocks when HDFS is enabled
+	mapFetch  []float64  // per-map remote-read bytes (HDFS mode)
 }
 
 // JobStats aggregates one job's outcome.
@@ -233,59 +274,59 @@ func (e *Engine) RunWithArrivals(jobs []*workload.Job, arrivals []float64) (*Res
 			return nil, err
 		}
 	}
+	ckActive := e.opts.CheckpointSink != nil || e.opts.Resume != nil || e.opts.HaltAfterWave > 0
+	if ckActive {
+		if err := e.checkpointable(); err != nil {
+			return nil, err
+		}
+	}
 	if !e.opts.Faults.Empty() {
 		return e.runFaulty(res, jobs, arrivals)
-	}
-
-	type jobState struct {
-		job       *workload.Job
-		arrival   float64
-		reduceCts []cluster.ContainerID
-		mapCts    []cluster.ContainerID // index by map task
-		mapWaveOf []int
-		waveEnd   []float64 // map wave end times
-		numWaves  int
-		nextMap   int
-		prevWave  []cluster.ContainerID // containers of the previous map wave
-		flows     []*flowRecord
-		file      *hdfs.File // input blocks when HDFS is enabled
-		mapFetch  []float64  // per-map remote-read bytes (HDFS mode)
 	}
 
 	states := make([]*jobState, len(jobs))
 	nextFlowID := flow.ID(0)
 	demand := e.opts.ContainerDemand
+	wave := 0
 
-	// Round 0: place all reduces plus the first map wave of every job.
-	for i, job := range jobs {
-		st := &jobState{
-			job:       job,
-			arrival:   arrivals[i],
-			mapCts:    make([]cluster.ContainerID, job.NumMaps),
-			mapWaveOf: make([]int, job.NumMaps),
+	if ck := e.opts.Resume; ck != nil {
+		var err error
+		states, nextFlowID, wave, err = e.restore(ck, jobs, arrivals)
+		if err != nil {
+			return nil, err
 		}
-		for m := range st.mapCts {
-			st.mapCts[m] = cluster.NoContainer
-		}
-		if e.opts.NameNode != nil {
-			blockGB := job.InputGB / float64(job.NumMaps)
-			name := fmt.Sprintf("run%d-job%d-input", e.runSeq, job.ID)
-			file, err := e.opts.NameNode.Create(name, job.InputGB, blockGB)
-			if err != nil {
-				return nil, err
+	} else {
+		// Round 0: place all reduces plus the first map wave of every job.
+		for i, job := range jobs {
+			st := &jobState{
+				job:       job,
+				arrival:   arrivals[i],
+				mapCts:    make([]cluster.ContainerID, job.NumMaps),
+				mapWaveOf: make([]int, job.NumMaps),
 			}
-			st.file = file
-			st.mapFetch = make([]float64, job.NumMaps)
-		}
-		states[i] = st
+			for m := range st.mapCts {
+				st.mapCts[m] = cluster.NoContainer
+			}
+			if e.opts.NameNode != nil {
+				blockGB := job.InputGB / float64(job.NumMaps)
+				name := fmt.Sprintf("run%d-job%d-input", e.runSeq, job.ID)
+				file, err := e.opts.NameNode.Create(name, job.InputGB, blockGB)
+				if err != nil {
+					return nil, err
+				}
+				st.file = file
+				st.mapFetch = make([]float64, job.NumMaps)
+			}
+			states[i] = st
 
-		// Reduce containers.
-		for r := 0; r < job.NumReduces; r++ {
-			ct, err := e.cl.NewContainer(demand)
-			if err != nil {
-				return nil, err
+			// Reduce containers.
+			for r := 0; r < job.NumReduces; r++ {
+				ct, err := e.cl.NewContainer(demand)
+				if err != nil {
+					return nil, err
+				}
+				st.reduceCts = append(st.reduceCts, ct.ID)
 			}
-			st.reduceCts = append(st.reduceCts, ct.ID)
 		}
 	}
 
@@ -293,7 +334,6 @@ func (e *Engine) RunWithArrivals(jobs []*workload.Job, arrivals []float64) (*Res
 	// request with the reduces) until all maps are placed. Slots are divided
 	// fairly among the jobs still holding maps, as YARN's schedulers grant
 	// containers across queues, so an early job cannot starve later ones.
-	wave := 0
 	for {
 		// Release every job's previous map wave first; those tasks finish
 		// before this wave starts.
@@ -456,6 +496,18 @@ func (e *Engine) RunWithArrivals(jobs []*workload.Job, arrivals []float64) (*Res
 		}
 		if !anyWork {
 			break
+		}
+		// Wave boundary: every policy of the wave is recorded and
+		// uninstalled, so the run state is exactly what checkpoint.go
+		// serializes. Write the checkpoint first, then honor a halt — the
+		// halted run's final checkpoint is the resume point.
+		if e.opts.CheckpointSink != nil {
+			if err := e.opts.CheckpointSink(e.checkpoint(states, jobs, arrivals, wave, nextFlowID)); err != nil {
+				return nil, fmt.Errorf("sim: checkpoint sink at wave %d: %w", wave, err)
+			}
+		}
+		if e.opts.HaltAfterWave > 0 && wave+1 >= e.opts.HaltAfterWave {
+			return nil, fmt.Errorf("sim: halt requested after wave %d: %w", wave, ErrHalted)
 		}
 		wave++
 		if wave > 10000 {

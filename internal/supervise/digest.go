@@ -1,0 +1,67 @@
+package supervise
+
+import "math"
+
+// Digest is a tiny FNV-1a 64 accumulator for integrity checksums: the
+// multisched arbiter sums every proposal's payload at solve time and
+// verifies it at commit time, so a corrupted proposal (bit-rot, an
+// injected poison, a worker bug) is detected and replayed instead of
+// adopted. The sim checkpoint uses the same digest to fingerprint the run
+// configuration. Not cryptographic — it guards against accidents, not
+// adversaries.
+type Digest struct {
+	h       uint64
+	started bool
+}
+
+const (
+	fnvOffset = 0xcbf29ce484222325
+	fnvPrime  = 0x100000001b3
+)
+
+func (d *Digest) byte8(v uint64) {
+	if !d.started {
+		d.h = fnvOffset
+		d.started = true
+	}
+	for i := 0; i < 8; i++ {
+		d.h ^= v & 0xff
+		d.h *= fnvPrime
+		v >>= 8
+	}
+}
+
+// Int mixes a signed integer.
+func (d *Digest) Int(v int64) { d.byte8(uint64(v)) }
+
+// Uint mixes an unsigned integer.
+func (d *Digest) Uint(v uint64) { d.byte8(v) }
+
+// Float mixes a float's exact bits.
+func (d *Digest) Float(f float64) { d.byte8(math.Float64bits(f)) }
+
+// Bool mixes a boolean.
+func (d *Digest) Bool(b bool) {
+	if b {
+		d.byte8(1)
+	} else {
+		d.byte8(0)
+	}
+}
+
+// Str mixes a string's length and bytes.
+func (d *Digest) Str(s string) {
+	d.byte8(uint64(len(s)))
+	for i := 0; i < len(s); i++ {
+		d.h ^= uint64(s[i])
+		d.h *= fnvPrime
+	}
+}
+
+// Sum64 returns the accumulated checksum.
+func (d *Digest) Sum64() uint64 {
+	if !d.started {
+		return fnvOffset
+	}
+	return d.h
+}

@@ -1,0 +1,71 @@
+package supervise
+
+// FaultPlan injects deterministic scheduler-internal faults for the chaos
+// harness: worker panics, worker stalls (budget exhaustion), and poisoned
+// proposals (payload corruption the checksum must catch).
+//
+// Every draw hashes stable coordinates — the fan-out phase sequence and
+// the cell or flow index — through splitmix64, so whether a fault fires
+// depends only on the plan and the deterministic presolve structure,
+// never on which goroutine claims which cell first. The same plan against
+// the same workload injects the same faults on every run, at any shard
+// count, which is what lets the chaos tests demand Float64bits-identical
+// output under injection.
+//
+// Rates are per-mille integers (0..1000) to keep the draws integral.
+type FaultPlan struct {
+	// Seed namespaces every draw.
+	Seed uint64
+	// PanicPerMille is the chance a cell's worker panics before solving.
+	PanicPerMille int
+	// StallPerMille is the chance a cell's budget is exhausted up front,
+	// abandoning the whole cell to sequential replay.
+	StallPerMille int
+	// PoisonPerMille is the chance a solved proposal's payload is
+	// corrupted after its checksum was computed.
+	PoisonPerMille int
+}
+
+// Draw salts keep the three fault families independent.
+const (
+	saltPanic  = 0x70616e6963 // "panic"
+	saltStall  = 0x7374616c6c // "stall"
+	saltPoison = 0x706f69736e // "poisn"
+)
+
+func (p *FaultPlan) draw(salt, phase, key uint64, perMille int) bool {
+	if perMille <= 0 {
+		return false
+	}
+	h := splitmix64(p.Seed ^ salt)
+	h = splitmix64(h ^ phase)
+	h = splitmix64(h ^ key)
+	return h%1000 < uint64(perMille)
+}
+
+// PanicCell reports whether the worker of cell c in fan-out phase should
+// panic.
+func (p *FaultPlan) PanicCell(phase uint64, c int) bool {
+	return p != nil && p.draw(saltPanic, phase, uint64(c), p.PanicPerMille)
+}
+
+// StallCell reports whether cell c in fan-out phase should stall (budget
+// exhausted before any solve).
+func (p *FaultPlan) StallCell(phase uint64, c int) bool {
+	return p != nil && p.draw(saltStall, phase, uint64(c), p.StallPerMille)
+}
+
+// PoisonFlow reports whether flow index i's proposal in fan-out phase
+// should be corrupted.
+func (p *FaultPlan) PoisonFlow(phase uint64, i int) bool {
+	return p != nil && p.draw(saltPoison, phase, uint64(i), p.PoisonPerMille)
+}
+
+// splitmix64 is the standard 64-bit finalizer-style mixer (public-domain
+// constants); one call per keyed draw keeps injection order-independent.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

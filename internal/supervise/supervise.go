@@ -1,0 +1,445 @@
+// Package supervise is the deterministic resilience runtime for the
+// sharded scheduling service (internal/multisched): panic isolation,
+// operation-budget straggler handling, conflict-storm hysteresis, and the
+// serializable state that checkpoint/restore (internal/sim) carries across
+// process restarts.
+//
+// # Design constraints
+//
+// Everything here must preserve the repository's core invariant: for a
+// fixed input, HitScheduler output is Float64bits-identical across shard
+// counts, reruns, and -race. Supervision therefore never consults a wall
+// clock (the taalint `wallclock` check stands), never compares floats, and
+// never lets worker timing reach a decision:
+//
+//   - Panic isolation marks a cell poisoned; the arbiter replays the whole
+//     cell through the sequential controller path. Replay equals the
+//     sequential result by construction, so a panic degrades cost, never
+//     values.
+//   - Straggler handling is an operation-count budget (Budget), not a
+//     deadline: the abandonment point within a cell depends only on the
+//     deterministic presolve work sequence.
+//   - Conflict-storm hysteresis is driven by the arbiter's commit stream,
+//     which is the sequential flow order — the sliding window, the
+//     degradation ladder, and the seeded-jitter re-escalation backoff all
+//     advance on deterministic counters.
+//   - Fault injection (FaultPlan) hashes stable coordinates (phase, cell,
+//     flow), so an injected panic fires at the same place no matter how
+//     goroutines interleave.
+//
+// The taalint `panicpath` check closes the loop statically: decision
+// packages may not contain a naked `go` statement — goroutine fan-out must
+// flow through Supervisor.Go or internal/parallel, whose recover wrappers
+// feed this package's accounting.
+package supervise
+
+import "sync"
+
+// Reason classifies a commit outcome. ReasonNone is an adoption; every
+// other value names why the arbiter replayed the flow through the
+// sequential controller path. The names double as the degraded-mode
+// reason codes hitsim prints.
+type Reason uint8
+
+const (
+	// ReasonNone: the proposal was adopted.
+	ReasonNone Reason = iota
+	// ReasonMiss: no adoptable proposal existed — the flow was
+	// skip-hinted, its endpoints were unresolvable, or the snapshot solve
+	// failed.
+	ReasonMiss
+	// ReasonStale: commit-time validation failed — liveness or endpoints
+	// moved since the snapshot, the incumbent policy was replaced, or the
+	// fabric lost cluster-wide headroom.
+	ReasonStale
+	// ReasonPanic: the cell's worker panicked; the cell is poisoned and
+	// every one of its flows replays sequentially.
+	ReasonPanic
+	// ReasonBudget: the cell ran over its operation budget (deterministic
+	// straggler handling) and its remaining flows were abandoned.
+	ReasonBudget
+	// ReasonChecksum: the proposal failed its integrity checksum and can
+	// not be trusted.
+	ReasonChecksum
+	// ReasonStorm: presolve fan-out was suppressed by conflict-storm
+	// degradation; the flow never had a proposal.
+	ReasonStorm
+
+	numReasons
+)
+
+var reasonNames = [numReasons]string{
+	"adopted", "miss", "stale", "panic", "budget", "checksum", "storm",
+}
+
+// String returns the reason code used in stats and hitsim summaries.
+func (r Reason) String() string {
+	if int(r) < len(reasonNames) {
+		return reasonNames[r]
+	}
+	return "unknown"
+}
+
+// ReplayReasons lists every replay classification in stable order, for
+// deterministic reporting.
+func ReplayReasons() []Reason {
+	return []Reason{ReasonMiss, ReasonStale, ReasonPanic, ReasonBudget, ReasonChecksum, ReasonStorm}
+}
+
+// Stats is the supervisor's cumulative accounting. All counters are
+// deterministic for a fixed input: commit-side counters advance in
+// canonical flow order, and worker-side counters (Panics, Stalls,
+// Poisons, OverBudget) only move on deterministic injected faults or on
+// genuine bugs.
+type Stats struct {
+	// Adopted counts commits that adopted a presolved proposal.
+	Adopted int
+	// Replays counts replayed commits by Reason (index by Reason; the
+	// ReasonNone slot stays zero).
+	Replays [numReasons]int
+	// Panics counts recovered worker panics (cells poisoned).
+	Panics int
+	// Stalls counts injected worker stalls (budget exhausted up front).
+	Stalls int
+	// OverBudget counts cells abandoned by the operation budget.
+	OverBudget int
+	// Poisons counts injected proposal corruptions.
+	Poisons int
+	// Degradations and Reescalations count ladder transitions; Level is
+	// the current degradation level and Pinned reports the ladder is
+	// frozen after MaxDegradations storms.
+	Degradations  int
+	Reescalations int
+	Level         int
+	Pinned        bool
+}
+
+// TotalReplays sums the replay counters.
+func (s Stats) TotalReplays() int {
+	n := 0
+	for _, v := range s.Replays {
+		n += v
+	}
+	return n
+}
+
+// Config tunes a Supervisor. The zero value selects the defaults noted on
+// each field.
+type Config struct {
+	// CellOpBudget is the per-cell operation budget charged by presolve
+	// workers (opsPerFlow + route length per solved flow). Zero selects
+	// 1<<20 — effectively unbounded for real workloads, so stragglers are
+	// only abandoned when a budget is deliberately tightened or a stall
+	// is injected.
+	CellOpBudget int64
+	// Window is the sliding commit window for storm detection (default
+	// 64). Storm replays do not re-enter the window, so a degraded
+	// service re-escalates on the backoff schedule, not on its own echo.
+	Window int
+	// StormNum/StormDen set the replay-ratio trip threshold: the ladder
+	// degrades when windowReplays*StormDen >= Window*StormNum. Defaults
+	// 3/4 (75%). Integer arithmetic keeps the `floateq` check clean.
+	StormNum, StormDen int
+	// QuietPeriod is the base re-escalation backoff in commits (default
+	// 256); attempt k waits QuietPeriod<<(k-1) plus seeded jitter.
+	QuietPeriod int
+	// MaxDegradations pins the ladder (no further re-escalation) after
+	// this many storm trips (default 8): bounded retry.
+	MaxDegradations int
+	// JitterSeed seeds the deterministic re-escalation jitter.
+	JitterSeed uint64
+	// Faults, when non-nil, injects deterministic scheduler-internal
+	// faults (worker panics, stalls, poisoned proposals) for the chaos
+	// harness.
+	Faults *FaultPlan
+}
+
+func (c Config) withDefaults() Config {
+	if c.CellOpBudget <= 0 {
+		c.CellOpBudget = 1 << 20
+	}
+	if c.Window <= 0 {
+		c.Window = 64
+	}
+	if c.StormNum <= 0 || c.StormDen <= 0 {
+		c.StormNum, c.StormDen = 3, 4
+	}
+	if c.QuietPeriod <= 0 {
+		c.QuietPeriod = 256
+	}
+	if c.MaxDegradations <= 0 {
+		c.MaxDegradations = 8
+	}
+	return c
+}
+
+// Supervisor is the resilience runtime shared by one scheduler's sharded
+// services. It is safe for concurrent use: workers report panics, stalls
+// and poisons from their own goroutines, while the commit stream advances
+// on the scheduling goroutine. A Supervisor may be reused across Schedule
+// calls and waves — hysteresis state deliberately persists.
+type Supervisor struct {
+	cfg Config
+
+	mu          sync.Mutex
+	stats       Stats
+	ring        []bool // true = replay
+	ringI       int
+	ringFill    int
+	ringReplays int
+	commits     int
+	reprieveAt  int    // commit count that ends the current quiet period
+	phases      uint64 // fan-out sequence, namespaces fault-injection draws
+}
+
+// New returns a Supervisor with cfg's defaults applied.
+func New(cfg Config) *Supervisor {
+	cfg = cfg.withDefaults()
+	return &Supervisor{cfg: cfg, ring: make([]bool, cfg.Window)}
+}
+
+// Go launches fn on a new goroutine under a recover wrapper: a panic that
+// escapes fn is captured and counted instead of killing the process. This
+// is the blessed goroutine entry point of the `panicpath` check (together
+// with internal/parallel).
+func (s *Supervisor) Go(fn func()) {
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				s.notePanic()
+			}
+		}()
+		fn()
+	}()
+}
+
+// Isolate runs fn on the calling goroutine and converts a panic into a
+// (true, recovered value) return. Cell presolves run under Isolate so the
+// caller can poison exactly the failed cell.
+func (s *Supervisor) Isolate(fn func()) (panicked bool, val any) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicked, val = true, r
+			s.notePanic()
+		}
+	}()
+	fn()
+	return false, nil
+}
+
+func (s *Supervisor) notePanic() {
+	s.mu.Lock()
+	s.stats.Panics++
+	s.mu.Unlock()
+}
+
+// NoteStall records an injected worker stall.
+func (s *Supervisor) NoteStall() {
+	s.mu.Lock()
+	s.stats.Stalls++
+	s.mu.Unlock()
+}
+
+// NoteOverBudget records a cell abandoned by the operation budget.
+func (s *Supervisor) NoteOverBudget() {
+	s.mu.Lock()
+	s.stats.OverBudget++
+	s.mu.Unlock()
+}
+
+// NotePoison records an injected proposal corruption.
+func (s *Supervisor) NotePoison() {
+	s.mu.Lock()
+	s.stats.Poisons++
+	s.mu.Unlock()
+}
+
+// Faults returns the injected fault plan (nil when none).
+func (s *Supervisor) Faults() *FaultPlan { return s.cfg.Faults }
+
+// CellBudget returns a fresh per-cell operation budget.
+func (s *Supervisor) CellBudget() *Budget { return &Budget{left: s.cfg.CellOpBudget} }
+
+// NextPhase returns a monotonically increasing fan-out sequence number.
+// Called on the scheduling goroutine at each ProposalSet creation, it is
+// deterministic and namespaces the fault-injection draws of one fan-out.
+func (s *Supervisor) NextPhase() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.phases++
+	return s.phases
+}
+
+// Stats returns a copy of the cumulative accounting.
+func (s *Supervisor) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// EffectiveShards maps the configured shard count through the degradation
+// ladder: level L halves the fan-out L times, and a fan-out that would
+// drop to one worker (or below) while degraded disables presolve
+// entirely — zero means "run the wave sequentially", the safe path.
+func (s *Supervisor) EffectiveShards(shards int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	lvl := s.stats.Level
+	if lvl == 0 {
+		return shards
+	}
+	if lvl > 30 {
+		lvl = 30
+	}
+	eff := shards >> lvl
+	if eff < 2 {
+		return 0
+	}
+	return eff
+}
+
+// Commit records one arbiter commit outcome (ReasonNone = adopted,
+// anything else = replayed) and drives the conflict-storm hysteresis.
+// Called on the scheduling goroutine in canonical flow order, so every
+// ladder transition is deterministic.
+//
+// Storm replays bypass the sliding window: while degraded the window only
+// sees commits that actually had a proposal to judge, and a fully
+// degraded service (no proposals at all) re-escalates purely on the
+// quiet-period backoff.
+func (s *Supervisor) Commit(r Reason) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.commits++
+	if r == ReasonNone {
+		s.stats.Adopted++
+	} else {
+		s.stats.Replays[r]++
+	}
+	if r != ReasonStorm {
+		replay := r != ReasonNone
+		if s.ringFill < len(s.ring) {
+			s.ringFill++
+		} else if s.ring[s.ringI] {
+			s.ringReplays--
+		}
+		s.ring[s.ringI] = replay
+		if replay {
+			s.ringReplays++
+		}
+		s.ringI = (s.ringI + 1) % len(s.ring)
+		if s.ringFill == len(s.ring) &&
+			s.ringReplays*s.cfg.StormDen >= len(s.ring)*s.cfg.StormNum {
+			s.degradeLocked()
+		}
+	}
+	if s.stats.Level > 0 && !s.stats.Pinned && s.reprieveAt > 0 && s.commits >= s.reprieveAt {
+		s.stats.Level--
+		s.stats.Reescalations++
+		s.resetWindowLocked()
+		if s.stats.Level > 0 {
+			s.reprieveAt = s.commits + s.backoffLocked()
+		} else {
+			s.reprieveAt = 0
+		}
+	}
+}
+
+func (s *Supervisor) degradeLocked() {
+	s.stats.Level++
+	s.stats.Degradations++
+	s.resetWindowLocked()
+	if s.stats.Degradations >= s.cfg.MaxDegradations {
+		s.stats.Pinned = true
+		s.reprieveAt = 0
+		return
+	}
+	s.reprieveAt = s.commits + s.backoffLocked()
+}
+
+func (s *Supervisor) resetWindowLocked() {
+	for i := range s.ring {
+		s.ring[i] = false
+	}
+	s.ringI, s.ringFill, s.ringReplays = 0, 0, 0
+}
+
+// backoffLocked is the bounded-retry schedule: QuietPeriod doubled per
+// completed degradation, capped at 1024x, plus deterministic seeded
+// jitter in [0, QuietPeriod).
+func (s *Supervisor) backoffLocked() int {
+	k := s.stats.Degradations - 1
+	if k < 0 {
+		k = 0
+	}
+	if k > 10 {
+		k = 10
+	}
+	quiet := s.cfg.QuietPeriod << k
+	jitter := int(splitmix64(s.cfg.JitterSeed^uint64(s.stats.Degradations)) % uint64(s.cfg.QuietPeriod))
+	return quiet + jitter
+}
+
+// Budget is a worker-local operation budget: deterministic straggler
+// handling without a wall clock. Not safe for concurrent use — each cell
+// gets its own.
+type Budget struct{ left int64 }
+
+// Spend charges n operations and reports whether the budget still holds.
+func (b *Budget) Spend(n int64) bool {
+	b.left -= n
+	return b.left >= 0
+}
+
+// Exhaust drains the budget (injected stalls).
+func (b *Budget) Exhaust() { b.left = 0 }
+
+// State is the gob-serializable snapshot of a Supervisor, carried inside
+// a sim checkpoint so a resumed run reproduces the uninterrupted run's
+// stats and ladder position exactly.
+type State struct {
+	Stats       Stats
+	Ring        []bool
+	RingI       int
+	RingFill    int
+	RingReplays int
+	Commits     int
+	ReprieveAt  int
+	Phases      uint64
+}
+
+// Export snapshots the supervisor's mutable state.
+func (s *Supervisor) Export() *State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return &State{
+		Stats:       s.stats,
+		Ring:        append([]bool(nil), s.ring...),
+		RingI:       s.ringI,
+		RingFill:    s.ringFill,
+		RingReplays: s.ringReplays,
+		Commits:     s.commits,
+		ReprieveAt:  s.reprieveAt,
+		Phases:      s.phases,
+	}
+}
+
+// Restore overwrites the supervisor's mutable state from a snapshot taken
+// by Export on a supervisor with the same Config. A nil state is a no-op.
+func (s *Supervisor) Restore(st *State) {
+	if st == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats = st.Stats
+	ring := make([]bool, len(s.ring))
+	copy(ring, st.Ring)
+	s.ring = ring
+	s.ringI = st.RingI
+	s.ringFill = st.RingFill
+	s.ringReplays = st.RingReplays
+	s.commits = st.Commits
+	s.reprieveAt = st.ReprieveAt
+	s.phases = st.Phases
+}
