@@ -17,11 +17,13 @@ build:
 vet:
 	$(GO) vet ./...
 
-# lint runs the fourteen taalint checks (maporder, floateq, rngsource,
+# lint runs the seventeen taalint checks (maporder, floateq, rngsource,
 # wallclock, oraclebypass, epochbump, atomicguard, errcompare, mergeorder,
-# purity, publishfreeze, poolescape, arbitercommit, panicpath) over every
-# non-test package, fails on any unsuppressed finding, and with -prune
-# also fails on stale //taalint: suppressions.
+# purity, publishfreeze, poolescape, arbitercommit, panicpath, lockorder,
+# chandiscipline, snapshotfreeze) over every non-test package, fails on
+# any unsuppressed finding, and with -prune also fails on stale
+# //taalint: suppressions. Checks run concurrently by default; pass
+# -serial to cmd/taalint to fall back to one-at-a-time execution.
 lint:
 	$(GO) run ./cmd/taalint -prune
 

@@ -5,16 +5,23 @@
 // Usage:
 //
 //	taalint [-checks maporder,epochbump,...] [-suppressed] [-prune]
-//	        [-format text|json] [-cpuprofile file] [-list] [dir]
+//	        [-format text|json] [-lockgraph file] [-serial]
+//	        [-cpuprofile file] [-list] [dir]
 //
 // With no directory argument the module containing the current working
 // directory is scanned. -prune additionally fails on stale //taalint:
 // suppressions that no longer cover any finding. -format=json emits one
 // machine-readable document (findings with file/line/check/message/
-// suppressed records, plus stale suppressions) for the CI audit artifact.
-// -cpuprofile writes a pprof CPU profile of the scan for lint perf work.
-// `make lint` is the canonical invocation; the selfscan test in
-// internal/analysis keeps the gate even when make isn't run.
+// suppressed records, stale suppressions, plus scan wall-clock and mode)
+// for the CI audit artifact. -lockgraph writes the static
+// lock-acquisition graph the lockorder check verifies as Graphviz DOT —
+// the proven lock order, shipped as a CI artifact beside the findings.
+// Checks run concurrently by default with deterministic (check-name
+// ordered, position-sorted) output; -serial runs them one at a time for
+// timing comparisons and debugging. -cpuprofile writes a pprof CPU
+// profile of the scan for lint perf work. `make lint` is the canonical
+// invocation; the selfscan test in internal/analysis keeps the gate even
+// when make isn't run.
 //
 // Exit codes: 0 clean, 1 findings (or stale suppressions under -prune),
 // 2 usage or load error (including a nonexistent directory argument).
@@ -28,6 +35,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime/pprof"
+	"time"
 
 	"repro/internal/analysis"
 )
@@ -47,6 +55,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	prune := fs.Bool("prune", false, "fail on stale //taalint: suppressions that cover no finding")
 	list := fs.Bool("list", false, "list available checks and exit")
 	format := fs.String("format", "text", "output format: text or json")
+	lockgraph := fs.String("lockgraph", "", "write the static lock-acquisition graph (Graphviz DOT) to this file")
+	serial := fs.Bool("serial", false, "run checks one at a time instead of concurrently")
 	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile of the scan to this file")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -111,7 +121,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return fatal(stderr, err)
 	}
 
-	findings := analysis.Run(pkgs, checks)
+	if *lockgraph != "" {
+		f, err := os.Create(*lockgraph)
+		if err != nil {
+			return fatal(stderr, err)
+		}
+		if err := analysis.BuildLockGraph(pkgs).WriteDOT(f); err != nil {
+			f.Close()
+			return fatal(stderr, err)
+		}
+		if err := f.Close(); err != nil {
+			return fatal(stderr, err)
+		}
+	}
+
+	scanStart := time.Now()
+	var findings []analysis.Finding
+	if *serial {
+		findings = analysis.RunSerial(pkgs, checks)
+	} else {
+		findings = analysis.Run(pkgs, checks)
+	}
+	scanDur := time.Since(scanStart)
 	var stale []analysis.Suppression
 	if *prune {
 		stale = analysis.StaleSuppressions(pkgs, findings, checks)
@@ -137,7 +168,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *format == "json" {
-		if err := writeJSON(stdout, findings, stale); err != nil {
+		if err := writeJSON(stdout, findings, stale, scanDur, !*serial); err != nil {
 			return fatal(stderr, err)
 		}
 	} else {
@@ -187,15 +218,24 @@ type jsonStale struct {
 
 // jsonReport is the full -format=json document. Findings always include
 // suppressed records (flagged) so the audit artifact is self-contained.
+// DurationMS and Parallel record the check-execution wall clock and mode
+// so CI can chart the parallel-vs-serial speedup from the artifact.
 type jsonReport struct {
 	Findings          []jsonFinding `json:"findings"`
 	StaleSuppressions []jsonStale   `json:"stale_suppressions"`
+	DurationMS        int64         `json:"duration_ms"`
+	Parallel          bool          `json:"parallel"`
 }
 
 // writeJSON renders findings and stale suppressions as one indented JSON
 // document. Slices are always non-nil so a clean run emits [] not null.
-func writeJSON(w io.Writer, findings []analysis.Finding, stale []analysis.Suppression) error {
-	rep := jsonReport{Findings: []jsonFinding{}, StaleSuppressions: []jsonStale{}}
+func writeJSON(w io.Writer, findings []analysis.Finding, stale []analysis.Suppression, dur time.Duration, parallel bool) error {
+	rep := jsonReport{
+		Findings:          []jsonFinding{},
+		StaleSuppressions: []jsonStale{},
+		DurationMS:        dur.Milliseconds(),
+		Parallel:          parallel,
+	}
 	for _, f := range findings {
 		rep.Findings = append(rep.Findings, jsonFinding{
 			File:       f.Pos.Filename,

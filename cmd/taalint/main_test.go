@@ -6,6 +6,7 @@ import (
 	"go/token"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/analysis"
 )
@@ -17,7 +18,7 @@ func TestListExitsZero(t *testing.T) {
 		t.Fatalf("run(-list) = %d, want 0 (stderr: %s)", code, errw.String())
 	}
 	for _, want := range []string{"maporder", "epochbump", "atomicguard", "errcompare", "mergeorder",
-		"purity", "publishfreeze", "poolescape"} {
+		"purity", "publishfreeze", "poolescape", "lockorder", "chandiscipline", "snapshotfreeze"} {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("-list output missing check %q:\n%s", want, out.String())
 		}
@@ -40,7 +41,7 @@ func TestUnknownFormatExitsNonzero(t *testing.T) {
 // suppressions, with empty slices (not null) on a clean run.
 func TestWriteJSON(t *testing.T) {
 	var buf bytes.Buffer
-	if err := writeJSON(&buf, nil, nil); err != nil {
+	if err := writeJSON(&buf, nil, nil, 1500*time.Millisecond, true); err != nil {
 		t.Fatal(err)
 	}
 	var clean jsonReport
@@ -49,6 +50,9 @@ func TestWriteJSON(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), `"findings": []`) {
 		t.Errorf("clean run must emit an empty findings array, got:\n%s", buf.String())
+	}
+	if clean.DurationMS != 1500 || !clean.Parallel {
+		t.Errorf("timing record mismatch: duration_ms=%d parallel=%v", clean.DurationMS, clean.Parallel)
 	}
 
 	buf.Reset()
@@ -63,7 +67,7 @@ func TestWriteJSON(t *testing.T) {
 		Checks: []string{"maporder"},
 		Reason: "legacy",
 	}}
-	if err := writeJSON(&buf, findings, stale); err != nil {
+	if err := writeJSON(&buf, findings, stale, 0, false); err != nil {
 		t.Fatal(err)
 	}
 	var rep jsonReport

@@ -43,6 +43,7 @@ import (
 	"path"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Finding is one diagnostic produced by a check.
@@ -152,6 +153,9 @@ func All() []Check {
 		PoolEscape{},
 		ArbiterCommit{},
 		PanicPath{},
+		LockOrder{},
+		ChanDiscipline{},
+		SnapshotFreeze{},
 	}
 }
 
@@ -181,32 +185,82 @@ func ByName(names string) ([]Check, error) {
 // package; module checks run once over the full set with the dataflow
 // index. Suppressed findings are included with Suppressed set so callers
 // can audit the escape hatches.
+//
+// Checks execute concurrently, one goroutine per check: every input a
+// check reads — the type-checked packages, the dataflow index, the
+// effects summaries — is built before the first goroutine starts and
+// read-only afterwards, and each check collects into its own slice.
+// The slices are concatenated in suite order before the position sort,
+// so output and exit codes are bit-identical to RunSerial.
 func Run(pkgs []*Package, checks []Check) []Finding {
-	var findings []Finding
-	var moduleChecks []ModuleCheck
+	return runChecks(pkgs, checks, true)
+}
+
+// RunSerial is Run without the per-check goroutines — the reference
+// implementation taalint's -serial flag selects for timing comparisons
+// and for debugging a misbehaving check in isolation.
+func RunSerial(pkgs []*Package, checks []Check) []Finding {
+	return runChecks(pkgs, checks, false)
+}
+
+func runChecks(pkgs []*Package, checks []Check, parallel bool) []Finding {
+	var idx *Index
 	for _, c := range checks {
-		if mc, ok := c.(ModuleCheck); ok {
-			moduleChecks = append(moduleChecks, mc)
+		if _, ok := c.(ModuleCheck); ok && idx == nil {
+			idx = BuildIndex(pkgs)
+			// Prebuild the lazy effects summaries: Effects() memoizes
+			// without a lock, which is only safe while single-threaded.
+			idx.Effects()
 		}
 	}
-	for _, pkg := range pkgs {
-		for _, c := range checks {
-			pc, ok := c.(PackageCheck)
-			if !ok {
-				continue
+
+	perCheck := make([][]Finding, len(checks))
+	runOne := func(i int, c Check) {
+		var out []Finding
+		if pc, ok := c.(PackageCheck); ok {
+			for _, pkg := range pkgs {
+				pc.Run(&Pass{Pkg: pkg, check: c.Name(), findings: &out})
 			}
-			pass := &Pass{Pkg: pkg, check: c.Name(), findings: &findings}
-			pc.Run(pass)
+		}
+		if mc, ok := c.(ModuleCheck); ok {
+			mc.RunModule(&ModulePass{Pkgs: pkgs, Index: idx, check: c.Name(), findings: &out})
+		}
+		perCheck[i] = out
+	}
+	if parallel {
+		var wg sync.WaitGroup
+		for i, c := range checks {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				runOne(i, c)
+			}()
+		}
+		wg.Wait()
+	} else {
+		for i, c := range checks {
+			runOne(i, c)
 		}
 	}
-	if len(moduleChecks) > 0 {
-		idx := BuildIndex(pkgs)
-		for _, mc := range moduleChecks {
-			mp := &ModulePass{Pkgs: pkgs, Index: idx, check: mc.Name(), findings: &findings}
-			mc.RunModule(mp)
-		}
+
+	var findings []Finding
+	for _, fs := range perCheck {
+		findings = append(findings, fs...)
 	}
-	sup := suppressions(pkgs)
+
+	sup, malformed := parseSuppressions(pkgs)
+	// Malformed //taalint: markers are findings of the pseudo-check
+	// "suppression", never silent no-ops: the old parser's worst failure
+	// mode was a typo'd check name that suppressed nothing AND was
+	// skipped by the stale audit (which gates on run check names).
+	for _, m := range malformed {
+		findings = append(findings, Finding{
+			Check: "suppression",
+			Pos:   m.Pos,
+			Msg: fmt.Sprintf("malformed //taalint: comment (%s); write //taalint:<check>[,<check>] <reason>",
+				strings.Join(m.Problems, "; ")),
+		})
+	}
 	for i := range findings {
 		f := &findings[i]
 		if sup.covers(f.Pos.Filename, f.Pos.Line, f.Check) {
@@ -279,7 +333,8 @@ func StaleSuppressions(pkgs []*Package, findings []Finding, checks []Check) []Su
 		ran[c.Name()] = true
 	}
 	var stale []Suppression
-	for _, s := range parseSuppressions(pkgs) {
+	sups, _ := parseSuppressions(pkgs)
+	for _, s := range sups {
 		relevant := false
 		for _, c := range s.Checks {
 			if c == "all" || ran[c] {
@@ -323,48 +378,90 @@ func (set suppressionSet) covers(file string, line int, check string) bool {
 	return false
 }
 
-// suppressions parses //taalint: markers across all packages.
-func suppressions(pkgs []*Package) suppressionSet {
-	return parseSuppressions(pkgs)
+// MalformedSuppression is a //taalint: marker the parser could not
+// accept: an empty check list, a name no check carries, or a missing
+// reason. Run reports each as a finding of the pseudo-check
+// "suppression".
+type MalformedSuppression struct {
+	Pos      token.Position
+	Problems []string
 }
 
-// parseSuppressions scans every package's comments for //taalint: markers.
-func parseSuppressions(pkgs []*Package) []Suppression {
+// ParseSuppressionComment parses one comment's raw source text (as in
+// ast.Comment.Text, the // included). ok reports whether the comment is
+// a //taalint: marker at all; non-markers are not suppressions and not
+// errors. For markers, checks and reason carry the parse, and problems
+// lists everything malformed about it: an empty check list, a check
+// name neither the suite nor "all" knows, or an empty reason (the
+// justification is part of the contract — an unexplained suppression is
+// unreviewable). A marker with problems suppresses nothing.
+func ParseSuppressionComment(text string) (checks []string, reason string, problems []string, ok bool) {
+	t := strings.TrimPrefix(text, "//")
+	t = strings.TrimSpace(t)
+	if !strings.HasPrefix(t, "taalint:") {
+		return nil, "", nil, false
+	}
+	t = strings.TrimPrefix(t, "taalint:")
+	// First field is the check list; the rest is the reason.
+	list := t
+	if i := strings.IndexAny(t, " \t"); i >= 0 {
+		list, reason = t[:i], strings.TrimSpace(t[i+1:])
+	}
+	known := map[string]bool{"all": true, "suppression": true}
+	for _, c := range All() {
+		known[c.Name()] = true
+	}
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		checks = append(checks, name)
+		if !known[name] {
+			problems = append(problems, fmt.Sprintf("unknown check %q", name))
+		}
+	}
+	if len(checks) == 0 {
+		problems = append(problems, "empty check list")
+	}
+	if reason == "" {
+		problems = append(problems, "missing reason")
+	}
+	return checks, reason, problems, true
+}
+
+// suppressions parses //taalint: markers across all packages, dropping
+// malformed ones (Run reports those separately).
+func suppressions(pkgs []*Package) suppressionSet {
+	sups, _ := parseSuppressions(pkgs)
+	return sups
+}
+
+// parseSuppressions scans every package's comments for //taalint:
+// markers, splitting them into well-formed suppressions and malformed
+// markers.
+func parseSuppressions(pkgs []*Package) (suppressionSet, []MalformedSuppression) {
 	var out []Suppression
+	var bad []MalformedSuppression
 	for _, pkg := range pkgs {
 		for _, f := range pkg.Files {
 			for _, cg := range f.Comments {
 				for _, c := range cg.List {
-					text := strings.TrimPrefix(c.Text, "//")
-					text = strings.TrimSpace(text)
-					if !strings.HasPrefix(text, "taalint:") {
+					names, reason, problems, ok := ParseSuppressionComment(c.Text)
+					if !ok {
 						continue
 					}
-					text = strings.TrimPrefix(text, "taalint:")
-					// First field is the check list; the rest is the reason.
-					checks, reason := text, ""
-					if i := strings.IndexAny(text, " \t"); i >= 0 {
-						checks, reason = text[:i], strings.TrimSpace(text[i+1:])
-					}
-					var names []string
-					for _, name := range strings.Split(checks, ",") {
-						if name = strings.TrimSpace(name); name != "" {
-							names = append(names, name)
-						}
-					}
-					if len(names) == 0 {
+					pos := pkg.Fset.Position(c.Pos())
+					if len(problems) > 0 {
+						bad = append(bad, MalformedSuppression{Pos: pos, Problems: problems})
 						continue
 					}
-					out = append(out, Suppression{
-						Pos:    pkg.Fset.Position(c.Pos()),
-						Checks: names,
-						Reason: reason,
-					})
+					out = append(out, Suppression{Pos: pos, Checks: names, Reason: reason})
 				}
 			}
 		}
 	}
-	return out
+	return out, bad
 }
 
 // decisionPackages are the import-path base names whose map iteration and

@@ -1,0 +1,726 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// chandiscipline: worker channels in the decision packages must have a
+// single, total lifecycle — exactly one closing function, a close that
+// is proven on every exit path, no send reachable after the close, and
+// consumer loops that terminate by the close, not by a counter.
+//
+// The multischeduler's commit pipeline hangs on exactly one channel
+// invariant: every cell's done channel closes no matter how the cell's
+// worker dies (panic, budget exhaustion, storm degradation), because
+// the arbiter's wait blocks on it with no timeout. The supervised
+// runtime makes "the worker always finishes" true dynamically; this
+// check makes "finishing always closes" true statically, and keeps the
+// surrounding discipline honest:
+//
+//   - Rule 1 (one owner): a send-capable channel FIELD declared in a
+//     decision package (chan, []chan, [N]chan, map[...]chan) must be
+//     closed by exactly one declared function. Zero closers means the
+//     consumer can block forever; two mean a double-close panic is one
+//     interleaving away. A make(chan) LOCAL whose value never escapes
+//     its declaration must likewise be closed somewhere in it.
+//   - Rule 2 (close on every exit): within the closing function, the
+//     close must be reached on every exit path — the poolescape rule-A
+//     walker, with close playing Put: deferred closes cover all later
+//     exits, branch joins are pessimistic (unclosed on any path stays
+//     unclosed), loop bodies are walked twice, panic is an exit whose
+//     deferred closes still run.
+//   - Rule 3 (no send after close): on any path through a function
+//     unit, a send on a tracked channel after its close is a finding —
+//     that send panics at runtime.
+//   - Rule 4 (close-terminated loops): receiving from a tracked
+//     channel inside a counted for loop (one with a condition) couples
+//     the consumer to a worker count instead of the close protocol;
+//     range over the channel, or block on a per-item channel, so
+//     termination has exactly one source of truth.
+//
+// Ownership transfer is respected for locals: a channel returned,
+// stored through a selector/index, sent, appended, or passed to a
+// non-builtin call has a new owner, and the field rule (or the new
+// owner's own package discipline) takes over. Receive-only fields
+// (<-chan) are consumers by construction and never tracked.
+type ChanDiscipline struct{}
+
+// Name implements Check.
+func (ChanDiscipline) Name() string { return "chandiscipline" }
+
+// Doc implements Check.
+func (ChanDiscipline) Doc() string {
+	return "decision-package channels need exactly one closing function, close on every exit path, no send after close, close-terminated loops"
+}
+
+// cdChanType reports whether t is (or contains, through one level of
+// slice/array/map) a send-capable channel.
+func cdChanType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Chan:
+		return u.Dir() != types.RecvOnly
+	case *types.Slice:
+		return cdChanType(u.Elem())
+	case *types.Array:
+		return cdChanType(u.Elem())
+	case *types.Map:
+		return cdChanType(u.Elem())
+	}
+	return false
+}
+
+// cdTarget resolves a channel-valued expression (a close argument, a
+// send target, a receive operand) to its tracked identity: the short
+// field key for struct-field channels, or the local object for idents.
+// Index and paren layers collapse — ps.cellDone[c] IS the cellDone
+// lifecycle.
+func cdTarget(pkg *Package, e ast.Expr) (fieldKey string, local types.Object) {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			if owner, field := fieldOf(pkg, x); field != nil {
+				return shortKey(fieldAccessKey(owner, field)), nil
+			}
+			return "", nil
+		case *ast.Ident:
+			return "", pkg.Info.ObjectOf(x)
+		default:
+			return "", nil
+		}
+	}
+}
+
+// cdCloseArg returns the argument of a builtin close call, or nil.
+func cdCloseArg(pkg *Package, call *ast.CallExpr) ast.Expr {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "close" || len(call.Args) != 1 {
+		return nil
+	}
+	if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); !isBuiltin {
+		return nil
+	}
+	return call.Args[0]
+}
+
+// cdCloseSite is one close of a tracked field channel.
+type cdCloseSite struct {
+	fn  FuncKey
+	pkg *Package
+	pos token.Pos
+}
+
+// RunModule implements ModuleCheck.
+func (ChanDiscipline) RunModule(mp *ModulePass) {
+	// ---- Inventory: tracked channel fields of decision packages. ----
+	type fieldDecl struct {
+		key string
+		pkg *Package
+		pos token.Pos
+	}
+	var fieldOrder []fieldDecl
+	tracked := make(map[string]bool)
+	for _, pkg := range mp.Pkgs {
+		if !decisionPackages[pkg.Base()] {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					for _, fld := range st.Fields.List {
+						if !cdChanType(pkg.Info.TypeOf(fld.Type)) {
+							continue
+						}
+						for _, name := range fld.Names {
+							key := pkg.Base() + "." + ts.Name.Name + "." + name.Name
+							if !tracked[key] {
+								tracked[key] = true
+								fieldOrder = append(fieldOrder, fieldDecl{key: key, pkg: pkg, pos: name.Pos()})
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// ---- Module-wide close sites of tracked fields. ----
+	closes := make(map[string][]cdCloseSite)
+	for _, pkg := range mp.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn := declKey(pkg, fd)
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					arg := cdCloseArg(pkg, call)
+					if arg == nil {
+						return true
+					}
+					if key, _ := cdTarget(pkg, arg); key != "" && tracked[key] {
+						closes[key] = append(closes[key], cdCloseSite{fn: fn, pkg: pkg, pos: call.Pos()})
+					}
+					return true
+				})
+			}
+		}
+	}
+
+	// ---- Rule 1, fields: exactly one closing function. ----
+	for _, fd := range fieldOrder {
+		sites := closes[fd.key]
+		if len(sites) == 0 {
+			mp.Reportf(fd.pkg, fd.pos,
+				"channel field %s has no closing function; a consumer blocking on it can hang forever — give it exactly one owner that closes it",
+				fd.key)
+			continue
+		}
+		fns := make(map[FuncKey]bool)
+		for _, s := range sites {
+			fns[s.fn] = true
+		}
+		if len(fns) > 1 {
+			names := make([]string, 0, len(fns))
+			for fn := range fns {
+				names = append(names, shortKey(fn))
+			}
+			sort.Strings(names)
+			for _, s := range sites {
+				mp.Reportf(s.pkg, s.pos,
+					"channel field %s is closed by multiple functions (%v); double close panics — exactly one function may own the close",
+					fd.key, names)
+			}
+		}
+	}
+
+	// ---- Rules 1 (locals), 2, 3, 4: per declaration in decision
+	// packages. ----
+	for _, pkg := range mp.Pkgs {
+		if !decisionPackages[pkg.Base()] {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				cdCheckDecl(mp, pkg, fd, tracked)
+			}
+		}
+	}
+}
+
+// cdLocal is one tracked make(chan) local binding.
+type cdLocal struct {
+	obj     types.Object
+	pos     token.Pos
+	escaped bool
+	closed  bool
+}
+
+// cdMakeChan reports whether e is a make(chan ...) expression.
+func cdMakeChan(pkg *Package, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "make" || len(call.Args) == 0 {
+		return false
+	}
+	if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); !isBuiltin {
+		return false
+	}
+	t := pkg.Info.TypeOf(call.Args[0])
+	if t == nil {
+		return false
+	}
+	ch, ok := t.Underlying().(*types.Chan)
+	return ok && ch.Dir() != types.RecvOnly
+}
+
+// cdCheckDecl runs the per-declaration rules over one function and its
+// literals.
+func cdCheckDecl(mp *ModulePass, pkg *Package, fd *ast.FuncDecl, tracked map[string]bool) {
+	// Locals: make(chan) bound to an ident anywhere in the declaration.
+	locals := make(map[types.Object]*cdLocal)
+	var localOrder []*cdLocal
+	bind := func(lhs ast.Expr, rhs ast.Expr) {
+		if !cdMakeChan(pkg, rhs) {
+			return
+		}
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := pkg.Info.ObjectOf(id)
+		if obj == nil || locals[obj] != nil {
+			return
+		}
+		l := &cdLocal{obj: obj, pos: rhs.Pos()}
+		locals[obj] = l
+		localOrder = append(localOrder, l)
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range s.Rhs {
+				if i < len(s.Lhs) {
+					bind(s.Lhs[i], rhs)
+				}
+			}
+		case *ast.ValueSpec:
+			for i, v := range s.Values {
+				if i < len(s.Names) {
+					bind(s.Names[i], v)
+				}
+			}
+		}
+		return true
+	})
+
+	// Ownership-transfer (escape) scan: a local whose value leaves the
+	// declaration is no longer ours to prove closed.
+	if len(locals) > 0 {
+		isLocal := func(e ast.Expr) *cdLocal {
+			if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+				return locals[pkg.Info.ObjectOf(id)]
+			}
+			return nil
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ReturnStmt:
+				for _, r := range s.Results {
+					if l := isLocal(r); l != nil {
+						l.escaped = true
+					}
+				}
+			case *ast.AssignStmt:
+				for i, rhs := range s.Rhs {
+					l := isLocal(rhs)
+					if l == nil || i >= len(s.Lhs) {
+						continue
+					}
+					if _, plain := ast.Unparen(s.Lhs[i]).(*ast.Ident); !plain {
+						l.escaped = true // stored through a field/index/deref
+					}
+				}
+			case *ast.SendStmt:
+				if l := isLocal(s.Value); l != nil {
+					l.escaped = true
+				}
+			case *ast.CompositeLit:
+				for _, el := range s.Elts {
+					if kv, ok := el.(*ast.KeyValueExpr); ok {
+						el = kv.Value
+					}
+					if l := isLocal(el); l != nil {
+						l.escaped = true
+					}
+				}
+			case *ast.CallExpr:
+				if cdCloseArg(pkg, s) != nil {
+					return true
+				}
+				if id, ok := ast.Unparen(s.Fun).(*ast.Ident); ok {
+					if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); isBuiltin && id.Name != "append" {
+						return true // len, cap: not a transfer
+					}
+				}
+				for _, a := range s.Args {
+					if l := isLocal(a); l != nil {
+						l.escaped = true
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Function units: the declaration body plus every literal body, each
+	// walked separately (a close inside a go-literal is proven over the
+	// literal's own exits — that unit is the closer's whole lifetime).
+	var units []*ast.BlockStmt
+	units = append(units, fd.Body)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			units = append(units, fl.Body)
+		}
+		return true
+	})
+	for _, body := range units {
+		cdWalkUnit(mp, pkg, body, units, tracked, locals)
+	}
+
+	// Rule 1, locals: a non-escaping channel local with no close
+	// anywhere in the declaration.
+	for _, l := range localOrder {
+		if !l.escaped && !l.closed {
+			mp.Reportf(pkg, l.pos,
+				"channel %s is never closed in its owning function; close it (or transfer ownership explicitly) so consumers can terminate",
+				l.obj.Name())
+		}
+	}
+
+	// Rule 4: receives from tracked channels inside counted for loops.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		loop, ok := n.(*ast.ForStmt)
+		if !ok || loop.Cond == nil {
+			return true
+		}
+		ast.Inspect(loop.Body, func(m ast.Node) bool {
+			ue, ok := m.(*ast.UnaryExpr)
+			if !ok || ue.Op != token.ARROW {
+				return true
+			}
+			key, obj := cdTarget(pkg, ue.X)
+			if (key != "" && tracked[key]) || (obj != nil && locals[obj] != nil) {
+				mp.Reportf(pkg, ue.Pos(),
+					"receive from worker channel inside a counted loop; terminate consumer loops by closing the channel (range over it), not by a counter")
+			}
+			return true
+		})
+		return true
+	})
+}
+
+// cdObl is one close obligation being path-tracked in a unit.
+type cdObl struct {
+	name   string // diagnostic name: field key or local ident
+	field  string // tracked field key, "" for locals
+	local  types.Object
+	anchor token.Pos // report position: first close (fields) / binding (locals)
+	leaked bool
+}
+
+// cdWalkUnit proves rule 2 (close on every exit) and rule 3 (no send
+// after close) over one function unit, mirroring poolescape's rule-A
+// walker with close in the role of Put.
+func cdWalkUnit(mp *ModulePass, pkg *Package, body *ast.BlockStmt, units []*ast.BlockStmt,
+	tracked map[string]bool, locals map[types.Object]*cdLocal) {
+
+	// nested reports whether n belongs to a literal unit strictly inside
+	// this one (those are walked as their own units). Units that CONTAIN
+	// body — the declaration body around a literal unit — don't count, or
+	// an inner unit would see all of its own nodes as foreign.
+	nested := func(n ast.Node) bool {
+		for _, u := range units {
+			if u == body || u.Pos() < body.Pos() || u.End() > body.End() {
+				continue
+			}
+			if u.Pos() <= n.Pos() && n.Pos() < u.End() {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Obligations: every tracked channel this unit closes. Fields anchor
+	// at their first close in the unit; locals at their binding.
+	obls := make(map[string]*cdObl) // by identity string
+	var order []*cdObl
+	identOf := func(e ast.Expr) (string, bool) {
+		key, obj := cdTarget(pkg, e)
+		if key != "" && tracked[key] {
+			return "f:" + key, true
+		}
+		if obj != nil && locals[obj] != nil {
+			return "l:" + obj.Name(), true
+		}
+		return "", false
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || nested(n) {
+			return true
+		}
+		arg := cdCloseArg(pkg, call)
+		if arg == nil {
+			return true
+		}
+		id, ok := identOf(arg)
+		if !ok {
+			return true
+		}
+		key, obj := cdTarget(pkg, arg)
+		if obj != nil {
+			if l := locals[obj]; l != nil {
+				l.closed = true
+			}
+		}
+		if obls[id] == nil {
+			o := &cdObl{anchor: call.Pos()}
+			if key != "" {
+				o.name, o.field = key, key
+			} else {
+				o.name, o.local = obj.Name(), obj
+				if l := locals[obj]; l != nil {
+					o.anchor = l.pos
+				}
+			}
+			obls[id] = o
+			order = append(order, o)
+		}
+		return true
+	})
+	if len(obls) == 0 {
+		return
+	}
+
+	// closeTargets resolves the obligations closed by the closes under
+	// n (descending into deferred closure bodies).
+	closeTargets := func(n ast.Node) []*cdObl {
+		var out []*cdObl
+		ast.Inspect(n, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if arg := cdCloseArg(pkg, call); arg != nil {
+				if id, ok := identOf(arg); ok && obls[id] != nil {
+					out = append(out, obls[id])
+				}
+			}
+			return true
+		})
+		return out
+	}
+	sendTargets := func(n ast.Node) []struct {
+		obl *cdObl
+		pos token.Pos
+	} {
+		var out []struct {
+			obl *cdObl
+			pos token.Pos
+		}
+		ast.Inspect(n, func(m ast.Node) bool {
+			ss, ok := m.(*ast.SendStmt)
+			if !ok || nested(m) {
+				return true
+			}
+			if id, ok := identOf(ss.Chan); ok && obls[id] != nil {
+				out = append(out, struct {
+					obl *cdObl
+					pos token.Pos
+				}{obls[id], ss.Arrow})
+			}
+			return true
+		})
+		return out
+	}
+
+	type state struct {
+		open     map[*cdObl]bool // true: not yet closed on this path
+		deferred map[*cdObl]bool
+		closed   map[*cdObl]bool // close already executed on this path
+	}
+	clone := func(s *state) *state {
+		c := &state{open: make(map[*cdObl]bool, len(s.open)),
+			deferred: make(map[*cdObl]bool, len(s.deferred)),
+			closed:   make(map[*cdObl]bool, len(s.closed))}
+		for k, v := range s.open {
+			c.open[k] = v
+		}
+		for k, v := range s.deferred {
+			c.deferred[k] = v
+		}
+		for k, v := range s.closed {
+			c.closed[k] = v
+		}
+		return c
+	}
+	// join: unclosed on any path stays unclosed; a defer registered on
+	// only some paths is not guaranteed; closed on any path may have
+	// been closed (pessimistic for send-after-close).
+	join := func(dst *state, srcs ...*state) {
+		for _, s := range srcs {
+			for o, open := range s.open {
+				if open {
+					dst.open[o] = true
+				}
+			}
+			for o, c := range s.closed {
+				if c {
+					dst.closed[o] = true
+				}
+			}
+		}
+		for o := range dst.deferred {
+			for _, s := range srcs {
+				if !s.deferred[o] {
+					delete(dst.deferred, o)
+					break
+				}
+			}
+		}
+	}
+	exit := func(s *state) {
+		for o, open := range s.open {
+			if open && !s.deferred[o] {
+				o.leaked = true
+			}
+		}
+	}
+
+	var walk func(s ast.Stmt, st *state)
+	walkList := func(list []ast.Stmt, st *state) {
+		for _, s := range list {
+			walk(s, st)
+		}
+	}
+	handleSimple := func(n ast.Node, st *state) {
+		for _, snd := range sendTargets(n) {
+			if st.closed[snd.obl] {
+				mp.Reportf(pkg, snd.pos,
+					"send on %s after it was closed on this path; a send on a closed channel panics",
+					snd.obl.name)
+			}
+		}
+		for _, o := range closeTargets(n) {
+			st.open[o] = false
+			st.closed[o] = true
+		}
+	}
+	walk = func(s ast.Stmt, st *state) {
+		switch x := s.(type) {
+		case *ast.BlockStmt:
+			walkList(x.List, st)
+		case *ast.LabeledStmt:
+			walk(x.Stmt, st)
+		case *ast.ExprStmt:
+			handleSimple(x, st)
+			if call, ok := ast.Unparen(x.X).(*ast.CallExpr); ok {
+				if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+					if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+						exit(st) // deferred closes run during unwinding
+						for o := range st.open {
+							st.open[o] = false
+						}
+					}
+				}
+			}
+		case *ast.SendStmt, *ast.AssignStmt, *ast.IncDecStmt, *ast.DeclStmt:
+			handleSimple(x, st)
+		case *ast.DeferStmt:
+			// A deferred send is reported only when the channel is
+			// already closed at registration; deferred closes cover
+			// every later exit of this path.
+			for _, snd := range sendTargets(x) {
+				if st.closed[snd.obl] {
+					mp.Reportf(pkg, snd.pos,
+						"send on %s after it was closed on this path; a send on a closed channel panics",
+						snd.obl.name)
+				}
+			}
+			for _, o := range closeTargets(x) {
+				st.deferred[o] = true
+			}
+		case *ast.ReturnStmt:
+			exit(st)
+			for o := range st.open {
+				st.open[o] = false // path ends here
+			}
+		case *ast.IfStmt:
+			if x.Init != nil {
+				walk(x.Init, st)
+			}
+			thenSt := clone(st)
+			walk(x.Body, thenSt)
+			elseSt := clone(st)
+			if x.Else != nil {
+				walk(x.Else, elseSt)
+			}
+			join(st, thenSt, elseSt)
+		case *ast.ForStmt:
+			if x.Init != nil {
+				walk(x.Init, st)
+			}
+			for i := 0; i < 2; i++ {
+				bodySt := clone(st)
+				walk(x.Body, bodySt)
+				if x.Post != nil {
+					walk(x.Post, bodySt)
+				}
+				join(st, bodySt)
+			}
+		case *ast.RangeStmt:
+			for i := 0; i < 2; i++ {
+				bodySt := clone(st)
+				walk(x.Body, bodySt)
+				join(st, bodySt)
+			}
+		case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			var bodyList []ast.Stmt
+			switch y := x.(type) {
+			case *ast.SwitchStmt:
+				if y.Init != nil {
+					walk(y.Init, st)
+				}
+				bodyList = y.Body.List
+			case *ast.TypeSwitchStmt:
+				if y.Init != nil {
+					walk(y.Init, st)
+				}
+				bodyList = y.Body.List
+			case *ast.SelectStmt:
+				bodyList = y.Body.List
+			}
+			branches := []*state{clone(st)} // no-case-taken path
+			for _, cc := range bodyList {
+				br := clone(st)
+				switch c := cc.(type) {
+				case *ast.CaseClause:
+					walkList(c.Body, br)
+				case *ast.CommClause:
+					walkList(c.Body, br)
+				}
+				branches = append(branches, br)
+			}
+			join(st, branches...)
+		}
+	}
+
+	st := &state{open: make(map[*cdObl]bool), deferred: make(map[*cdObl]bool), closed: make(map[*cdObl]bool)}
+	for _, o := range order {
+		st.open[o] = true
+	}
+	walkList(body.List, st)
+	exit(st) // fall off the end
+
+	for _, o := range order {
+		if o.leaked {
+			mp.Reportf(pkg, o.anchor,
+				"%s may not be closed on every exit path of this function; defer the close (or close before each return) so consumers never block on a dead producer",
+				o.name)
+		}
+	}
+}

@@ -80,7 +80,9 @@ type Effects struct {
 }
 
 // Effects returns the lazily built effects table shared by all checks of
-// one Run. Run is single-threaded, so no locking is needed.
+// one Run. The memoization is unlocked: Run prebuilds the table before
+// any check goroutine starts, so concurrent callers only ever read the
+// already-set field (first-call safety is the builder's, not ours).
 func (idx *Index) Effects() *Effects {
 	if idx.effects == nil {
 		idx.effects = buildEffects(idx)

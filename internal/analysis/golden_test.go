@@ -47,6 +47,14 @@ var goldenFixtures = []struct {
 	// panicpath is purely syntactic but scoped to decision packages, so
 	// the fixture masquerades as sim.
 	{"panicpath", "panicpath", "fixture/sim"},
+	// v4 concurrency-soundness checks. lockorder tracks mutexes owned by
+	// the concurrent packages and snapshotfreeze's source table keys on
+	// "(Oracle).Method" gated by the netstate base, so both fixtures
+	// masquerade as netstate; chandiscipline's field rule is scoped to
+	// decision packages, so its fixture masquerades as multisched.
+	{"lockorder", "lockorder", "fixture/netstate"},
+	{"chandiscipline", "chandiscipline", "fixture/multisched"},
+	{"snapshotfreeze", "snapshotfreeze", "fixture/netstate"},
 }
 
 // TestGolden runs each check against its fixture package and compares the

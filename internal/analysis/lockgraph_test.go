@@ -1,0 +1,84 @@
+package analysis_test
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestLockGraphDOT pins the exported lock graph on the lockorder
+// fixture: the cycle's three edges and the acyclic nesting are present,
+// the goroutine-boundary edge is not, and the DOT rendering is
+// byte-deterministic (it ships as a CI artifact, so diffs must mean
+// graph changes, not map-order noise).
+func TestLockGraphDOT(t *testing.T) {
+	loader := analysis.NewLoader()
+	pkg, err := loader.LoadDir("testdata/src/lockorder", "fixture/netstate")
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	g := analysis.BuildLockGraph([]*analysis.Package{pkg})
+
+	var buf bytes.Buffer
+	if err := g.WriteDOT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dot := buf.String()
+
+	for _, want := range []string{
+		"digraph lockorder {",
+		`"netstate.Oracle.pairMu" -> "netstate.Oracle.typeMu"`,
+		`"netstate.Oracle.typeMu" -> "netstate.Oracle.swMu"`,
+		`"netstate.Oracle.swMu" -> "netstate.Oracle.pairMu"`,
+		`"netstate.Oracle.reviveMu" -> "netstate.Oracle.pairMu"`,
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %s:\n%s", want, dot)
+		}
+	}
+	// SpawnStats holds reviveMu while LAUNCHING the goroutine that takes
+	// typeMu — a boundary, not a nesting.
+	if strings.Contains(dot, `"netstate.Oracle.reviveMu" -> "netstate.Oracle.typeMu"`) {
+		t.Errorf("goroutine boundary leaked into the lock graph:\n%s", dot)
+	}
+
+	var buf2 bytes.Buffer
+	if err := g.WriteDOT(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if dot != buf2.String() {
+		t.Error("WriteDOT is not deterministic across calls")
+	}
+}
+
+// TestRunParallelMatchesSerial proves the satellite claim behind the
+// concurrent executor: Run (parallel) and RunSerial produce identical
+// findings — same order, same suppression marks — over packages that
+// exercise package checks, module checks and suppressions at once.
+func TestRunParallelMatchesSerial(t *testing.T) {
+	loader := analysis.NewLoader()
+	var pkgs []*analysis.Package
+	for _, fx := range []struct{ dir, path string }{
+		{"testdata/src/lockorder", "fixture/netstate"},
+		{"testdata/src/chandiscipline", "fixture/multisched"},
+		{"testdata/src/snapshotfreeze", "fixture/netstate2"},
+		{"testdata/src/floateq", "fixture/floateq"},
+	} {
+		pkg, err := loader.LoadDir(fx.dir, fx.path)
+		if err != nil {
+			t.Fatalf("LoadDir(%s): %v", fx.dir, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	parallel := analysis.Run(pkgs, analysis.All())
+	serial := analysis.RunSerial(pkgs, analysis.All())
+	if len(parallel) == 0 {
+		t.Fatal("fixture scan produced no findings; the equivalence test is vacuous")
+	}
+	if !reflect.DeepEqual(parallel, serial) {
+		t.Errorf("parallel and serial runs disagree:\nparallel: %v\nserial:   %v", parallel, serial)
+	}
+}

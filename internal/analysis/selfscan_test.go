@@ -6,10 +6,11 @@ import (
 	"repro/internal/analysis"
 )
 
-// TestRepoSelfScan runs all twelve checks over every non-test package in the
-// module and fails on any unsuppressed finding or stale suppression. This
-// is the same gate as `make lint` (which runs with -prune), but wired into
-// `go test ./...` so it holds even when make is never invoked.
+// TestRepoSelfScan runs the full check suite over every non-test package
+// in the module and fails on any unsuppressed finding or stale
+// suppression. This is the same gate as `make lint` (which runs with
+// -prune), but wired into `go test ./...` so it holds even when make is
+// never invoked.
 func TestRepoSelfScan(t *testing.T) {
 	if testing.Short() {
 		t.Skip("type-checks the whole module; skipped in -short mode")

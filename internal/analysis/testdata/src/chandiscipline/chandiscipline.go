@@ -1,0 +1,130 @@
+// Package multisched is the chandiscipline golden fixture: one
+// disciplined worker channel (the shape the real commit pipeline uses)
+// surrounded by every lifecycle violation the check exists to catch —
+// no owner, two owners, a leaky exit path, a send after close, and a
+// counted consumer loop.
+package multisched
+
+// ProposalSet carries the fixture's channel fields.
+type ProposalSet struct {
+	// done is the disciplined one: exactly one closer (runCell), close
+	// deferred so every exit closes. NEAR MISS.
+	done []chan struct{}
+	// orphan has no closing function anywhere in the module. TRIGGER
+	// (rule 1: no owner).
+	orphan chan int
+	// dup is closed by two different functions. TRIGGER (rule 1: two
+	// owners).
+	dup chan int
+	// lossy has a single closer that misses an exit path. TRIGGER
+	// (rule 2) — but not rule 1.
+	lossy chan int
+	// ack is closed and then sent on. TRIGGER (rule 3).
+	ack chan int
+	// acks is consumed by both a counted loop (TRIGGER, rule 4) and a
+	// range loop (NEAR MISS).
+	acks chan int
+	// results is receive-only: a consumer by construction, never
+	// tracked. NEAR MISS.
+	results <-chan int
+}
+
+func (ps *ProposalSet) work(c int) {}
+
+// runCell is the disciplined owner: the single closer of done, with
+// the close deferred so panic and return exits both close. NEAR MISS.
+func (ps *ProposalSet) runCell(c int) {
+	defer close(ps.done[c])
+	ps.work(c)
+}
+
+// waitOrphan blocks forever if nobody closes orphan — the hazard the
+// no-owner rule exists for.
+func (ps *ProposalSet) waitOrphan() int { return <-ps.orphan }
+
+// closeDupA is one of dup's two owners.
+func (ps *ProposalSet) closeDupA() {
+	close(ps.dup)
+}
+
+// closeDupB is the other owner of dup; this site is the fixture's
+// deliberately suppressed finding — the escape hatch under test.
+func (ps *ProposalSet) closeDupB() {
+	close(ps.dup) //taalint:chandiscipline fixture: demonstrates the escape hatch on one of the two close sites
+}
+
+// finishLossy closes lossy only on the happy path — the early error
+// return leaks it and the consumer hangs. TRIGGER (rule 2).
+func (ps *ProposalSet) finishLossy(fail bool) bool {
+	if fail {
+		return false
+	}
+	close(ps.lossy)
+	return true
+}
+
+// signalThenClose closes ack and then sends on it; the send panics at
+// runtime. TRIGGER (rule 3).
+func (ps *ProposalSet) signalThenClose() {
+	close(ps.ack)
+	ps.ack <- 1
+}
+
+// collectCounted drains acks with a worker counter instead of the
+// close protocol. TRIGGER (rule 4).
+func (ps *ProposalSet) collectCounted(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += <-ps.acks
+	}
+	return total
+}
+
+// collectRanged ranges over acks; shutdownAcks' close terminates it —
+// one source of truth. NEAR MISS.
+func (ps *ProposalSet) collectRanged() int {
+	total := 0
+	for v := range ps.acks {
+		total += v
+	}
+	return total
+}
+
+// shutdownAcks is acks' single owner.
+func (ps *ProposalSet) shutdownAcks() {
+	close(ps.acks)
+}
+
+// presolveLocal makes a scratch channel it neither closes nor hands
+// off. TRIGGER (rule 1, locals).
+func presolveLocal() int {
+	scratch := make(chan int, 1)
+	scratch <- 7
+	return <-scratch
+}
+
+// spawnPipe transfers ownership of its channel to the caller by
+// returning it — no longer this function's to close. NEAR MISS
+// (ownership transfer).
+func spawnPipe() chan int {
+	pipe := make(chan int)
+	go func() { pipe <- 1 }()
+	return pipe
+}
+
+// fanIn closes its local from the producer goroutine, deferred over
+// the literal's own exits. NEAR MISS (close inside a literal unit).
+func fanIn(n int) int {
+	out := make(chan int)
+	go func() {
+		defer close(out)
+		for i := 0; i < n; i++ {
+			out <- i
+		}
+	}()
+	total := 0
+	for v := range out {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,133 @@
+// Package netstate is the snapshotfreeze golden fixture: a miniature
+// oracle whose read API returns shared cache rows, plus the worker
+// captures the check must flag — in-place mutation of an alias, a
+// write through the call result itself, a mutation inside a
+// worker-reachable named function, a two-level write through a local
+// index of shared rows, and a shared row handed to a mutating helper —
+// next to the frozen reads and copy-first idioms it must not.
+package netstate
+
+// NodeID is the fixture's node identifier.
+type NodeID int
+
+// Oracle caches distance rows and type templates; its read API returns
+// the cached slices themselves — shared, frozen.
+type Oracle struct {
+	rows  map[NodeID][]int32
+	types map[NodeID][]string
+}
+
+// DistRow returns the cached distance row for src. Callers must not
+// modify the returned slice.
+func (o *Oracle) DistRow(src NodeID) []int32 { return o.rows[src] }
+
+// TypeTemplate returns the cached stage-type template for (src, dst).
+// Callers must not modify the returned slice.
+func (o *Oracle) TypeTemplate(src, dst NodeID) ([]string, error) {
+	return o.types[src], nil
+}
+
+// scaleAsync captures the shared row and rescales it in place on a
+// worker — a write into oracle memory every other goroutine reads.
+// TRIGGER (write through a shared alias).
+func scaleAsync(o *Oracle, src NodeID, done chan struct{}) {
+	row := o.DistRow(src)
+	go func() {
+		for i := range row {
+			row[i] *= 2
+		}
+		close(done)
+	}()
+}
+
+// patchAsync writes through the read call's result directly. TRIGGER
+// (write through a source-call spine).
+func patchAsync(o *Oracle, src NodeID, done chan struct{}) {
+	go func() {
+		o.DistRow(src)[0] = -1
+		close(done)
+	}()
+}
+
+// refreshWorker is launched by name (spawnRefresh below); everything it
+// does runs on the worker, including mutating the template it read.
+// TRIGGER (worker-reachable function).
+func refreshWorker(o *Oracle, src, dst NodeID, done chan struct{}) {
+	tmpl, _ := o.TypeTemplate(src, dst)
+	if len(tmpl) > 0 {
+		tmpl[0] = "edge"
+	}
+	close(done)
+}
+
+func spawnRefresh(o *Oracle, done chan struct{}) {
+	go refreshWorker(o, 0, 1, done)
+}
+
+// indexAsync builds a local index of shared rows — the slot stores are
+// legal (NEAR MISS) — then mutates oracle memory THROUGH the index.
+// TRIGGER (two-level write through a holder).
+func indexAsync(o *Oracle, srcs []NodeID, done chan struct{}) {
+	go func() {
+		bySrc := make(map[NodeID][]int32, len(srcs))
+		for _, s := range srcs {
+			bySrc[s] = o.DistRow(s)
+		}
+		bySrc[srcs[0]][0] = 0
+		close(done)
+	}()
+}
+
+// zero sets every element of dst — it writes through its parameter.
+func zero(dst []int32) {
+	for i := range dst {
+		dst[i] = 0
+	}
+}
+
+// resetAsync hands the shared row to a helper that writes through it.
+// TRIGGER (ParamWrites through a callee).
+func resetAsync(o *Oracle, src NodeID, done chan struct{}) {
+	row := o.DistRow(src)
+	go func() {
+		zero(row)
+		close(done)
+	}()
+}
+
+// sumAsync only READS the captured row — frozen means read-only, not
+// untouchable. NEAR MISS.
+func sumAsync(o *Oracle, src NodeID, out chan int32) {
+	row := o.DistRow(src)
+	go func() {
+		var t int32
+		for _, v := range row {
+			t += v
+		}
+		out <- t
+	}()
+}
+
+// scaleCopied clones before mutating — the blessed copy-first idiom
+// launders the taint. NEAR MISS.
+func scaleCopied(o *Oracle, src NodeID, done chan struct{}) {
+	row := o.DistRow(src)
+	go func() {
+		mine := append([]int32(nil), row...)
+		for i := range mine {
+			mine[i] *= 2
+		}
+		close(done)
+	}()
+}
+
+// pinAsync patches the shared row under an external barrier the
+// analysis cannot see; the suppression documents the tolerated
+// exception — the escape hatch under test.
+func pinAsync(o *Oracle, src NodeID, done chan struct{}) {
+	row := o.DistRow(src)
+	go func() {
+		row[0] = 0 //taalint:snapshotfreeze fixture: demonstrates the escape hatch
+		close(done)
+	}()
+}

@@ -1,0 +1,14 @@
+// Package suppression is the malformed-suppression fixture: every
+// //taalint: marker in here is broken in one of the ways the parser
+// must report instead of silently ignoring.
+package suppression
+
+//taalint: a reason with no check list in front of it
+var a = 1
+
+var b = 2 //taalint:floateqq typo'd check name that would have suppressed nothing
+
+//taalint:maporder
+var c = 3 // marker above has no reason
+
+var d = 4 //taalint:floateq well-formed: this one is a real suppression, not a finding

@@ -498,7 +498,7 @@ func (c *Controller) optimizeBetween(f *flow.Flow, src, dst topology.NodeID) (*f
 	}
 	stages := full
 	if !allFit {
-		stages = make([][]topology.NodeID, len(types))
+		filtered := make([][]topology.NodeID, len(types))
 		for i := range full {
 			kept := make([]topology.NodeID, 0, len(full[i]))
 			for _, w := range full[i] {
@@ -506,8 +506,9 @@ func (c *Controller) optimizeBetween(f *flow.Flow, src, dst topology.NodeID) (*f
 					kept = append(kept, w)
 				}
 			}
-			stages[i] = kept
+			filtered[i] = kept
 		}
+		stages = filtered
 	}
 	info.FullStages = allFit
 	list, _, hit, ok := c.oracle.BestRoute(src, dst, netstate.RouteQuery{

@@ -92,7 +92,11 @@ type ProposalSet struct {
 	// ordered by first flow index so workers claim the earliest-committing
 	// work first. cellIdx[i] = k, skipSlot for skip-hinted flows, or
 	// stormSlot when degradation suppressed the whole fan-out.
-	cells    [][]int32
+	cells [][]int32
+	// cellDone[k] closes exactly once, by runCell — the single closing
+	// owner taalint's chandiscipline check enforces. The close is
+	// deferred, so it fires on panic and budget-abandonment paths too;
+	// the arbiter's wait can therefore block on it unconditionally.
 	cellDone []chan struct{}
 	cellIdx  []int32
 	// poisoned[k] marks cell k's worker panicked: every flow of the cell

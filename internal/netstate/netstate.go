@@ -194,6 +194,13 @@ func (o *Oracle) Epoch() uint64 {
 // lists, access switches, bottleneck bandwidths and the pair-route table)
 // is dropped and rebuilt lazily against the new alive-mask. Callers on
 // the steady-state path pay one atomic load.
+//
+// Lock-order contract (proved by taalint's lockorder check): reviveMu is
+// the package's only outer lock — pairMu, typeMu and the route shard
+// stripes nest strictly inside it, one at a time, never inside each
+// other. Keep the pairMu and typeMu sections below SEQUENTIAL; nesting
+// one inside the other creates an acquisition edge that closes a cycle
+// with the read paths and is rejected at lint time.
 func (o *Oracle) ensureLive() {
 	lv := o.topo.LivenessVersion()
 	if o.liveSeen.Load() == lv {
@@ -281,6 +288,12 @@ func (o *Oracle) CellOf(server topology.NodeID) int {
 
 // BindLoad attaches the switch-load source (the controller's Load method).
 // An unbound oracle sees zero load everywhere.
+//
+// Contract: fn is invoked with oracle locks held and must not re-enter
+// the oracle's locking API (BestRoute, TypeTemplate, DistRow, ...). This
+// is the lockorder check's one dynamic-call blind spot — the static lock
+// graph cannot see through a function value — so the freedom the checker
+// cannot verify is pinned here instead: fn must be a pure load lookup.
 func (o *Oracle) BindLoad(fn LoadFunc) {
 	o.load = fn
 	o.BumpEpoch()

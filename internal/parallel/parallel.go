@@ -23,6 +23,11 @@ import (
 // i (each worker owns its slot), or the captured slice must be explicitly
 // sorted after ForEach returns — completion order is scheduler-dependent
 // and must never reach a decision value.
+//
+// fn is also bound by the snapshotfreeze contract: netstate read-API
+// results it captures (dist rows, templates, stage lists) are shared
+// views, frozen while workers run — storing them into per-index slots is
+// fine; writing through them is not. Copy before mutating.
 func ForEach(n, workers int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil

@@ -202,6 +202,12 @@ func New(cfg Config) *Supervisor {
 // escapes fn is captured and counted instead of killing the process. This
 // is the blessed goroutine entry point of the `panicpath` check (together
 // with internal/parallel).
+//
+// Capture-freeze contract (proved by taalint's snapshotfreeze check):
+// any oracle read-API result (DistRow, TypeTemplate, Snapshot, ...) that
+// fn captures is a view into shared memory, frozen for the goroutine's
+// lifetime — workers may read it but must copy before mutating
+// (append([]T(nil), s...)).
 func (s *Supervisor) Go(fn func()) {
 	go func() {
 		defer func() {
